@@ -1,0 +1,65 @@
+//! Microbenchmarks for the functional cryptography: AES-128, AES-CMAC,
+//! counter-mode line encryption, and the tree hash. These establish that
+//! the functional layer is fast enough to back large property-test runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use secmem_crypto::aes::Aes128;
+use secmem_crypto::cmac::{sector_mac, Cmac};
+use secmem_crypto::ctr::{encrypt_line, CounterBlock};
+use secmem_crypto::hash::NodeHash;
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    let block = [0x42u8; 16];
+    let mut g = c.benchmark_group("aes128");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| b.iter(|| aes.encrypt_block(black_box(&block))));
+    g.bench_function("decrypt_block", |b| {
+        let ct = aes.encrypt_block(&block);
+        b.iter(|| aes.decrypt_block(black_box(&ct)))
+    });
+    g.bench_function("key_schedule", |b| b.iter(|| Aes128::new(black_box(&[9u8; 16]))));
+    g.finish();
+}
+
+fn bench_ctr(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    let seed = CounterBlock::new(0x8000, 3, 5);
+    let mut g = c.benchmark_group("counter_mode");
+    g.throughput(Throughput::Bytes(128));
+    g.bench_function("encrypt_line_128B", |b| {
+        b.iter(|| {
+            let mut line = [0x5Au8; 128];
+            encrypt_line(&aes, black_box(&seed), &mut line);
+            line
+        })
+    });
+    g.finish();
+}
+
+fn bench_cmac(c: &mut Criterion) {
+    let cmac = Cmac::new(&[3u8; 16]);
+    let sector = [0xA5u8; 32];
+    let line = [0xA5u8; 128];
+    let mut g = c.benchmark_group("cmac");
+    g.throughput(Throughput::Bytes(32));
+    g.bench_function("sector_mac_32B", |b| {
+        b.iter(|| sector_mac(&cmac, black_box(0x1000), black_box(7), &sector))
+    });
+    g.throughput(Throughput::Bytes(128));
+    g.bench_function("line_tag_128B", |b| b.iter(|| cmac.compute(black_box(&line))));
+    g.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let h = NodeHash::new();
+    let node = [0xEEu8; 128];
+    let mut g = c.benchmark_group("tree_hash");
+    g.throughput(Throughput::Bytes(128));
+    g.bench_function("node_digest_128B", |b| b.iter(|| h.digest(black_box(0x4000), &node)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_ctr, bench_cmac, bench_hash);
+criterion_main!(benches);

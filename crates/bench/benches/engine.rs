@@ -1,0 +1,76 @@
+//! Benchmarks of the secure memory engine itself: read/write transaction
+//! throughput per scheme for one partition, and the functional secure
+//! memory's verified read/write path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use secmem_core::functional::FunctionalSecureMemory;
+use secmem_core::{SecureBackend, SecureMemConfig, SecurityScheme};
+use secmem_gpusim::backend::MemoryBackend;
+use secmem_gpusim::config::GpuConfig;
+use secmem_gpusim::types::{BackendReq, SectorMask};
+
+/// Pushes a stream of sector reads through one partition's engine and
+/// drains it, returning the number of completed responses.
+fn drive_engine(backend: &mut SecureBackend, reads: u64) -> u64 {
+    let mut done = 0;
+    let mut issued = 0;
+    let mut now = 0u64;
+    while done < reads {
+        if issued < reads && backend.can_accept_read() {
+            backend.submit_read(
+                now,
+                BackendReq {
+                    id: issued,
+                    line_addr: issued * 128,
+                    sectors: SectorMask::single((issued % 4) as u32),
+                    bank: 0,
+                },
+            );
+            issued += 1;
+        }
+        backend.cycle(now);
+        while backend.pop_read_response().is_some() {
+            done += 1;
+        }
+        now += 1;
+        assert!(now < reads * 1_000, "engine wedged");
+    }
+    done
+}
+
+fn bench_engine_schemes(c: &mut Criterion) {
+    let gpu = GpuConfig::small();
+    let mut g = c.benchmark_group("secure_engine");
+    g.sample_size(20);
+    for scheme in [SecurityScheme::CtrMacBmt, SecurityScheme::Direct, SecurityScheme::DirectMacMt] {
+        g.bench_function(format!("read_256_sectors/{scheme}"), |b| {
+            b.iter(|| {
+                let mut backend =
+                    SecureBackend::new(SecureMemConfig::with_scheme(scheme), &gpu);
+                drive_engine(black_box(&mut backend), 256)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_functional(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_secure_memory");
+    let mut m =
+        FunctionalSecureMemory::new(SecurityScheme::CtrMacBmt, 4 * 1024 * 1024, &[1u8; 16]);
+    let data = [0x77u8; 128];
+    m.write_line(0, &data);
+    g.bench_function("write_line_verified", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            m.write_line(black_box(i * 128), &data)
+        })
+    });
+    g.bench_function("read_line_verified", |b| b.iter(|| m.read_line(black_box(0)).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_schemes, bench_functional);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! End-to-end simulator benchmarks: cycles/second for the scaled-down
+//! GPU under each backend, plus per-experiment miniatures that exercise
+//! the same code paths as the paper's tables and figures (the full-size
+//! reproduction lives in the `reproduce` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use secmem_bench::{run_job, BackendChoice, Job};
+use secmem_core::{MetadataCacheKind, SecureMemConfig};
+use secmem_gpusim::config::GpuConfig;
+use secmem_workloads::suite;
+
+const CYCLES: u64 = 4_000;
+
+fn job(bench: &str, backend: BackendChoice) -> Job {
+    Job {
+        kernel: suite::by_name(bench).expect("benchmark exists"),
+        gpu: GpuConfig::small(),
+        backend,
+        cycles: CYCLES,
+        warmup: 0,
+        label: bench.into(),
+    }
+}
+
+fn bench_baseline_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_4k_cycles");
+    g.sample_size(10);
+    g.bench_function("baseline/fdtd2d", |b| {
+        let j = job("fdtd2d", BackendChoice::Baseline);
+        b.iter(|| run_job(black_box(&j)))
+    });
+    g.bench_function("secure_mem/fdtd2d", |b| {
+        let j = job("fdtd2d", BackendChoice::Secure(SecureMemConfig::secure_mem()));
+        b.iter(|| run_job(black_box(&j)))
+    });
+    g.bench_function("secure_mem/kmeans_scatter", |b| {
+        let j = job("kmeans", BackendChoice::Secure(SecureMemConfig::secure_mem()));
+        b.iter(|| run_job(black_box(&j)))
+    });
+    g.bench_function("direct_40/fdtd2d", |b| {
+        let j = job("fdtd2d", BackendChoice::Secure(SecureMemConfig::direct(40)));
+        b.iter(|| run_job(black_box(&j)))
+    });
+    g.bench_function("unified_mdcache/fdtd2d", |b| {
+        let cfg = SecureMemConfig {
+            cache_kind: MetadataCacheKind::Unified,
+            ..SecureMemConfig::secure_mem()
+        };
+        let j = job("fdtd2d", BackendChoice::Secure(cfg));
+        b.iter(|| run_job(black_box(&j)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baseline_sim);
+criterion_main!(benches);

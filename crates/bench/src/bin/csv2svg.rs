@@ -1,0 +1,77 @@
+//! `csv2svg` — renders a grouped-bar SVG chart from an experiment CSV
+//! produced by `reproduce --csv`, without re-running the simulations.
+//!
+//! ```text
+//! csv2svg results/fig3.csv [...more csvs]     # writes fig3.svg next to it
+//! ```
+
+use std::path::Path;
+
+use secmem_bench::plot::{grouped_bars, PlotStyle};
+use secmem_bench::table::ExpTable;
+
+/// Parses one line of (simple, escaped) CSV.
+fn parse_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cell = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cell.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                cells.push(std::mem::take(&mut cell));
+            }
+            other => cell.push(other),
+        }
+    }
+    cells.push(cell);
+    cells
+}
+
+fn convert(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let headers = parse_line(lines.next().ok_or("empty csv")?);
+    let title = path.file_stem().and_then(|s| s.to_str()).unwrap_or("chart").to_string();
+    let mut table = ExpTable::new(title, &headers.iter().map(|s| &**s).collect::<Vec<_>>());
+    for line in lines {
+        if line.starts_with('#') {
+            continue;
+        }
+        let row = parse_line(line);
+        if row.len() == headers.len() {
+            table.push_row(row);
+        }
+    }
+    // Percent-valued tables need a taller axis.
+    let percentish = table.rows.iter().any(|r| r[1..].iter().any(|c| c.ends_with('%')));
+    let style = PlotStyle { y_max: if percentish { 100.0 } else { 1.1 }, ..PlotStyle::default() };
+    let svg = grouped_bars(&table, &style).ok_or("no numeric series to plot")?;
+    let out = path.with_extension("svg");
+    std::fs::write(&out, svg).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: csv2svg <experiment.csv>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for arg in &args {
+        if let Err(e) = convert(Path::new(arg)) {
+            eprintln!("csv2svg: {arg}: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,227 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce <experiment> [--cycles N] [--threads N] [--csv DIR] [--small]
+//!                        [--seed N] [--warmup N]
+//!
+//! experiments:
+//!   table1 table2 table3 table4 table6 table7 area-displacement
+//!   fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//!   fig15 fig16 fig17
+//!   all          — everything above, in order
+//!   ext          — extensions: ablation-replacement, ablation-verification,
+//!                  ablation-scheduler, ablation-dram, selective-encryption
+//! ```
+//!
+//! `--small` swaps in the scaled-down 8-SM / 4-partition GPU (for smoke
+//! tests); results are then *not* comparable to the paper.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use secmem_bench::experiments::{self, Baselines, ExpOpts};
+use secmem_bench::table::ExpTable;
+use secmem_gpusim::config::GpuConfig;
+
+struct Args {
+    experiments: Vec<String>,
+    opts: ExpOpts,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments = Vec::new();
+    let mut opts = ExpOpts::default();
+    let mut csv_dir = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--cycles" => {
+                let v = iter.next().ok_or("--cycles needs a value")?;
+                opts.cycles = v.parse().map_err(|_| format!("bad cycle count: {v}"))?;
+            }
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|_| format!("bad thread count: {v}"))?;
+            }
+            "--csv" => {
+                let v = iter.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(PathBuf::from(v));
+            }
+            "--small" => {
+                opts.gpu = GpuConfig::small();
+            }
+            "--warmup" => {
+                let v = iter.next().ok_or("--warmup needs a value")?;
+                opts.warmup = v.parse().map_err(|_| format!("bad warmup: {v}"))?;
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: reproduce <experiment...> [--cycles N] [--threads N] [--csv DIR] [--small] [--seed N] [--warmup N]".into());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        return Err("no experiment given; try `reproduce all` or `reproduce fig3`".into());
+    }
+    Ok(Args { experiments, opts, csv_dir })
+}
+
+const ALL: [&str; 22] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table6",
+    "table7",
+    "area-displacement",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+];
+
+/// Experiments beyond the paper: ablations of its design choices and the
+/// selective-encryption extension. Run with `reproduce ext`.
+const EXTENSIONS: [&str; 6] = [
+    "ablation-replacement",
+    "ablation-verification",
+    "ablation-scheduler",
+    "ablation-dram",
+    "selective-encryption",
+    "ml-suite",
+];
+
+fn needs_baselines(exp: &str) -> bool {
+    matches!(
+        exp,
+        "table4"
+            | "fig3"
+            | "fig6"
+            | "fig7"
+            | "fig8"
+            | "fig12"
+            | "fig14"
+            | "fig15"
+            | "fig16"
+            | "fig17"
+            | "ablation-replacement"
+            | "ablation-verification"
+            | "selective-encryption"
+    )
+}
+
+fn run_experiment(exp: &str, opts: &ExpOpts, baselines: Option<&Baselines>) -> Result<ExpTable, String> {
+    let b = || baselines.expect("baselines precomputed");
+    Ok(match exp {
+        "table1" => experiments::table1(opts),
+        "table2" => experiments::table2(opts),
+        "table3" => experiments::table3(opts),
+        "table4" => experiments::table4(opts, b()),
+        "fig3" => experiments::fig3(opts, b()),
+        "fig4" => experiments::fig4(opts),
+        "fig5" => experiments::fig5(opts),
+        "fig6" => experiments::fig6(opts, b()),
+        "fig7" => experiments::fig7(opts, b()),
+        "fig8" => experiments::fig8(opts, b()),
+        "fig9" => experiments::fig9(opts),
+        "fig10" => experiments::fig10_11(opts, 0),
+        "fig11" => experiments::fig10_11(opts, 1),
+        "fig12" => experiments::fig12(opts, b()),
+        "table6" => experiments::table6(opts),
+        "table7" => experiments::table7(opts),
+        "area-displacement" => experiments::area_displacement(opts),
+        "fig13" => experiments::fig13(opts),
+        "fig14" => experiments::fig14(opts, b()),
+        "fig15" => experiments::fig15(opts, b()),
+        "fig16" => experiments::fig16(opts, b()),
+        "fig17" => experiments::fig17(opts, b()),
+        "ablation-replacement" => experiments::ablation_replacement(opts, b()),
+        "ablation-verification" => experiments::ablation_verification(opts, b()),
+        "ablation-scheduler" => experiments::ablation_scheduler(opts),
+        "ablation-dram" => experiments::ablation_dram(opts),
+        "selective-encryption" => experiments::selective_encryption(opts, b()),
+        "ml-suite" => experiments::ml_suite(opts),
+        other => return Err(format!("unknown experiment: {other}")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut todo: Vec<String> = Vec::new();
+    for exp in &args.experiments {
+        if exp == "all" {
+            todo.extend(ALL.iter().map(|s| s.to_string()));
+        } else if exp == "ext" {
+            todo.extend(EXTENSIONS.iter().map(|s| s.to_string()));
+        } else {
+            todo.push(exp.clone());
+        }
+    }
+
+    let baselines = if todo.iter().any(|e| needs_baselines(e)) {
+        eprintln!("[reproduce] computing baselines ({} cycles/run)...", args.opts.cycles);
+        let t = Instant::now();
+        let b = Baselines::compute(&args.opts);
+        eprintln!("[reproduce] baselines done in {:.1}s", t.elapsed().as_secs_f32());
+        Some(b)
+    } else {
+        None
+    };
+
+    let mut failed = false;
+    for exp in &todo {
+        let t = Instant::now();
+        match run_experiment(exp, &args.opts, baselines.as_ref()) {
+            Ok(table) => {
+                println!("{}", table.render());
+                eprintln!("[reproduce] {exp} done in {:.1}s", t.elapsed().as_secs_f32());
+                if let Some(dir) = &args.csv_dir {
+                    if let Err(e) = table.write_csv(dir, exp) {
+                        eprintln!("[reproduce] csv write failed for {exp}: {e}");
+                        failed = true;
+                    }
+                    match secmem_bench::plot::write_svg(&table, dir, exp) {
+                        Ok(true) => {}
+                        Ok(false) => {} // nothing numeric to plot
+                        Err(e) => {
+                            eprintln!("[reproduce] svg write failed for {exp}: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("[reproduce] {exp}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,178 @@
+//! `simulate` — run one benchmark under one configuration and print the
+//! full report (text or JSON). The single-run counterpart of the
+//! `reproduce` sweep harness.
+//!
+//! ```text
+//! simulate --bench fdtd2d --scheme ctr_mac_bmt [options]
+//!
+//! options:
+//!   --bench NAME          Table-IV benchmark or ml_* workload (default fdtd2d)
+//!   --scheme S            baseline|ctr|ctr_bmt|ctr_mac_bmt|direct|direct_mac|direct_mac_mt
+//!   --cycles N            cycle budget (default 120000)
+//!   --small               scaled-down 8-SM GPU
+//!   --mdcache-kb N        per-type metadata cache size (default 2)
+//!   --mshrs N             metadata-cache MSHRs (default 64)
+//!   --aes-engines N       pipelined AES engines per partition (default 2)
+//!   --aes-latency N       AES latency in cycles (default 40)
+//!   --unified             unified metadata cache instead of separate
+//!   --srrip               SRRIP metadata-cache replacement
+//!   --blocking            blocking (non-speculative) verification
+//!   --protected-mb N      selective encryption: protect only the first N MB
+//!   --json                emit JSON instead of text
+//! ```
+
+use secmem_bench::json::report_to_json;
+use secmem_bench::{run_job, BackendChoice, Job};
+use secmem_core::{MetadataCacheKind, SecureMemConfig, SecurityScheme};
+use secmem_gpusim::cache::ReplacementPolicy;
+use secmem_gpusim::config::GpuConfig;
+use secmem_gpusim::types::TrafficClass;
+use secmem_workloads::{ml, suite, SyntheticKernel};
+
+struct Options {
+    bench: String,
+    scheme: String,
+    cycles: u64,
+    warmup: u64,
+    gpu: GpuConfig,
+    cfg: SecureMemConfig,
+    json: bool,
+}
+
+fn find_kernel(name: &str) -> Option<SyntheticKernel> {
+    suite::by_name(name).or_else(|| {
+        use secmem_gpusim::kernel::Kernel;
+        ml::ml_suite().into_iter().find(|k| k.name() == name)
+    })
+}
+
+fn parse() -> Result<Options, String> {
+    let mut o = Options {
+        bench: "fdtd2d".into(),
+        scheme: "ctr_mac_bmt".into(),
+        cycles: 120_000,
+        warmup: 0,
+        gpu: GpuConfig::volta(),
+        cfg: SecureMemConfig::secure_mem(),
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => o.bench = need(&mut it, "--bench")?,
+            "--scheme" => o.scheme = need(&mut it, "--scheme")?,
+            "--cycles" => {
+                o.cycles = need(&mut it, "--cycles")?.parse().map_err(|e| format!("--cycles: {e}"))?
+            }
+            "--warmup" => {
+                o.warmup = need(&mut it, "--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--small" => o.gpu = GpuConfig::small(),
+            "--mdcache-kb" => {
+                let kb: u64 =
+                    need(&mut it, "--mdcache-kb")?.parse().map_err(|e| format!("--mdcache-kb: {e}"))?;
+                o.cfg.mdcache_bytes = kb * 1024;
+                o.cfg.unified_bytes = 3 * kb * 1024;
+            }
+            "--mshrs" => {
+                o.cfg.mdcache_mshrs =
+                    need(&mut it, "--mshrs")?.parse().map_err(|e| format!("--mshrs: {e}"))?
+            }
+            "--aes-engines" => {
+                o.cfg.aes_engines =
+                    need(&mut it, "--aes-engines")?.parse().map_err(|e| format!("--aes-engines: {e}"))?
+            }
+            "--aes-latency" => {
+                o.cfg.aes_latency =
+                    need(&mut it, "--aes-latency")?.parse().map_err(|e| format!("--aes-latency: {e}"))?
+            }
+            "--unified" => o.cfg.cache_kind = MetadataCacheKind::Unified,
+            "--srrip" => o.cfg.mdcache_policy = ReplacementPolicy::Srrip,
+            "--blocking" => o.cfg.speculative_verification = false,
+            "--protected-mb" => {
+                let mb: u64 = need(&mut it, "--protected-mb")?
+                    .parse()
+                    .map_err(|e| format!("--protected-mb: {e}"))?;
+                o.cfg.protected_limit = Some(mb * 1024 * 1024);
+            }
+            "--json" => o.json = true,
+            "--help" | "-h" => return Err("see the doc comment at the top of simulate.rs".into()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn scheme_of(name: &str) -> Option<Option<SecurityScheme>> {
+    Some(match name {
+        "baseline" => None,
+        "ctr" => Some(SecurityScheme::CtrOnly),
+        "ctr_bmt" => Some(SecurityScheme::CtrBmt),
+        "ctr_mac_bmt" => Some(SecurityScheme::CtrMacBmt),
+        "direct" => Some(SecurityScheme::Direct),
+        "direct_mac" => Some(SecurityScheme::DirectMac),
+        "direct_mac_mt" => Some(SecurityScheme::DirectMacMt),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let o = match parse() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(kernel) = find_kernel(&o.bench) else {
+        eprintln!("unknown benchmark '{}'", o.bench);
+        std::process::exit(2);
+    };
+    let Some(scheme) = scheme_of(&o.scheme) else {
+        eprintln!("unknown scheme '{}'", o.scheme);
+        std::process::exit(2);
+    };
+    let backend = match scheme {
+        None => BackendChoice::Baseline,
+        Some(s) => BackendChoice::Secure(SecureMemConfig { scheme: s, ..o.cfg.clone() }),
+    };
+    let job = Job {
+        kernel,
+        gpu: o.gpu.clone(),
+        backend,
+        cycles: o.cycles,
+        warmup: o.warmup,
+        label: o.scheme.clone(),
+    };
+    let result = run_job(&job);
+    let r = &result.report;
+    if o.json {
+        println!("{}", report_to_json(r, &o.gpu));
+        return;
+    }
+    println!("benchmark {} under {} for {} cycles", o.bench, o.scheme, r.cycles);
+    println!("  ipc               {:>12.1}", r.ipc());
+    println!("  bandwidth util    {:>11.1}%", r.bandwidth_utilization(&o.gpu) * 100.0);
+    println!("  L1 miss rate      {:>11.1}%", r.l1.miss_rate() * 100.0);
+    println!("  L2 miss rate      {:>11.1}%", r.l2.miss_rate() * 100.0);
+    println!("  DRAM requests     {:>12}", r.dram.total_requests());
+    for class in TrafficClass::ALL {
+        let c = r.dram.class(class);
+        println!("    {:<5} reads {:>10}  writes {:>10}", class.label(), c.reads, c.writes);
+    }
+    for (i, name) in ["ctr", "mac", "tree"].iter().enumerate() {
+        let m = &r.engine.meta[i];
+        if m.cache.accesses() > 0 {
+            println!(
+                "  {name} cache: {:>9} accesses, {:>5.1}% miss, {:>5.1}% secondary, {} writebacks",
+                m.cache.accesses(),
+                m.cache.miss_rate() * 100.0,
+                m.mshr.secondary_ratio() * 100.0,
+                m.writebacks
+            );
+        }
+    }
+}

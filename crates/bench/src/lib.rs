@@ -1,0 +1,23 @@
+//! Experiment harness for the ISPASS'21 GPU secure-memory reproduction:
+//! runs the simulations behind every table and figure of the paper and
+//! renders them as text tables / CSV.
+//!
+//! The `reproduce` binary is the entry point:
+//!
+//! ```text
+//! cargo run -p secmem-bench --release --bin reproduce -- fig3
+//! cargo run -p secmem-bench --release --bin reproduce -- all --cycles 200000 --csv results/
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod json;
+pub mod plot;
+pub mod runner;
+pub mod table;
+
+pub use experiments::{Baselines, ExpOpts};
+pub use runner::{run_job, run_jobs, BackendChoice, Job, RunResult};
+pub use table::ExpTable;

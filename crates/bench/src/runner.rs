@@ -1,0 +1,190 @@
+//! Simulation runner: executes (benchmark, configuration) pairs, in
+//! parallel across OS threads, and returns the reports.
+
+use std::sync::Mutex;
+
+use secmem_core::{SecureBackend, SecureMemConfig};
+use secmem_gpusim::backend::PassthroughBackend;
+use secmem_gpusim::config::GpuConfig;
+use secmem_gpusim::reuse::NUM_BUCKETS;
+use secmem_gpusim::sim::Simulator;
+use secmem_gpusim::stats::SimReport;
+use secmem_workloads::SyntheticKernel;
+
+/// Which memory backend to install.
+#[derive(Debug, Clone)]
+pub enum BackendChoice {
+    /// Baseline GPU, no secure memory.
+    Baseline,
+    /// Secure memory with the given configuration.
+    Secure(SecureMemConfig),
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub bench: String,
+    /// A caller-chosen configuration label.
+    pub label: String,
+    /// The end-of-run report.
+    pub report: SimReport,
+    /// Reuse-distance histograms `[counter, mac, tree]` of partition 0,
+    /// when profiling was enabled.
+    pub reuse: Option<[[u64; NUM_BUCKETS]; 3]>,
+}
+
+/// One job for the parallel runner.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Benchmark to run.
+    pub kernel: SyntheticKernel,
+    /// GPU configuration.
+    pub gpu: GpuConfig,
+    /// Backend choice.
+    pub backend: BackendChoice,
+    /// Cycle budget.
+    pub cycles: u64,
+    /// Warmup cycles whose statistics are discarded (0 = none).
+    pub warmup: u64,
+    /// Label attached to the result.
+    pub label: String,
+}
+
+/// Runs a single job.
+pub fn run_job(job: &Job) -> RunResult {
+    use secmem_gpusim::kernel::Kernel;
+    let bench = job.kernel.name().to_string();
+    match &job.backend {
+        BackendChoice::Baseline => {
+            let mut sim =
+                Simulator::new(job.gpu.clone(), &job.kernel, |_, g| PassthroughBackend::from_config(g));
+            let report = if job.warmup > 0 {
+                sim.run_with_warmup(job.warmup, job.cycles)
+            } else {
+                sim.run(job.cycles)
+            };
+            RunResult { bench, label: job.label.clone(), report, reuse: None }
+        }
+        BackendChoice::Secure(cfg) => {
+            let cfg = cfg.clone();
+            let mut sim = Simulator::new(job.gpu.clone(), &job.kernel, |_, g| {
+                SecureBackend::new(cfg.clone(), g)
+            });
+            let report = if job.warmup > 0 {
+                sim.run_with_warmup(job.warmup, job.cycles)
+            } else {
+                sim.run(job.cycles)
+            };
+            let reuse = sim
+                .partition(0)
+                .backend()
+                .reuse_profilers()
+                .map(|p| [p[0].histogram(), p[1].histogram(), p[2].histogram()]);
+            RunResult { bench, label: job.label.clone(), report, reuse }
+        }
+    }
+}
+
+/// Runs all jobs, using up to `threads` worker threads (0 = all cores).
+/// Results come back in job order.
+pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<RunResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    };
+    let n = jobs.len();
+    let mut results: Vec<Option<RunResult>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let next = Mutex::new(0usize);
+    let results = Mutex::new(results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let index = {
+                    let mut guard = next.lock().expect("scheduler lock");
+                    if *guard >= n {
+                        return;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let result = run_job(&jobs[index]);
+                results.lock().expect("results lock")[index] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secmem_workloads::suite;
+
+    fn tiny_gpu() -> GpuConfig {
+        GpuConfig::small()
+    }
+
+    #[test]
+    fn baseline_job_runs() {
+        let k = suite::by_name("fdtd2d").expect("exists");
+        let job = Job {
+            kernel: k,
+            gpu: tiny_gpu(),
+            backend: BackendChoice::Baseline,
+            cycles: 2_000,
+            warmup: 0,
+            label: "baseline".into(),
+        };
+        let r = run_job(&job);
+        assert!(r.report.thread_instructions > 0);
+        assert!(r.reuse.is_none());
+    }
+
+    #[test]
+    fn secure_job_runs_with_reuse() {
+        let k = suite::by_name("fdtd2d").expect("exists");
+        let mut cfg = SecureMemConfig::secure_mem();
+        cfg.profile_reuse = true;
+        let job = Job {
+            kernel: k,
+            gpu: tiny_gpu(),
+            backend: BackendChoice::Secure(cfg),
+            cycles: 2_000,
+            warmup: 0,
+            label: "secure".into(),
+        };
+        let r = run_job(&job);
+        assert!(r.report.thread_instructions > 0);
+        let reuse = r.reuse.expect("profiling enabled");
+        assert!(reuse[0].iter().sum::<u64>() > 0, "counter accesses profiled");
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let jobs: Vec<Job> = ["fdtd2d", "kmeans", "nw"]
+            .iter()
+            .map(|n| Job {
+                kernel: suite::by_name(n).expect("exists"),
+                gpu: tiny_gpu(),
+                backend: BackendChoice::Baseline,
+                cycles: 1_000,
+                warmup: 0,
+                label: (*n).into(),
+            })
+            .collect();
+        let results = run_jobs(jobs, 3);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].bench, "fdtd2d");
+        assert_eq!(results[1].bench, "kmeans");
+        assert_eq!(results[2].bench, "nw");
+    }
+}

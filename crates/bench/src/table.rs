@@ -1,0 +1,178 @@
+//! Plain-text table rendering and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rendered experiment: a title, column headers and string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpTable {
+    /// Display title (e.g. "Fig. 3 — Normalized IPC ...").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl ExpTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-');
+                if numeric {
+                    let _ = write!(out, "{cell:>w$}");
+                } else {
+                    let _ = write!(out, "{cell:<w$}");
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  * {n}");
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows; notes as trailing comments).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<slug>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path, slug: &str) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
+    }
+}
+
+/// Formats a ratio as a fixed-point string (e.g. normalized IPC).
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Geometric mean of a slice (ignores non-positive entries).
+pub fn gmean(xs: &[f64]) -> f64 {
+    let positive: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    (positive.iter().map(|x| x.ln()).sum::<f64>() / positive.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = ExpTable::new("Test", &["bench", "ipc"]);
+        t.push_row(vec!["fdtd2d".into(), "1774.0".into()]);
+        t.push_row(vec!["nw".into(), "23.9".into()]);
+        let s = t.render();
+        assert!(s.contains("== Test =="));
+        assert!(s.contains("fdtd2d"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = ExpTable::new("T", &["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = ExpTable::new("T", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        t.note("hello");
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("# hello"));
+    }
+
+    #[test]
+    fn gmean_matches_hand_computation() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(gmean(&[]), 0.0);
+        assert_eq!(gmean(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_ratio(0.5), "0.500");
+        assert_eq!(fmt_pct(0.259), "25.9%");
+    }
+}

@@ -1,0 +1,166 @@
+//! Die-area model for the secure memory hardware (§V-F, Tables VI/VII).
+//!
+//! The paper takes published AES-engine areas (Table VI), scales the most
+//! recent 14 nm design to the GPU's 12 nm node, estimates metadata-cache
+//! area with CACTI 6.5 at 32 nm scaled to 12 nm (Table VII), and then
+//! computes how much L2 capacity must be sacrificed to fit the security
+//! hardware. This module encodes the same data points and arithmetic.
+
+/// A published AES engine design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AesDesignPoint {
+    /// Publication label.
+    pub source: &'static str,
+    /// Technology node in nm.
+    pub tech_nm: f64,
+    /// Die area in mm².
+    pub area_mm2: f64,
+}
+
+/// Table VI: published AES engine areas.
+pub const AES_DESIGNS: [AesDesignPoint; 3] = [
+    AesDesignPoint { source: "JSSC'11", tech_nm: 45.0, area_mm2: 0.15 },
+    AesDesignPoint { source: "JSSC'19", tech_nm: 130.0, area_mm2: 0.013241 },
+    AesDesignPoint { source: "JSSC'20", tech_nm: 14.0, area_mm2: 0.0049 },
+];
+
+/// Scales an area from one technology node to another, assuming area
+/// scales with the square of the feature size (the paper's linear-shrink
+/// assumption).
+pub fn scale_area(area_mm2: f64, from_nm: f64, to_nm: f64) -> f64 {
+    area_mm2 * (to_nm / from_nm).powi(2)
+}
+
+/// CACTI 6.5 SRAM area estimates at 32 nm (Table VII inputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CactiPoint {
+    /// Capacity in KB.
+    pub kb: u64,
+    /// Area at 32 nm in mm².
+    pub area_mm2_32nm: f64,
+}
+
+/// 64 KB SRAM (aggregate of one metadata-cache type over 32 partitions).
+pub const CACTI_64KB: CactiPoint = CactiPoint { kb: 64, area_mm2_32nm: 0.125821 };
+/// 96 KB SRAM (one L2 bank).
+pub const CACTI_96KB: CactiPoint = CactiPoint { kb: 96, area_mm2_32nm: 0.128101 };
+
+/// Table VII / §V-F area analysis at the GPU's technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// One AES engine at 12 nm (mm²).
+    pub aes_engine_mm2: f64,
+    /// A 64 KB cache at 12 nm (mm²).
+    pub cache_64kb_mm2: f64,
+    /// A 96 KB cache (one L2 bank) at 12 nm (mm²).
+    pub cache_96kb_mm2: f64,
+    /// Total area of all AES engines (mm²).
+    pub aes_total_mm2: f64,
+    /// Total metadata-cache area (three 64 KB-aggregate caches, mm²).
+    pub mdcache_total_mm2: f64,
+    /// L2 capacity displaced by the AES engines (KB).
+    pub l2_displaced_by_aes_kb: f64,
+    /// L2 capacity displaced by the metadata caches (KB).
+    pub l2_displaced_by_mdcache_kb: f64,
+    /// L2 capacity displaced by MAC units (assumed equal to AES, KB).
+    pub l2_displaced_by_mac_kb: f64,
+    /// Total L2 capacity displaced (KB).
+    pub l2_displaced_total_kb: f64,
+    /// Fraction of the 6 MB L2 displaced.
+    pub l2_displaced_fraction: f64,
+}
+
+/// Computes the §V-F analysis.
+///
+/// * `target_nm` — the GPU's node (12 nm for the QV100).
+/// * `aes_engines` — total engines on chip (32 or 64).
+/// * `partitions` — memory partitions (32).
+pub fn area_report(target_nm: f64, aes_engines: u32, partitions: u32) -> AreaReport {
+    let aes = AES_DESIGNS[2]; // the JSSC'20 14 nm design, like the paper
+    let aes_engine_mm2 = scale_area(aes.area_mm2, aes.tech_nm, target_nm);
+    let cache_64kb_mm2 = scale_area(CACTI_64KB.area_mm2_32nm, 32.0, target_nm);
+    let cache_96kb_mm2 = scale_area(CACTI_96KB.area_mm2_32nm, 32.0, target_nm);
+    let aes_total_mm2 = aes_engine_mm2 * aes_engines as f64;
+    // Three metadata cache types, each 64 KB aggregate across partitions
+    // (2 KB x 32 partitions per type).
+    let mdcache_total_mm2 = cache_64kb_mm2 * 3.0;
+    // Displacement: area / (area of a 96 KB L2 bank) * 96 KB.
+    let kb_per_mm2 = 96.0 / cache_96kb_mm2;
+    let l2_displaced_by_aes_kb = aes_total_mm2 * kb_per_mm2;
+    let l2_displaced_by_mdcache_kb = mdcache_total_mm2 * kb_per_mm2;
+    // The paper assumes MAC units cost about as much as AES engines.
+    let l2_displaced_by_mac_kb = l2_displaced_by_aes_kb;
+    let l2_displaced_total_kb =
+        l2_displaced_by_aes_kb + l2_displaced_by_mac_kb + l2_displaced_by_mdcache_kb;
+    let _ = partitions;
+    AreaReport {
+        aes_engine_mm2,
+        cache_64kb_mm2,
+        cache_96kb_mm2,
+        aes_total_mm2,
+        mdcache_total_mm2,
+        l2_displaced_by_aes_kb,
+        l2_displaced_by_mdcache_kb,
+        l2_displaced_by_mac_kb,
+        l2_displaced_total_kb,
+        l2_displaced_fraction: l2_displaced_total_kb / (6.0 * 1024.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_scales_to_paper_value() {
+        // Paper: 0.0049 mm² at 14 nm -> 0.0036 mm² at 12 nm.
+        let r = area_report(12.0, 32, 32);
+        assert!((r.aes_engine_mm2 - 0.0036).abs() < 0.0002, "{}", r.aes_engine_mm2);
+    }
+
+    #[test]
+    fn cache_scales_to_paper_values() {
+        // Paper: 64 KB -> 0.01769 mm², 96 KB -> 0.01801 mm² at 12 nm.
+        let r = area_report(12.0, 32, 32);
+        assert!((r.cache_64kb_mm2 - 0.01769).abs() < 0.0003, "{}", r.cache_64kb_mm2);
+        assert!((r.cache_96kb_mm2 - 0.01801).abs() < 0.0003, "{}", r.cache_96kb_mm2);
+    }
+
+    #[test]
+    fn displacement_matches_section_5f() {
+        let r = area_report(12.0, 32, 32);
+        // Paper: 32 engines -> 0.1152 mm² -> ~614 KB of L2.
+        assert!((r.aes_total_mm2 - 0.1152).abs() < 0.005, "{}", r.aes_total_mm2);
+        assert!((r.l2_displaced_by_aes_kb - 614.0).abs() < 25.0, "{}", r.l2_displaced_by_aes_kb);
+        // Metadata caches: 0.05307 mm² -> ~283 KB.
+        assert!((r.mdcache_total_mm2 - 0.05307).abs() < 0.002, "{}", r.mdcache_total_mm2);
+        assert!(
+            (r.l2_displaced_by_mdcache_kb - 283.0).abs() < 15.0,
+            "{}",
+            r.l2_displaced_by_mdcache_kb
+        );
+        // Total ~1526 KB ~= 24.84% of 6 MB.
+        assert!((r.l2_displaced_total_kb - 1526.0).abs() < 60.0, "{}", r.l2_displaced_total_kb);
+        assert!((r.l2_displaced_fraction - 0.2484).abs() < 0.01, "{}", r.l2_displaced_fraction);
+    }
+
+    #[test]
+    fn doubling_engines_doubles_aes_area() {
+        let r32 = area_report(12.0, 32, 32);
+        let r64 = area_report(12.0, 64, 32);
+        assert!((r64.aes_total_mm2 / r32.aes_total_mm2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_area_is_quadratic() {
+        assert!((scale_area(1.0, 14.0, 7.0) - 0.25).abs() < 1e-12);
+        assert!((scale_area(4.0, 32.0, 16.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table6_entries_present() {
+        assert_eq!(AES_DESIGNS.len(), 3);
+        assert_eq!(AES_DESIGNS[0].source, "JSSC'11");
+        assert!(AES_DESIGNS.iter().all(|d| d.area_mm2 > 0.0 && d.tech_nm > 0.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Functional split-counter blocks (Yan et al., ISCA'06; Table II).
+//!
+//! Each 128 B counter line holds one 128-bit *major* counter shared by a
+//! 16 KB chunk and 128 seven-bit *minor* counters, one per data line.
+//! A data-line write increments its minor counter; on minor overflow the
+//! major counter increments, all minors reset, and every line in the
+//! chunk must be re-encrypted under the new major counter.
+
+/// Number of minor counters per counter line (one per covered data line).
+pub const MINORS_PER_BLOCK: usize = 128;
+/// Minor counters are 7 bits wide.
+pub const MINOR_MAX: u8 = 0x7F;
+
+/// A functional counter block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterBlock {
+    major: u64,
+    minors: [u8; MINORS_PER_BLOCK],
+}
+
+/// Result of incrementing a minor counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementOutcome {
+    /// The minor counter advanced normally.
+    Minor,
+    /// The minor counter overflowed: the major counter was bumped, all
+    /// minors were reset, and the whole 16 KB chunk must be re-encrypted.
+    MajorOverflow,
+}
+
+impl Default for CounterBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterBlock {
+    /// A fresh block with all counters at zero.
+    pub fn new() -> Self {
+        Self { major: 0, minors: [0; MINORS_PER_BLOCK] }
+    }
+
+    /// The shared major counter.
+    pub fn major(&self) -> u64 {
+        self.major
+    }
+
+    /// The minor counter for data line `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 128`.
+    pub fn minor(&self, index: usize) -> u8 {
+        self.minors[index]
+    }
+
+    /// The (major, minor) pair used to seed the OTP for line `index`.
+    pub fn seed(&self, index: usize) -> (u64, u8) {
+        (self.major, self.minors[index])
+    }
+
+    /// Increments the minor counter of line `index` ahead of a write.
+    ///
+    /// On overflow, bumps the major counter and resets all minors (the
+    /// caller must re-encrypt the whole chunk).
+    pub fn increment(&mut self, index: usize) -> IncrementOutcome {
+        if self.minors[index] == MINOR_MAX {
+            self.major += 1;
+            self.minors = [0; MINORS_PER_BLOCK];
+            // The written line still gets a fresh value distinct from the
+            // other (reset) lines.
+            self.minors[index] = 1;
+            IncrementOutcome::MajorOverflow
+        } else {
+            self.minors[index] += 1;
+            IncrementOutcome::Minor
+        }
+    }
+
+    /// Forges a minor counter to an arbitrary value without touching the
+    /// major counter. This models an *attacker* writing the off-chip
+    /// counter storage; legitimate hardware only ever calls
+    /// [`CounterBlock::increment`].
+    pub fn forge_minor(&mut self, index: usize, value: u8) {
+        self.minors[index] = value & MINOR_MAX;
+    }
+
+    /// Serializes the block into its 128 B memory image: 16 B major
+    /// counter slot followed by 112 B holding the 128 packed 7-bit minors.
+    pub fn to_bytes(&self) -> [u8; 128] {
+        let mut out = [0u8; 128];
+        out[..8].copy_from_slice(&self.major.to_be_bytes());
+        // Pack 7-bit minors: 128 * 7 = 896 bits = 112 bytes, at offset 16.
+        let mut bit = 0usize;
+        for &m in &self.minors {
+            let byte = 16 + bit / 8;
+            let off = bit % 8;
+            out[byte] |= m << off;
+            if off > 1 {
+                out[byte + 1] |= m >> (8 - off);
+            }
+            bit += 7;
+        }
+        out
+    }
+
+    /// Deserializes a block from its 128 B memory image.
+    pub fn from_bytes(bytes: &[u8; 128]) -> Self {
+        let major = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let mut minors = [0u8; MINORS_PER_BLOCK];
+        let mut bit = 0usize;
+        for m in &mut minors {
+            let byte = 16 + bit / 8;
+            let off = bit % 8;
+            let mut v = bytes[byte] >> off;
+            if off > 1 {
+                v |= bytes[byte + 1] << (8 - off);
+            }
+            *m = v & MINOR_MAX;
+            bit += 7;
+        }
+        Self { major, minors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_zero() {
+        let b = CounterBlock::new();
+        assert_eq!(b.major(), 0);
+        assert!((0..128).all(|i| b.minor(i) == 0));
+    }
+
+    #[test]
+    fn increment_advances_one_minor() {
+        let mut b = CounterBlock::new();
+        assert_eq!(b.increment(5), IncrementOutcome::Minor);
+        assert_eq!(b.minor(5), 1);
+        assert_eq!(b.minor(4), 0);
+        assert_eq!(b.seed(5), (0, 1));
+    }
+
+    #[test]
+    fn overflow_bumps_major_and_resets() {
+        let mut b = CounterBlock::new();
+        for _ in 0..127 {
+            assert_eq!(b.increment(3), IncrementOutcome::Minor);
+        }
+        assert_eq!(b.minor(3), MINOR_MAX);
+        b.increment(7); // unrelated line
+        assert_eq!(b.increment(3), IncrementOutcome::MajorOverflow);
+        assert_eq!(b.major(), 1);
+        assert_eq!(b.minor(3), 1);
+        assert_eq!(b.minor(7), 0, "all minors reset on overflow");
+    }
+
+    #[test]
+    fn seeds_never_repeat_across_overflow() {
+        // The (major, minor) pair for a line must be unique across writes.
+        let mut b = CounterBlock::new();
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(b.seed(0)));
+        for _ in 0..400 {
+            b.increment(0);
+            assert!(seen.insert(b.seed(0)), "seed reuse at {:?}", b.seed(0));
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut b = CounterBlock::new();
+        for _ in 0..128 {
+            b.increment(0); // overflows once -> nonzero major
+        }
+        for i in 1..128 {
+            for _ in 0..(i % 7) {
+                b.increment(i);
+            }
+        }
+        assert_eq!(b.major(), 1);
+        let bytes = b.to_bytes();
+        let back = CounterBlock::from_bytes(&bytes);
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn packed_minors_fit_in_line() {
+        // Worst case: all minors at max; must round-trip without clobber.
+        let mut b = CounterBlock::new();
+        for i in 0..MINORS_PER_BLOCK {
+            for _ in 0..127 {
+                let _ = b.increment(i);
+            }
+        }
+        let back = CounterBlock::from_bytes(&b.to_bytes());
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn minor_index_out_of_range_panics() {
+        let b = CounterBlock::new();
+        let _ = b.minor(128);
+    }
+}

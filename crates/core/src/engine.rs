@@ -1,0 +1,1023 @@
+//! The secure memory engine: a [`MemoryBackend`] that sits in each memory
+//! controller between the L2 miss path and DRAM (Fig. 1 of the paper).
+//!
+//! For every data read it fetches and verifies the required metadata
+//! (counters, MACs, integrity-tree nodes) through the metadata caches,
+//! generates one-time pads (counter mode) or decrypts in-line (direct
+//! mode) on the shared pipelined AES engines, and returns the sector to
+//! the L2. For every dirty-sector writeback it performs the counter
+//! increment and MAC update (read-modify-write in the metadata caches),
+//! re-encrypts, and writes the data. Dirty metadata evictions write back
+//! to DRAM and lazily update their integrity-tree parents.
+//!
+//! Modeling decisions mirroring the paper's stated design:
+//!
+//! * **Speculative verification** — data returns to the core before MAC /
+//!   tree checks complete; verification work still generates all of its
+//!   memory traffic and engine occupancy.
+//! * **Lazy update** — tree parents are updated only when a dirty counter
+//!   or tree line is evicted from its metadata cache.
+//! * **Counter-mode latency hiding** — the OTP is generated as soon as the
+//!   counter is available, overlapping the data fetch; the AES latency is
+//!   exposed only when the counter itself missed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use secmem_gpusim::backend::MemoryBackend;
+use secmem_gpusim::config::AddressMap;
+use secmem_gpusim::dram::{Dram, DramRequest, DramStats};
+use secmem_gpusim::reuse::ReuseProfiler;
+use secmem_gpusim::stats::EngineStats;
+use secmem_gpusim::types::{Addr, BackendReq, Cycle, TrafficClass, LINE_SIZE};
+
+use crate::config::{SecureMemConfig, TreeCoverage};
+use crate::engines::{AesEngineBank, MacUnit};
+use crate::layout::MetadataLayout;
+use crate::mdcache::{MdOutcome, MetadataCaches};
+
+/// Token carried through the DRAM channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DramToken {
+    DataRead { txn: u32 },
+    DataWrite,
+    MetaRead { class: TrafficClass, line: Addr },
+    MetaWrite,
+}
+
+/// Who is waiting on a metadata line fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MdWaiter {
+    /// A read transaction needs this counter line to build its OTP.
+    ReadCtr(u32),
+    /// A read transaction's (speculative) MAC check.
+    ReadMac(u32),
+    /// A write transaction's counter read-modify-write.
+    WriteCtr(u32),
+    /// A write transaction's MAC read-modify-write.
+    WriteMac(u32),
+    /// A tree node fetched for a (speculative) verification walk.
+    TreeFetch,
+    /// A tree parent fetched for a lazy update: mark dirty on arrival.
+    ParentDirty,
+}
+
+/// A deferred metadata operation (retried when MSHRs/queues were full).
+#[derive(Debug, Clone)]
+enum RetryOp {
+    Access { class: TrafficClass, line: Addr, waiter: MdWaiter },
+    Walk { nodes: Vec<Addr> },
+}
+
+#[derive(Debug)]
+struct ReadTxn {
+    req: BackendReq,
+    data_done: Option<Cycle>,
+    /// OTP-ready time: `Some` once the counter is available (and the pad
+    /// scheduled), or immediately for direct/no-counter schemes.
+    otp_ready: Option<Cycle>,
+    /// True until the sector's MAC line is available (only consulted under
+    /// non-speculative verification).
+    mac_pending: bool,
+    /// Earliest cycle at which all verification work completes (only
+    /// consulted under non-speculative verification).
+    verify_ready: Cycle,
+    /// Unprotected region (selective encryption): plain passthrough.
+    plaintext: bool,
+    scheduled: bool,
+}
+
+#[derive(Debug)]
+struct WriteTxn {
+    req: BackendReq,
+    ctr_ready: bool,
+    mac_ready: bool,
+}
+
+/// The secure memory engine + DRAM channel of one partition.
+#[derive(Debug)]
+pub struct SecureBackend {
+    cfg: SecureMemConfig,
+    /// Partition-local selective-encryption boundary (None = all protected).
+    protected_local_limit: Option<Addr>,
+    layout: MetadataLayout,
+    map: AddressMap,
+    dram: Dram<DramToken>,
+    mdcache: MetadataCaches<MdWaiter>,
+    aes: AesEngineBank,
+    mac_unit: MacUnit,
+    read_txns: HashMap<u32, ReadTxn>,
+    write_txns: HashMap<u32, WriteTxn>,
+    next_txn: u32,
+    completing: BinaryHeap<Reverse<(Cycle, u32)>>,
+    ready_responses: VecDeque<BackendReq>,
+    pending_dram: VecDeque<DramRequest<DramToken>>,
+    retries: VecDeque<RetryOp>,
+    profilers: Option<Box<[ReuseProfiler; 3]>>,
+    /// Minor-counter write counts per protected local line (overflow model).
+    minor_writes: HashMap<Addr, u8>,
+    /// Major-counter overflows observed (chunk re-encryptions).
+    pub counter_overflows: u64,
+    decrypt_waited_on_counter: u64,
+    tree_verifications: u64,
+    now: Cycle,
+}
+
+impl SecureBackend {
+    /// Builds the engine for one partition.
+    ///
+    /// * `cfg` — secure memory configuration (must validate).
+    /// * `gpu` — the GPU configuration (clocks, DRAM bandwidth, partition
+    ///   count, protected size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: SecureMemConfig, gpu: &secmem_gpusim::config::GpuConfig) -> Self {
+        cfg.validate().expect("invalid secure memory configuration");
+        let layout = MetadataLayout::new(gpu.protected_bytes_per_partition(), cfg.scheme.tree());
+        let aes = if cfg.zero_crypto {
+            AesEngineBank::ideal()
+        } else {
+            AesEngineBank::new(cfg.aes_engines, cfg.aes_latency, gpu.core_clock_mhz, gpu.mem_clock_mhz)
+        };
+        let protected_local_limit = cfg
+            .protected_limit
+            .map(|limit| (limit / gpu.num_partitions as u64).min(gpu.protected_bytes_per_partition()));
+        Self {
+            protected_local_limit,
+            layout,
+            map: AddressMap::new(gpu),
+            dram: Dram::with_banks(
+                gpu.dram_bytes_per_cycle_fp(),
+                gpu.dram_latency,
+                gpu.dram_queue_cap,
+                gpu.dram_banks,
+                gpu.dram_row_bytes,
+                gpu.dram_row_miss_penalty,
+            ),
+            mdcache: MetadataCaches::new(&cfg),
+            aes,
+            mac_unit: MacUnit::new(cfg.effective_mac_latency()),
+            read_txns: HashMap::new(),
+            write_txns: HashMap::new(),
+            next_txn: 0,
+            completing: BinaryHeap::new(),
+            ready_responses: VecDeque::new(),
+            pending_dram: VecDeque::new(),
+            retries: VecDeque::new(),
+            profilers: cfg.profile_reuse.then(Default::default),
+            minor_writes: HashMap::new(),
+            counter_overflows: 0,
+            decrypt_waited_on_counter: 0,
+            tree_verifications: 0,
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// The metadata layout in use.
+    pub fn layout(&self) -> &MetadataLayout {
+        &self.layout
+    }
+
+    /// The configuration in use.
+    pub fn secure_config(&self) -> &SecureMemConfig {
+        &self.cfg
+    }
+
+    /// Reuse-distance histograms `[counter, mac, tree]`, if profiling was
+    /// enabled in the configuration.
+    pub fn reuse_profilers(&self) -> Option<&[ReuseProfiler; 3]> {
+        self.profilers.as_deref()
+    }
+
+    fn profile(&mut self, class: TrafficClass, line: Addr) {
+        if let Some(p) = self.profilers.as_deref_mut() {
+            p[secmem_gpusim::stats::meta_index(class)].access(line);
+        }
+    }
+
+    fn queue_dram(&mut self, bytes: u64, addr: Addr, is_write: bool, class: TrafficClass, token: DramToken) {
+        self.pending_dram.push_back(DramRequest { bytes, addr, is_write, class, token });
+    }
+
+    /// Tracks a minor-counter increment for the data line at local offset
+    /// `local`; on 7-bit overflow, models the major-counter bump: the
+    /// whole 16 KB chunk is read back and re-encrypted (128 extra line
+    /// reads + writes of data traffic) and all minors reset.
+    fn note_minor_increment(&mut self, local: Addr) {
+        let line = local & !(LINE_SIZE - 1);
+        let count = self.minor_writes.entry(line).or_insert(0);
+        *count += 1;
+        if *count <= crate::counters::MINOR_MAX {
+            return;
+        }
+        self.counter_overflows += 1;
+        let chunk_bytes = crate::layout::DATA_LINES_PER_COUNTER_LINE * LINE_SIZE;
+        let chunk_base = local / chunk_bytes * chunk_bytes;
+        // Reset every tracked minor in the chunk.
+        for i in 0..crate::layout::DATA_LINES_PER_COUNTER_LINE {
+            self.minor_writes.remove(&(chunk_base + i * LINE_SIZE));
+        }
+        self.minor_writes.insert(line, 1);
+        // Re-encryption sweep: read + write back the whole chunk.
+        for i in 0..crate::layout::DATA_LINES_PER_COUNTER_LINE {
+            let addr = chunk_base + i * LINE_SIZE;
+            self.queue_dram(LINE_SIZE, addr, false, TrafficClass::Data, DramToken::DataWrite);
+            self.queue_dram(LINE_SIZE, addr, true, TrafficClass::Data, DramToken::DataWrite);
+        }
+    }
+
+    /// Whether a partition-local data offset falls inside the selectively
+    /// protected region (always true when `protected_limit` is `None`).
+    /// With partition interleaving, global address `a < limit` iff its
+    /// local offset is below `limit / partitions` (exact when the limit is
+    /// interleave-aligned).
+    fn is_protected(&self, local: secmem_gpusim::types::Addr) -> bool {
+        match self.protected_local_limit {
+            None => true,
+            Some(limit) => local < limit,
+        }
+    }
+
+    /// Performs one metadata-cache access and all of its side effects: a
+    /// fetch when the line misses, the verification walk when a leaf-class
+    /// line is (newly) fetched, and waiter notification on a hit. Returns
+    /// `false` if the access stalled and was queued for retry.
+    fn md_access(&mut self, class: TrafficClass, line: Addr, waiter: MdWaiter) -> bool {
+        self.profile(class, line);
+        match self.mdcache.access(class, line, waiter) {
+            MdOutcome::Hit => {
+                self.on_md_available(class, line, waiter, false);
+                true
+            }
+            MdOutcome::FetchNeeded => {
+                self.queue_dram(LINE_SIZE, line, false, class, DramToken::MetaRead { class, line });
+                self.on_md_fetch_started(class, line, waiter);
+                if self.walk_on_fetch(class) {
+                    // A leaf fetched from DRAM must be (speculatively)
+                    // verified against the integrity tree.
+                    self.start_walk(line);
+                }
+                true
+            }
+            MdOutcome::Merged => {
+                self.on_md_fetch_started(class, line, waiter);
+                true
+            }
+            MdOutcome::Stall => {
+                self.retries.push_back(RetryOp::Access { class, line, waiter });
+                false
+            }
+        }
+    }
+
+    /// Bookkeeping for a metadata fetch that is now in flight.
+    fn on_md_fetch_started(&mut self, class: TrafficClass, _line: Addr, waiter: MdWaiter) {
+        if class == TrafficClass::Counter {
+            if let MdWaiter::ReadCtr(_) = waiter {
+                self.decrypt_waited_on_counter += 1;
+            }
+        }
+    }
+
+    /// A metadata line became available for `waiter` (immediately on a
+    /// hit, or at fill time). `filled` distinguishes fills from hits.
+    fn on_md_available(&mut self, class: TrafficClass, line: Addr, waiter: MdWaiter, filled: bool) {
+        let now = self.now;
+        match waiter {
+            MdWaiter::ReadCtr(txn) => {
+                // A counter that had to be fetched (fill) must itself be
+                // hashed against the tree before it counts as verified.
+                let verify = if filled { now + self.mac_unit.latency() } else { now };
+                if let Some(t) = self.read_txns.get_mut(&txn) {
+                    t.verify_ready = t.verify_ready.max(verify);
+                    if t.otp_ready.is_none() {
+                        let bytes = t.req.sectors.bytes();
+                        let ready = self.aes.schedule(now, bytes);
+                        t.otp_ready = Some(ready);
+                    }
+                    self.try_schedule_completion(txn);
+                }
+            }
+            MdWaiter::ReadMac(txn) => {
+                // The MAC check runs as soon as the MAC line is available.
+                // Under speculative verification it stays off the critical
+                // path; otherwise it gates the response.
+                let check_done = self.mac_unit.schedule(now);
+                if let Some(t) = self.read_txns.get_mut(&txn) {
+                    t.mac_pending = false;
+                    t.verify_ready = t.verify_ready.max(check_done);
+                    self.try_schedule_completion(txn);
+                }
+            }
+            MdWaiter::WriteCtr(txn) => {
+                self.mdcache.mark_dirty(TrafficClass::Counter, line);
+                let bytes = self
+                    .write_txns
+                    .get(&txn)
+                    .map(|t| t.req.sectors.bytes())
+                    .unwrap_or(0);
+                if bytes > 0 {
+                    // Re-encryption pad for the incremented counter.
+                    let _ = self.aes.schedule(now, bytes);
+                }
+                if let Some(t) = self.write_txns.get_mut(&txn) {
+                    t.ctr_ready = true;
+                }
+                self.advance_write(txn);
+            }
+            MdWaiter::WriteMac(txn) => {
+                self.mdcache.mark_dirty(TrafficClass::Mac, line);
+                let _ = self.mac_unit.schedule(now);
+                if let Some(t) = self.write_txns.get_mut(&txn) {
+                    t.mac_ready = true;
+                }
+                self.advance_write(txn);
+            }
+            MdWaiter::TreeFetch => {
+                // Node cached; speculative verification needs nothing more.
+            }
+            MdWaiter::ParentDirty => {
+                debug_assert_eq!(class, TrafficClass::Tree);
+                self.mdcache.mark_dirty(TrafficClass::Tree, line);
+            }
+        }
+        let _ = filled;
+    }
+
+    /// Starts the (speculative) integrity-verification walk for a
+    /// leaf-class metadata line that had to be fetched from DRAM.
+    fn start_walk(&mut self, meta_line: Addr) {
+        let nodes = self.layout.verification_path(meta_line);
+        if nodes.is_empty() {
+            return;
+        }
+        self.tree_verifications += 1;
+        self.continue_walk(nodes);
+    }
+
+    /// Walks bottom-up until a cached (already verified) node is found.
+    fn continue_walk(&mut self, nodes: Vec<Addr>) {
+        let mut iter = nodes.into_iter();
+        while let Some(node) = iter.next() {
+            self.profile(TrafficClass::Tree, node);
+            match self.mdcache.access(TrafficClass::Tree, node, MdWaiter::TreeFetch) {
+                MdOutcome::Hit | MdOutcome::Merged => return, // verified boundary
+                MdOutcome::FetchNeeded => {
+                    self.queue_dram(
+                        LINE_SIZE,
+                        node,
+                        false,
+                        TrafficClass::Tree,
+                        DramToken::MetaRead { class: TrafficClass::Tree, line: node },
+                    );
+                    // Keep climbing: this node itself needs verification.
+                }
+                MdOutcome::Stall => {
+                    let mut rest = vec![node];
+                    rest.extend(iter);
+                    self.retries.push_back(RetryOp::Walk { nodes: rest });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Whether a fetched line of `class` requires a verification walk.
+    fn walk_on_fetch(&self, class: TrafficClass) -> bool {
+        match self.layout.coverage() {
+            TreeCoverage::Counters => class == TrafficClass::Counter,
+            TreeCoverage::Macs => class == TrafficClass::Mac,
+            TreeCoverage::None => false,
+        }
+    }
+
+    fn try_schedule_completion(&mut self, txn: u32) {
+        let speculative = self.cfg.speculative_verification;
+        let Some(t) = self.read_txns.get_mut(&txn) else { return };
+        if t.scheduled {
+            return;
+        }
+        let (Some(data), Some(otp)) = (t.data_done, t.otp_ready) else { return };
+        if !speculative && t.mac_pending {
+            return; // blocking verification: wait for the MAC line
+        }
+        // XOR is one cycle once both the ciphertext and the pad are ready.
+        let mut ready = data.max(otp) + 1;
+        if !speculative {
+            ready = ready.max(t.verify_ready);
+        }
+        t.scheduled = true;
+        self.completing.push(Reverse((ready, txn)));
+    }
+
+    fn advance_write(&mut self, txn: u32) {
+        let done = match self.write_txns.get(&txn) {
+            Some(t) => t.ctr_ready && t.mac_ready,
+            None => false,
+        };
+        if done {
+            let t = self.write_txns.remove(&txn).expect("checked above");
+            self.queue_dram(t.req.sectors.bytes(), t.req.line_addr, true, TrafficClass::Data, DramToken::DataWrite);
+        }
+    }
+
+    /// Handles dirty metadata evictions: writeback + lazy parent update.
+    fn handle_evictions(&mut self, evictions: Vec<secmem_gpusim::cache::Eviction>) {
+        for ev in evictions {
+            if ev.dirty.is_empty() {
+                continue;
+            }
+            let class = self.layout.class_of(ev.line_addr);
+            self.queue_dram(LINE_SIZE, ev.line_addr, true, class, DramToken::MetaWrite);
+            if let Some(parent) = self.layout.lazy_update_parent(ev.line_addr) {
+                if !self.mdcache.mark_dirty(TrafficClass::Tree, parent) {
+                    self.profile(TrafficClass::Tree, parent);
+                    // Parent absent: fetch it, then mark dirty on arrival.
+                    let _ = self.md_access(TrafficClass::Tree, parent, MdWaiter::ParentDirty);
+                }
+            }
+        }
+    }
+
+    fn handle_dram_completion(&mut self, done: DramRequest<DramToken>) {
+        match done.token {
+            DramToken::DataRead { txn } => {
+                if let Some(t) = self.read_txns.get_mut(&txn) {
+                    t.data_done = Some(self.now);
+                    if t.plaintext {
+                        t.otp_ready = Some(self.now);
+                    } else if self.cfg.scheme.direct_encryption() {
+                        // Decryption starts only after the data arrives.
+                        let bytes = t.req.sectors.bytes();
+                        let ready = self.aes.schedule(self.now, bytes);
+                        t.otp_ready = Some(ready.max(t.otp_ready.unwrap_or(0)));
+                    }
+                    self.try_schedule_completion(txn);
+                }
+            }
+            DramToken::MetaRead { class, line } => {
+                let (waiters, evictions) = self.mdcache.fill(class, line);
+                for w in waiters {
+                    self.on_md_available(class, line, w, true);
+                }
+                self.handle_evictions(evictions);
+            }
+            DramToken::DataWrite | DramToken::MetaWrite => {}
+        }
+    }
+
+    fn drain_retries(&mut self) {
+        let mut budget = self.retries.len();
+        while budget > 0 {
+            budget -= 1;
+            let Some(op) = self.retries.pop_front() else { break };
+            match op {
+                RetryOp::Access { class, line, waiter } => {
+                    if !self.md_access(class, line, waiter) {
+                        // md_access re-queued it at the back; stop to avoid
+                        // spinning on the same stall this cycle.
+                        break;
+                    }
+                }
+                RetryOp::Walk { nodes } => self.continue_walk(nodes),
+            }
+        }
+    }
+}
+
+impl MemoryBackend for SecureBackend {
+    fn can_accept_read(&self) -> bool {
+        // A sectored L2 miss submits up to 4 per-sector reads at once.
+        self.read_txns.len() + 4 <= self.cfg.read_txn_cap
+            && self.pending_dram.len() < 4 * self.cfg.read_txn_cap
+    }
+
+    fn can_accept_write(&self) -> bool {
+        self.write_txns.len() < self.cfg.write_txn_cap && self.pending_dram.len() < 4 * self.cfg.read_txn_cap
+    }
+
+    fn submit_read(&mut self, now: Cycle, req: BackendReq) {
+        // `can_accept_read` reserves room for a 4-sector burst; individual
+        // submissions only need one slot.
+        assert!(self.read_txns.len() < self.cfg.read_txn_cap, "submit_read while not accepting");
+        self.now = now;
+        self.next_txn = self.next_txn.wrapping_add(1);
+        let txn = self.next_txn;
+        let local = self.map.local_offset(req.line_addr);
+        let data_addr = req.line_addr;
+        let bytes = req.sectors.bytes();
+        let plaintext = !self.is_protected(local);
+        let has_ctr = self.cfg.scheme.has_counters() && !plaintext;
+        let has_mac = self.cfg.scheme.has_macs() && !plaintext;
+        let direct = self.cfg.scheme.direct_encryption() && !plaintext;
+
+        self.read_txns.insert(
+            txn,
+            ReadTxn {
+                req,
+                data_done: None,
+                // Direct mode: the "pad" time is folded into the decrypt
+                // scheduled at data arrival; mark as pending until then.
+                otp_ready: if has_ctr || direct { None } else { Some(now) },
+                mac_pending: has_mac,
+                verify_ready: 0,
+                plaintext,
+                scheduled: false,
+            },
+        );
+        self.queue_dram(bytes, data_addr, false, TrafficClass::Data, DramToken::DataRead { txn });
+
+        if has_ctr {
+            let ctr_line = self.layout.counter_line_of(local);
+            let _ = self.md_access(TrafficClass::Counter, ctr_line, MdWaiter::ReadCtr(txn));
+        } else if direct {
+            // Nothing to do until data arrives.
+        }
+
+        if has_mac {
+            let mac_line = self.layout.mac_line_of(local);
+            let _ = self.md_access(TrafficClass::Mac, mac_line, MdWaiter::ReadMac(txn));
+        }
+    }
+
+    fn submit_write(&mut self, now: Cycle, req: BackendReq) {
+        assert!(self.can_accept_write(), "submit_write while not accepting");
+        self.now = now;
+        self.next_txn = self.next_txn.wrapping_add(1);
+        let txn = self.next_txn;
+        let local = self.map.local_offset(req.line_addr);
+        let plaintext = !self.is_protected(local);
+        let has_ctr = self.cfg.scheme.has_counters() && !plaintext;
+        let has_mac = self.cfg.scheme.has_macs() && !plaintext;
+        let bytes = req.sectors.bytes();
+
+        self.write_txns.insert(txn, WriteTxn { req, ctr_ready: !has_ctr, mac_ready: !has_mac });
+
+        if !has_ctr && !plaintext {
+            // Direct encryption of the sector before writing.
+            let _ = self.aes.schedule(now, bytes);
+        }
+        if has_ctr {
+            let ctr_line = self.layout.counter_line_of(local);
+            let _ = self.md_access(TrafficClass::Counter, ctr_line, MdWaiter::WriteCtr(txn));
+            if self.cfg.model_counter_overflow {
+                self.note_minor_increment(local);
+            }
+        }
+        if has_mac {
+            let mac_line = self.layout.mac_line_of(local);
+            let _ = self.md_access(TrafficClass::Mac, mac_line, MdWaiter::WriteMac(txn));
+        }
+        self.advance_write(txn);
+    }
+
+    fn cycle(&mut self, now: Cycle) {
+        self.now = now;
+        self.dram.cycle(now);
+        while let Some(done) = self.dram.pop_completed() {
+            self.handle_dram_completion(done);
+        }
+        self.drain_retries();
+        while !self.dram.is_full() {
+            let Some(req) = self.pending_dram.pop_front() else { break };
+            self.dram.try_push(req).unwrap_or_else(|_| unreachable!("checked not full"));
+        }
+        while let Some(Reverse((ready, txn))) = self.completing.peek().copied() {
+            if ready > now {
+                break;
+            }
+            self.completing.pop();
+            if let Some(t) = self.read_txns.remove(&txn) {
+                self.ready_responses.push_back(t.req);
+            }
+        }
+    }
+
+    fn pop_read_response(&mut self) -> Option<BackendReq> {
+        self.ready_responses.pop_front()
+    }
+
+    fn dram_stats(&self) -> &DramStats {
+        self.dram.stats()
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            meta: self.mdcache.stats(),
+            aes_stall_cycles: self.aes.stall_cycles,
+            aes_blocks: self.aes.blocks,
+            decrypt_waited_on_counter: self.decrypt_waited_on_counter,
+            tree_verifications: self.tree_verifications,
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.dram.reset_stats();
+        self.mdcache.reset_stats();
+        self.aes.blocks = 0;
+        self.aes.stall_cycles = 0;
+        self.mac_unit.ops = 0;
+        self.decrypt_waited_on_counter = 0;
+        self.tree_verifications = 0;
+        self.counter_overflows = 0;
+    }
+
+    fn is_idle(&self) -> bool {
+        self.read_txns.is_empty()
+            && self.write_txns.is_empty()
+            && self.pending_dram.is_empty()
+            && self.retries.is_empty()
+            && self.ready_responses.is_empty()
+            && self.dram.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MdcIdealization, SecurityScheme};
+    use secmem_gpusim::config::GpuConfig;
+    use secmem_gpusim::types::SectorMask;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::small()
+    }
+
+    fn engine(scheme: SecurityScheme) -> SecureBackend {
+        SecureBackend::new(SecureMemConfig::with_scheme(scheme), &gpu())
+    }
+
+    fn read_req(id: u64, addr: Addr) -> BackendReq {
+        BackendReq { id, line_addr: addr, sectors: SectorMask::single(0), bank: 0 }
+    }
+
+    /// Runs the engine until the read with `id` completes; returns the cycle.
+    fn run_until_response(b: &mut SecureBackend, id: u64, max: Cycle) -> Option<Cycle> {
+        for now in 0..max {
+            b.cycle(now);
+            if let Some(resp) = b.pop_read_response() {
+                assert_eq!(resp.id, id);
+                return Some(now);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn ctr_read_generates_counter_mac_and_tree_traffic() {
+        let mut b = engine(SecurityScheme::CtrMacBmt);
+        b.submit_read(0, read_req(1, 0x0));
+        let done = run_until_response(&mut b, 1, 5_000).expect("read completes");
+        assert!(done > 0);
+        let stats = b.dram_stats();
+        assert_eq!(stats.class(TrafficClass::Data).reads, 1);
+        assert_eq!(stats.class(TrafficClass::Counter).reads, 1);
+        assert_eq!(stats.class(TrafficClass::Mac).reads, 1);
+        // Cold counter miss -> full BMT walk (3 fetchable levels for the
+        // 128 MB partition slice).
+        assert_eq!(stats.class(TrafficClass::Tree).reads, 3);
+        for _ in 0..200 {
+            b.cycle(6_000);
+        }
+        assert!(b.is_idle());
+    }
+
+    #[test]
+    fn second_read_in_chunk_reuses_cached_metadata() {
+        let mut b = engine(SecurityScheme::CtrMacBmt);
+        b.submit_read(0, read_req(1, 0x0));
+        run_until_response(&mut b, 1, 5_000).expect("first read");
+        let before = *b.dram_stats();
+        // Same 2 KB MAC window and same 16 KB counter chunk (the partition
+        // interleave maps local+128 to global +128*partitions... use the
+        // same line to be safe).
+        b.submit_read(5_000, read_req(2, 0x0));
+        run_until_response(&mut b, 2, 10_000).expect("second read");
+        let after = *b.dram_stats();
+        assert_eq!(after.class(TrafficClass::Counter).reads, before.class(TrafficClass::Counter).reads);
+        assert_eq!(after.class(TrafficClass::Tree).reads, before.class(TrafficClass::Tree).reads);
+        assert_eq!(after.class(TrafficClass::Data).reads, before.class(TrafficClass::Data).reads + 1);
+    }
+
+    #[test]
+    fn counter_hit_hides_aes_latency() {
+        // First read warms the counter; second read's latency ~= DRAM only.
+        let mut b = engine(SecurityScheme::CtrOnly);
+        b.submit_read(0, read_req(1, 0x0));
+        let t1 = run_until_response(&mut b, 1, 5_000).expect("first");
+        b.submit_read(t1 + 1, read_req(2, 0x0));
+        let t2 = run_until_response(&mut b, 2, t1 + 5_000).expect("second");
+        let lat1 = t1;
+        let lat2 = t2 - (t1 + 1);
+        assert!(lat2 < lat1, "warm counter read ({lat2}) faster than cold ({lat1})");
+    }
+
+    #[test]
+    fn direct_mode_generates_no_metadata_traffic() {
+        let mut b = engine(SecurityScheme::Direct);
+        b.submit_read(0, read_req(1, 0x80));
+        run_until_response(&mut b, 1, 5_000).expect("read completes");
+        let stats = b.dram_stats();
+        assert_eq!(stats.class(TrafficClass::Counter).reads, 0);
+        assert_eq!(stats.class(TrafficClass::Mac).reads, 0);
+        assert_eq!(stats.class(TrafficClass::Tree).reads, 0);
+    }
+
+    #[test]
+    fn direct_latency_exposed_on_critical_path() {
+        let mut fast_cfg = SecureMemConfig::direct(0);
+        fast_cfg.zero_crypto = true;
+        let mut fast = SecureBackend::new(fast_cfg, &gpu());
+        let mut slow = SecureBackend::new(SecureMemConfig::direct(160), &gpu());
+        fast.submit_read(0, read_req(1, 0x0));
+        slow.submit_read(0, read_req(1, 0x0));
+        let tf = run_until_response(&mut fast, 1, 5_000).expect("fast");
+        let ts = run_until_response(&mut slow, 1, 5_000).expect("slow");
+        assert!(ts >= tf + 150, "160-cycle AES must show up: fast {tf}, slow {ts}");
+    }
+
+    #[test]
+    fn ctr_mode_hides_latency_relative_to_direct() {
+        // Warm the counter cache first, then compare.
+        let mut ctr = engine(SecurityScheme::CtrOnly);
+        ctr.submit_read(0, read_req(1, 0x0));
+        let warm = run_until_response(&mut ctr, 1, 5_000).expect("warm");
+        ctr.submit_read(warm + 1, read_req(2, 0x0));
+        let t_ctr = run_until_response(&mut ctr, 2, warm + 5_000).expect("ctr") - (warm + 1);
+
+        let mut direct = SecureBackend::new(SecureMemConfig::direct(40), &gpu());
+        direct.submit_read(0, read_req(1, 0x0));
+        let t_direct = run_until_response(&mut direct, 1, 5_000).expect("direct");
+        assert!(
+            t_ctr + 30 <= t_direct,
+            "counter mode (warm: {t_ctr}) must hide AES latency vs direct ({t_direct})"
+        );
+    }
+
+    #[test]
+    fn write_path_dirties_counter_and_mac() {
+        let mut b = engine(SecurityScheme::CtrMacBmt);
+        b.submit_write(0, read_req(1, 0x0));
+        for now in 0..3_000 {
+            b.cycle(now);
+        }
+        assert!(b.is_idle(), "write must drain");
+        let stats = b.dram_stats();
+        assert_eq!(stats.class(TrafficClass::Data).writes, 1);
+        // Counter + MAC lines were fetched for RMW.
+        assert_eq!(stats.class(TrafficClass::Counter).reads, 1);
+        assert_eq!(stats.class(TrafficClass::Mac).reads, 1);
+    }
+
+    #[test]
+    fn perfect_mdc_only_data_traffic() {
+        let mut cfg = SecureMemConfig::secure_mem();
+        cfg.idealization = MdcIdealization::Perfect;
+        let mut b = SecureBackend::new(cfg, &gpu());
+        b.submit_read(0, read_req(1, 0x0));
+        run_until_response(&mut b, 1, 5_000).expect("read");
+        let stats = b.dram_stats();
+        assert_eq!(stats.class(TrafficClass::Counter).reads, 0);
+        assert_eq!(stats.class(TrafficClass::Mac).reads, 0);
+        assert_eq!(stats.class(TrafficClass::Tree).reads, 0);
+        assert_eq!(stats.class(TrafficClass::Data).reads, 1);
+    }
+
+    #[test]
+    fn streaming_writes_cause_metadata_writebacks() {
+        let mut cfg = SecureMemConfig::secure_mem();
+        cfg.mdcache_bytes = 256; // 2-line caches force evictions
+        cfg.mdcache_assoc = 2;
+        let mut b = SecureBackend::new(cfg, &gpu());
+        let mut now = 0;
+        // Stream stores across many MAC lines (4 KB apart in partition-
+        // local terms: stride by interleave*partitions*16 lines).
+        for i in 0..64u64 {
+            while !b.can_accept_write() {
+                b.cycle(now);
+                now += 1;
+            }
+            b.submit_write(now, read_req(i, i * 256 * 4 * 16));
+            b.cycle(now);
+            now += 1;
+        }
+        for _ in 0..20_000 {
+            b.cycle(now);
+            now += 1;
+            if b.is_idle() {
+                break;
+            }
+        }
+        assert!(b.is_idle(), "writes must drain");
+        let stats = b.dram_stats();
+        assert!(
+            stats.class(TrafficClass::Mac).writes > 0,
+            "dirty MAC lines must write back: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn engine_stats_exported() {
+        let mut b = engine(SecurityScheme::CtrMacBmt);
+        b.submit_read(0, read_req(1, 0x0));
+        run_until_response(&mut b, 1, 5_000).expect("read");
+        let s = b.engine_stats();
+        assert!(s.aes_blocks > 0);
+        assert_eq!(s.decrypt_waited_on_counter, 1);
+        assert_eq!(s.tree_verifications, 1);
+        assert_eq!(s.meta[0].cache.misses, 1);
+    }
+
+    #[test]
+    fn reuse_profiling_records_accesses() {
+        let mut cfg = SecureMemConfig::secure_mem();
+        cfg.profile_reuse = true;
+        let mut b = SecureBackend::new(cfg, &gpu());
+        b.submit_read(0, read_req(1, 0x0));
+        run_until_response(&mut b, 1, 5_000).expect("read");
+        let profs = b.reuse_profilers().expect("profiling enabled");
+        assert_eq!(profs[0].accesses(), 1, "one counter access");
+        assert_eq!(profs[1].accesses(), 1, "one MAC access");
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::config::SecurityScheme;
+    use secmem_gpusim::cache::ReplacementPolicy;
+    use secmem_gpusim::config::GpuConfig;
+    use secmem_gpusim::types::SectorMask;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::small()
+    }
+
+    fn read_req(id: u64, addr: Addr) -> BackendReq {
+        BackendReq { id, line_addr: addr, sectors: SectorMask::single(0), bank: 0 }
+    }
+
+    fn run_until_response(b: &mut SecureBackend, id: u64, max: Cycle) -> Option<Cycle> {
+        for now in 0..max {
+            b.cycle(now);
+            if let Some(resp) = b.pop_read_response() {
+                assert_eq!(resp.id, id);
+                return Some(now);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn blocking_verification_is_slower_than_speculative() {
+        let spec_cfg = SecureMemConfig::secure_mem();
+        let block_cfg =
+            SecureMemConfig { speculative_verification: false, ..SecureMemConfig::secure_mem() };
+        let mut spec = SecureBackend::new(spec_cfg, &gpu());
+        let mut block = SecureBackend::new(block_cfg, &gpu());
+        spec.submit_read(0, read_req(1, 0x0));
+        block.submit_read(0, read_req(1, 0x0));
+        let t_spec = run_until_response(&mut spec, 1, 10_000).expect("speculative");
+        let t_block = run_until_response(&mut block, 1, 10_000).expect("blocking");
+        assert!(
+            t_block > t_spec,
+            "blocking verification must delay the response ({t_spec} vs {t_block})"
+        );
+    }
+
+    #[test]
+    fn blocking_verification_waits_for_mac_fetch() {
+        // With blocking verification the MAC line fetch gates the read
+        // even though the data and counter are ready earlier.
+        let cfg = SecureMemConfig {
+            speculative_verification: false,
+            ..SecureMemConfig::with_scheme(SecurityScheme::DirectMac)
+        };
+        let mut b = SecureBackend::new(cfg, &gpu());
+        b.submit_read(0, read_req(1, 0x0));
+        let t = run_until_response(&mut b, 1, 10_000).expect("completes");
+        // Must exceed one DRAM round trip (data) + MAC latency.
+        let min = gpu().dram_latency as u64 + 40;
+        assert!(t > min, "got {t}, expected > {min}");
+    }
+
+    #[test]
+    fn selective_encryption_skips_unprotected_reads() {
+        let g = gpu();
+        let cfg = SecureMemConfig {
+            protected_limit: Some(g.protected_bytes / 2),
+            ..SecureMemConfig::secure_mem()
+        };
+        let mut b = SecureBackend::new(cfg, &g);
+        // An address in the upper (unprotected) half of the partition-local
+        // space: local offsets repeat every partitions*interleave bytes.
+        let local_target = g.protected_bytes_per_partition() * 3 / 4;
+        let global = local_target / g.interleave_bytes * (g.num_partitions as u64 * g.interleave_bytes);
+        b.submit_read(0, read_req(1, global));
+        run_until_response(&mut b, 1, 10_000).expect("plain read completes");
+        let stats = b.dram_stats();
+        assert_eq!(stats.class(TrafficClass::Counter).reads, 0, "no metadata for plaintext");
+        assert_eq!(stats.class(TrafficClass::Mac).reads, 0);
+        // A protected (low) address still generates metadata traffic.
+        b.submit_read(5_000, read_req(2, 0x0));
+        run_until_response(&mut b, 2, 20_000).expect("protected read completes");
+        assert!(b.dram_stats().class(TrafficClass::Counter).reads > 0);
+    }
+
+    #[test]
+    fn selective_encryption_skips_unprotected_writes() {
+        let g = gpu();
+        let cfg = SecureMemConfig {
+            protected_limit: Some(g.protected_bytes / 2),
+            ..SecureMemConfig::secure_mem()
+        };
+        let mut b = SecureBackend::new(cfg, &g);
+        let local_target = g.protected_bytes_per_partition() * 3 / 4;
+        let global = local_target / g.interleave_bytes * (g.num_partitions as u64 * g.interleave_bytes);
+        b.submit_write(0, read_req(1, global));
+        for now in 0..5_000 {
+            b.cycle(now);
+        }
+        assert!(b.is_idle());
+        let stats = b.dram_stats();
+        assert_eq!(stats.class(TrafficClass::Data).writes, 1);
+        assert_eq!(stats.class(TrafficClass::Counter).reads, 0);
+        assert_eq!(stats.class(TrafficClass::Mac).reads, 0);
+    }
+
+    #[test]
+    fn minor_counter_overflow_generates_reencryption_traffic() {
+        let cfg = SecureMemConfig {
+            model_counter_overflow: true,
+            ..SecureMemConfig::with_scheme(SecurityScheme::CtrOnly)
+        };
+        let mut b = SecureBackend::new(cfg, &gpu());
+        let mut now = 0u64;
+        // 128 writes to the same line overflow its 7-bit minor counter.
+        for i in 0..128u64 {
+            while !b.can_accept_write() {
+                b.cycle(now);
+                now += 1;
+            }
+            b.submit_write(now, read_req(i, 0x0));
+            b.cycle(now);
+            now += 1;
+        }
+        for _ in 0..60_000 {
+            b.cycle(now);
+            now += 1;
+            if b.is_idle() {
+                break;
+            }
+        }
+        assert!(b.is_idle(), "writes must drain");
+        assert_eq!(b.counter_overflows, 1, "the 128th write overflows");
+        let stats = b.dram_stats().class(TrafficClass::Data);
+        // 128 sector writes + 128 re-encryption line writes, plus 128
+        // re-encryption line reads.
+        assert!(stats.reads >= 128, "re-encryption reads: {stats:?}");
+        assert!(stats.writes >= 128 + 128, "re-encryption writes: {stats:?}");
+    }
+
+    #[test]
+    fn overflow_model_can_be_disabled() {
+        let cfg = SecureMemConfig {
+            model_counter_overflow: false,
+            ..SecureMemConfig::with_scheme(SecurityScheme::CtrOnly)
+        };
+        let mut b = SecureBackend::new(cfg, &gpu());
+        let mut now = 0u64;
+        for i in 0..200u64 {
+            while !b.can_accept_write() {
+                b.cycle(now);
+                now += 1;
+            }
+            b.submit_write(now, read_req(i, 0x0));
+            b.cycle(now);
+            now += 1;
+        }
+        for _ in 0..60_000 {
+            b.cycle(now);
+            now += 1;
+            if b.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(b.counter_overflows, 0);
+        assert_eq!(b.dram_stats().class(TrafficClass::Data).reads, 0);
+    }
+
+    #[test]
+    fn srrip_metadata_policy_plumbs_through() {
+        let cfg = SecureMemConfig {
+            mdcache_policy: ReplacementPolicy::Srrip,
+            ..SecureMemConfig::secure_mem()
+        };
+        let mut b = SecureBackend::new(cfg, &gpu());
+        b.submit_read(0, read_req(1, 0x0));
+        run_until_response(&mut b, 1, 10_000).expect("runs with SRRIP metadata caches");
+    }
+}

@@ -1,0 +1,507 @@
+//! Metadata address layout: where counters, MACs and integrity-tree nodes
+//! live, and which metadata line protects which data line (Table II).
+//!
+//! Geometry follows the paper exactly:
+//!
+//! * **Counters** — each 128 B counter line holds one 128-bit major counter
+//!   plus 128 seven-bit minor counters, covering 128 data lines (16 KB).
+//!   Storage ratio 1:128 → 32 MB for 4 GB.
+//! * **MACs** — 8 B per 128 B line (2 B per 32 B sector, truncated), so one
+//!   128 B MAC line covers 16 data lines (2 KB). Ratio 1:16 → 256 MB.
+//! * **Tree** — 16-ary: each 128 B node holds 16 × 8 B child digests. The
+//!   BMT's leaves are the counter lines; the MT's leaves are the MAC lines.
+//!   The root lives on-chip and is never fetched.
+//!
+//! The timing model instantiates one layout per memory partition over the
+//! partition's local slice of the protected space; [`global_storage`]
+//! reproduces Table II over the full 4 GB.
+
+use secmem_gpusim::types::{Addr, TrafficClass, LINE_SIZE};
+
+use crate::config::TreeCoverage;
+
+/// Data lines covered by one counter line (16 KB / 128 B).
+pub const DATA_LINES_PER_COUNTER_LINE: u64 = 128;
+/// Data lines covered by one MAC line (2 KB / 128 B).
+pub const DATA_LINES_PER_MAC_LINE: u64 = 16;
+/// Integrity-tree arity (16 × 8 B digests per 128 B node).
+pub const TREE_ARITY: u64 = 16;
+
+/// Geometry of a 16-ary integrity tree over `leaves` leaf lines.
+///
+/// `level_counts[0]` is the leaf count; the last level has one node (the
+/// on-chip root). Leaf lines themselves live in the counter/MAC region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeGeometry {
+    level_counts: Vec<u64>,
+    /// Local base address of each level's node array (level 0 unused).
+    level_base: Vec<Addr>,
+    total_bytes: u64,
+}
+
+impl TreeGeometry {
+    /// Builds the tree over `leaves` lines, placing internal nodes
+    /// starting at `base`.
+    pub fn new(leaves: u64, base: Addr) -> Self {
+        assert!(leaves > 0, "tree needs at least one leaf");
+        let mut level_counts = vec![leaves];
+        while *level_counts.last().expect("nonempty") > 1 {
+            let next = level_counts.last().expect("nonempty").div_ceil(TREE_ARITY);
+            level_counts.push(next);
+        }
+        let mut level_base = vec![0; level_counts.len()];
+        let mut cursor = base;
+        for (level, &count) in level_counts.iter().enumerate().skip(1) {
+            level_base[level] = cursor;
+            cursor += count * LINE_SIZE;
+        }
+        let total_bytes = cursor - base;
+        Self { level_counts, level_base, total_bytes }
+    }
+
+    /// Number of levels including leaves and root.
+    pub fn levels(&self) -> usize {
+        self.level_counts.len()
+    }
+
+    /// Node count at `level` (0 = leaves).
+    pub fn level_count(&self, level: usize) -> u64 {
+        self.level_counts[level]
+    }
+
+    /// Bytes occupied by all internal nodes (levels 1.. including root).
+    pub fn internal_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Local address of node `index` at `level` (level >= 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if level is 0 or out of range.
+    pub fn node_addr(&self, level: usize, index: u64) -> Addr {
+        assert!(level >= 1 && level < self.level_counts.len(), "bad tree level {level}");
+        assert!(index < self.level_counts[level], "node index out of range");
+        self.level_base[level] + index * LINE_SIZE
+    }
+
+    /// The addresses a verification of `leaf` must visit, bottom-up,
+    /// excluding the on-chip root.
+    pub fn path_of_leaf(&self, leaf: u64) -> Vec<Addr> {
+        assert!(leaf < self.level_counts[0], "leaf out of range");
+        let mut path = Vec::new();
+        let mut index = leaf;
+        // Highest fetchable level: one below the root.
+        for level in 1..self.level_counts.len().saturating_sub(1) {
+            index /= TREE_ARITY;
+            path.push(self.node_addr(level, index));
+        }
+        path
+    }
+
+    /// Parent address of the tree node at `addr`, or `None` if the parent
+    /// is the on-chip root (or the tree has no internal levels).
+    pub fn parent_of_node(&self, addr: Addr) -> Option<Addr> {
+        let level = self.level_of_node(addr)?;
+        let index = (addr - self.level_base[level]) / LINE_SIZE;
+        let parent_level = level + 1;
+        if parent_level >= self.level_counts.len() - 1 {
+            return None; // parent is the root (on-chip)
+        }
+        Some(self.node_addr(parent_level, index / TREE_ARITY))
+    }
+
+    /// The level of an internal node address, or `None` if out of range.
+    fn level_of_node(&self, addr: Addr) -> Option<usize> {
+        for level in (1..self.level_counts.len()).rev() {
+            let base = self.level_base[level];
+            if addr >= base && addr < base + self.level_counts[level] * LINE_SIZE {
+                return Some(level);
+            }
+        }
+        None
+    }
+
+    /// Parent (level-1) node address of leaf `leaf`, or `None` if that
+    /// parent is the on-chip root.
+    pub fn parent_of_leaf(&self, leaf: u64) -> Option<Addr> {
+        if self.level_counts.len() <= 2 {
+            return None; // leaves' parent is the root
+        }
+        Some(self.node_addr(1, leaf / TREE_ARITY))
+    }
+}
+
+/// Per-partition metadata layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataLayout {
+    data_bytes: u64,
+    ctr_base: Addr,
+    ctr_lines: u64,
+    mac_base: Addr,
+    mac_lines: u64,
+    tree: Option<TreeGeometry>,
+    coverage: TreeCoverage,
+}
+
+impl MetadataLayout {
+    /// Builds the layout for `data_bytes` of protected partition-local
+    /// space with the given tree coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bytes` is not a positive multiple of 16 KB.
+    pub fn new(data_bytes: u64, coverage: TreeCoverage) -> Self {
+        assert!(
+            data_bytes > 0 && data_bytes % (DATA_LINES_PER_COUNTER_LINE * LINE_SIZE) == 0,
+            "protected bytes must be a multiple of 16 KB"
+        );
+        let data_lines = data_bytes / LINE_SIZE;
+        let ctr_lines = data_lines / DATA_LINES_PER_COUNTER_LINE;
+        let mac_lines = data_lines / DATA_LINES_PER_MAC_LINE;
+        let ctr_base = data_bytes;
+        let mac_base = ctr_base + ctr_lines * LINE_SIZE;
+        let tree_base = mac_base + mac_lines * LINE_SIZE;
+        let tree = match coverage {
+            TreeCoverage::None => None,
+            TreeCoverage::Counters => Some(TreeGeometry::new(ctr_lines, tree_base)),
+            TreeCoverage::Macs => Some(TreeGeometry::new(mac_lines, tree_base)),
+        };
+        Self { data_bytes, ctr_base, ctr_lines, mac_base, mac_lines, tree, coverage }
+    }
+
+    /// Protected data bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Number of counter lines.
+    pub fn counter_lines(&self) -> u64 {
+        self.ctr_lines
+    }
+
+    /// Number of MAC lines.
+    pub fn mac_lines(&self) -> u64 {
+        self.mac_lines
+    }
+
+    /// The tree geometry, if the scheme has one.
+    pub fn tree(&self) -> Option<&TreeGeometry> {
+        self.tree.as_ref()
+    }
+
+    /// What the tree covers.
+    pub fn coverage(&self) -> TreeCoverage {
+        self.coverage
+    }
+
+    /// Counter line (local address) protecting the data line at local
+    /// offset `data_local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_local` is outside the protected range.
+    pub fn counter_line_of(&self, data_local: Addr) -> Addr {
+        assert!(data_local < self.data_bytes, "address outside protected range");
+        self.ctr_base + (data_local / (DATA_LINES_PER_COUNTER_LINE * LINE_SIZE)) * LINE_SIZE
+    }
+
+    /// Minor-counter slot (0..128) of the data line within its counter line.
+    pub fn minor_index_of(&self, data_local: Addr) -> u64 {
+        (data_local % (DATA_LINES_PER_COUNTER_LINE * LINE_SIZE)) / LINE_SIZE
+    }
+
+    /// MAC line (local address) protecting the data line at `data_local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_local` is outside the protected range.
+    pub fn mac_line_of(&self, data_local: Addr) -> Addr {
+        assert!(data_local < self.data_bytes, "address outside protected range");
+        self.mac_base + (data_local / (DATA_LINES_PER_MAC_LINE * LINE_SIZE)) * LINE_SIZE
+    }
+
+    /// MAC slot (0..16) of the data line within its MAC line.
+    pub fn mac_index_of(&self, data_local: Addr) -> u64 {
+        (data_local % (DATA_LINES_PER_MAC_LINE * LINE_SIZE)) / LINE_SIZE
+    }
+
+    /// The traffic class of a local address (data or metadata region).
+    pub fn class_of(&self, local: Addr) -> TrafficClass {
+        if local < self.ctr_base {
+            TrafficClass::Data
+        } else if local < self.mac_base {
+            TrafficClass::Counter
+        } else if local < self.mac_base + self.mac_lines * LINE_SIZE {
+            TrafficClass::Mac
+        } else {
+            TrafficClass::Tree
+        }
+    }
+
+    /// Tree leaf index of a metadata line address (a counter line when the
+    /// tree covers counters, a MAC line when it covers MACs). Returns
+    /// `None` if the address is not a leaf-class line or there is no tree.
+    pub fn tree_leaf_of(&self, meta_line: Addr) -> Option<u64> {
+        match self.coverage {
+            TreeCoverage::Counters if self.class_of(meta_line) == TrafficClass::Counter => {
+                Some((meta_line - self.ctr_base) / LINE_SIZE)
+            }
+            TreeCoverage::Macs if self.class_of(meta_line) == TrafficClass::Mac => {
+                Some((meta_line - self.mac_base) / LINE_SIZE)
+            }
+            _ => None,
+        }
+    }
+
+    /// Tree node addresses that must be authenticated to verify the given
+    /// leaf-class metadata line, bottom-up, excluding the on-chip root.
+    pub fn verification_path(&self, meta_line: Addr) -> Vec<Addr> {
+        match (self.tree_leaf_of(meta_line), &self.tree) {
+            (Some(leaf), Some(tree)) => tree.path_of_leaf(leaf),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Parent to update when a dirty metadata or tree line is evicted
+    /// (lazy update). Returns `None` when the parent is the on-chip root,
+    /// the line has no tree coverage, or there is no tree.
+    pub fn lazy_update_parent(&self, line: Addr) -> Option<Addr> {
+        let tree = self.tree.as_ref()?;
+        if let Some(leaf) = self.tree_leaf_of(line) {
+            return tree.parent_of_leaf(leaf);
+        }
+        if self.class_of(line) == TrafficClass::Tree {
+            return tree.parent_of_node(line);
+        }
+        None
+    }
+
+    /// Total metadata bytes (counters + MACs + internal tree nodes) this
+    /// layout adds on top of the protected data.
+    pub fn metadata_bytes(&self) -> u64 {
+        let tree = self.tree.as_ref().map_or(0, TreeGeometry::internal_bytes);
+        self.ctr_lines * LINE_SIZE + self.mac_lines * LINE_SIZE + tree
+    }
+}
+
+/// Table II storage numbers for a full protected space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Protected data bytes.
+    pub data_bytes: u64,
+    /// Counter storage bytes (counter-mode only).
+    pub counter_bytes: u64,
+    /// MAC storage bytes.
+    pub mac_bytes: u64,
+    /// BMT internal-node bytes (counter-mode), including the root.
+    pub bmt_bytes: u64,
+    /// BMT levels including the counter leaves.
+    pub bmt_levels: usize,
+    /// MT internal-node bytes (direct mode), including the root.
+    pub mt_bytes: u64,
+    /// MT levels including the MAC leaves.
+    pub mt_levels: usize,
+}
+
+impl StorageReport {
+    /// Total metadata for counter-mode encryption (counters + MACs + BMT).
+    pub fn counter_mode_total(&self) -> u64 {
+        self.counter_bytes + self.mac_bytes + self.bmt_bytes
+    }
+
+    /// Total metadata for direct encryption (MACs + MT).
+    pub fn direct_total(&self) -> u64 {
+        self.mac_bytes + self.mt_bytes
+    }
+}
+
+/// Computes Table II for `protected_bytes` of global memory.
+pub fn global_storage(protected_bytes: u64) -> StorageReport {
+    let data_lines = protected_bytes / LINE_SIZE;
+    let ctr_lines = data_lines / DATA_LINES_PER_COUNTER_LINE;
+    let mac_lines = data_lines / DATA_LINES_PER_MAC_LINE;
+    let bmt = TreeGeometry::new(ctr_lines, 0);
+    let mt = TreeGeometry::new(mac_lines, 0);
+    StorageReport {
+        data_bytes: protected_bytes,
+        counter_bytes: ctr_lines * LINE_SIZE,
+        mac_bytes: mac_lines * LINE_SIZE,
+        bmt_bytes: bmt.internal_bytes(),
+        bmt_levels: bmt.levels(),
+        mt_bytes: mt.internal_bytes(),
+        mt_levels: mt.levels(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn layout() -> MetadataLayout {
+        MetadataLayout::new(128 * MB, TreeCoverage::Counters)
+    }
+
+    #[test]
+    fn table2_numbers_for_4gb() {
+        let report = global_storage(4 << 30);
+        assert_eq!(report.counter_bytes, 32 * MB, "counters: 32 MB");
+        assert_eq!(report.mac_bytes, 256 * MB, "MACs: 256 MB");
+        // Paper: BMT 2.14 MB, 6 levels (incl. counter leaves).
+        assert_eq!(report.bmt_levels, 6);
+        let bmt_mb = report.bmt_bytes as f64 / MB as f64;
+        assert!((bmt_mb - 2.14).abs() < 0.05, "BMT {bmt_mb:.3} MB");
+        // Paper: MT 17.1 MB, 7 levels (incl. MAC leaves).
+        assert_eq!(report.mt_levels, 7);
+        let mt_mb = report.mt_bytes as f64 / MB as f64;
+        assert!((mt_mb - 17.1).abs() < 0.2, "MT {mt_mb:.3} MB");
+        // Totals: 290.14 MB and 273.1 MB.
+        let cm = report.counter_mode_total() as f64 / MB as f64;
+        assert!((cm - 290.14).abs() < 0.5, "counter-mode total {cm:.2}");
+        let d = report.direct_total() as f64 / MB as f64;
+        assert!((d - 273.1).abs() < 0.5, "direct total {d:.2}");
+    }
+
+    #[test]
+    fn counter_mapping() {
+        let l = layout();
+        assert_eq!(l.counter_lines(), 128 * MB / (16 * 1024));
+        // First 16 KB of data share one counter line.
+        let c0 = l.counter_line_of(0);
+        assert_eq!(l.counter_line_of(16 * 1024 - 1), c0);
+        assert_ne!(l.counter_line_of(16 * 1024), c0);
+        assert_eq!(l.minor_index_of(0), 0);
+        assert_eq!(l.minor_index_of(127), 0);
+        assert_eq!(l.minor_index_of(128), 1);
+        assert_eq!(l.minor_index_of(16 * 1024 - 1), 127);
+    }
+
+    #[test]
+    fn mac_mapping() {
+        let l = layout();
+        assert_eq!(l.mac_lines(), 128 * MB / 2048);
+        let m0 = l.mac_line_of(0);
+        assert_eq!(l.mac_line_of(2047), m0);
+        assert_ne!(l.mac_line_of(2048), m0);
+        assert_eq!(l.mac_index_of(0), 0);
+        assert_eq!(l.mac_index_of(2047), 15);
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_classified() {
+        let l = layout();
+        assert_eq!(l.class_of(0), TrafficClass::Data);
+        assert_eq!(l.class_of(128 * MB - 1), TrafficClass::Data);
+        let c = l.counter_line_of(0);
+        assert_eq!(l.class_of(c), TrafficClass::Counter);
+        let m = l.mac_line_of(0);
+        assert_eq!(l.class_of(m), TrafficClass::Mac);
+        let path = l.verification_path(c);
+        assert!(!path.is_empty());
+        for node in path {
+            assert_eq!(l.class_of(node), TrafficClass::Tree);
+        }
+    }
+
+    #[test]
+    fn bmt_per_partition_shape() {
+        // 128 MB partition slice -> 8192 counter lines -> 512, 32, 2, 1.
+        let l = layout();
+        let tree = l.tree().expect("bmt exists");
+        assert_eq!(tree.level_count(0), 8192);
+        assert_eq!(tree.level_count(1), 512);
+        assert_eq!(tree.level_count(2), 32);
+        assert_eq!(tree.level_count(3), 2);
+        assert_eq!(tree.level_count(4), 1);
+        assert_eq!(tree.levels(), 5);
+        // Verification path visits levels 1..=3 (root is on-chip).
+        assert_eq!(l.verification_path(l.counter_line_of(0)).len(), 3);
+    }
+
+    #[test]
+    fn mt_is_sixteen_times_larger_than_bmt() {
+        let bmt = MetadataLayout::new(128 * MB, TreeCoverage::Counters);
+        let mt = MetadataLayout::new(128 * MB, TreeCoverage::Macs);
+        let bt = bmt.tree().expect("bmt");
+        let mtt = mt.tree().expect("mt");
+        assert_eq!(mtt.level_count(0), 8 * bt.level_count(0), "8x more leaves (2 KB vs 16 KB coverage)");
+        assert!(mtt.internal_bytes() >= 7 * bt.internal_bytes(), "~8x node footprint");
+        assert!(mtt.levels() >= bt.levels());
+        // At the full 4 GB global geometry the MT is one level taller
+        // (Table II: 6 vs 7 levels); per-partition slices may align to a
+        // power of 16 and tie in depth, while keeping the 16x footprint.
+        let g = global_storage(4 << 30);
+        assert_eq!(g.mt_levels, g.bmt_levels + 1);
+    }
+
+    #[test]
+    fn lazy_update_walks_to_root() {
+        let l = layout();
+        let ctr = l.counter_line_of(0);
+        let p1 = l.lazy_update_parent(ctr).expect("level-1 parent");
+        let p2 = l.lazy_update_parent(p1).expect("level-2 parent");
+        let p3 = l.lazy_update_parent(p2).expect("level-3 parent");
+        assert_eq!(l.lazy_update_parent(p3), None, "level-4 is the on-chip root");
+        // Chain matches the verification path.
+        assert_eq!(l.verification_path(ctr), vec![p1, p2, p3]);
+    }
+
+    #[test]
+    fn no_tree_schemes_have_no_paths() {
+        let l = MetadataLayout::new(16 * 1024, TreeCoverage::None);
+        assert!(l.tree().is_none());
+        assert!(l.verification_path(l.counter_line_of(0)).is_empty());
+        assert_eq!(l.lazy_update_parent(l.counter_line_of(0)), None);
+    }
+
+    #[test]
+    fn data_addresses_have_no_lazy_parent() {
+        let l = layout();
+        assert_eq!(l.lazy_update_parent(0), None);
+        assert_eq!(l.lazy_update_parent(4096), None);
+    }
+
+    #[test]
+    fn mac_leaves_under_mt() {
+        let l = MetadataLayout::new(128 * MB, TreeCoverage::Macs);
+        let mac = l.mac_line_of(0);
+        assert!(l.tree_leaf_of(mac).is_some());
+        assert!(l.lazy_update_parent(mac).is_some());
+        // Counter lines are not leaves under MT coverage (and don't exist
+        // in direct mode anyway).
+        let ctr = l.counter_line_of(0);
+        assert_eq!(l.tree_leaf_of(ctr), None);
+    }
+
+    #[test]
+    fn small_tree_root_only() {
+        // 16 KB -> 1 counter line -> tree is just the root.
+        let tree = TreeGeometry::new(1, 1000);
+        assert_eq!(tree.levels(), 1);
+        assert!(tree.path_of_leaf(0).is_empty());
+        assert_eq!(tree.parent_of_leaf(0), None);
+    }
+
+    #[test]
+    fn metadata_bytes_accounting() {
+        let l = layout();
+        let expected = l.counter_lines() * 128 + l.mac_lines() * 128
+            + l.tree().expect("tree").internal_bytes();
+        assert_eq!(l.metadata_bytes(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16 KB")]
+    fn rejects_unaligned_size() {
+        let _ = MetadataLayout::new(10_000, TreeCoverage::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside protected range")]
+    fn rejects_out_of_range_data() {
+        let l = layout();
+        let _ = l.counter_line_of(128 * MB);
+    }
+}

@@ -1,0 +1,52 @@
+//! Secure memory architecture for GPUs — the primary contribution of the
+//! ISPASS'21 paper *"Analyzing Secure Memory Architecture for GPUs"*.
+//!
+//! This crate implements both secure-memory designs the paper analyzes,
+//! as memory-side engines pluggable into the `secmem-gpusim` GPU
+//! simulator's memory partitions:
+//!
+//! * **Counter-mode encryption + Bonsai Merkle Tree** ([`SecurityScheme::CtrMacBmt`])
+//!   — split counters (128-bit major / 7-bit minor), per-sector truncated
+//!   MACs, and a 16-ary BMT over the counters, with speculative
+//!   verification and lazy tree updates.
+//! * **Direct encryption + Merkle Tree** ([`SecurityScheme::DirectMacMt`])
+//!   — AES on the critical path, MACs, and a (taller) MT over the MACs.
+//!
+//! Supporting models: per-partition metadata caches (separate or unified,
+//! with MSHRs and the Table V idealization knobs), pipelined AES engine
+//! and MAC unit timing, the metadata address [`layout`], a bit-accurate
+//! [`functional`] secure memory for attack/defense demonstrations, and the
+//! §V-F die-[`area`] model.
+//!
+//! # Example: timing model
+//!
+//! ```
+//! use secmem_core::{SecureBackend, SecureMemConfig};
+//! use secmem_gpusim::config::GpuConfig;
+//! use secmem_gpusim::kernel::StreamKernel;
+//! use secmem_gpusim::sim::Simulator;
+//!
+//! let gpu = GpuConfig::small();
+//! let kernel = StreamKernel::memory_bound(8);
+//! let mut sim = Simulator::new(gpu, &kernel, |_, g| {
+//!     SecureBackend::new(SecureMemConfig::secure_mem(), g)
+//! });
+//! let report = sim.run(2_000);
+//! assert!(report.dram.class(secmem_gpusim::types::TrafficClass::Mac).reads > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod config;
+pub mod counters;
+pub mod engine;
+pub mod engines;
+pub mod functional;
+pub mod layout;
+pub mod mdcache;
+
+pub use config::{MdcIdealization, MetadataCacheKind, SecureMemConfig, SecurityScheme, TreeCoverage};
+pub use engine::SecureBackend;
+pub use layout::{global_storage, MetadataLayout, StorageReport};

@@ -1,0 +1,217 @@
+//! AES-CMAC (RFC 4493) and the truncated MAC variants used by the paper.
+//!
+//! The paper protects each 128 B data line with a 64-bit *stateful* MAC
+//! computed over the ciphertext, the line address and the encryption
+//! counter; because the L2 is sectored, each 32 B sector additionally
+//! carries a 16-bit truncated MAC so a sector can be verified without
+//! fetching the whole line. [`Cmac`] implements the full RFC 4493
+//! construction; [`sector_mac`] and [`line_mac`] provide the truncated,
+//! address/counter-bound variants.
+
+use crate::aes::{Aes128, Block, BLOCK_SIZE};
+
+/// AES-CMAC keyed MAC.
+///
+/// # Example
+///
+/// ```
+/// use secmem_crypto::cmac::Cmac;
+///
+/// let mac = Cmac::new(&[0u8; 16]);
+/// let t1 = mac.compute(b"hello");
+/// let t2 = mac.compute(b"hello");
+/// let t3 = mac.compute(b"hellp");
+/// assert_eq!(t1, t2);
+/// assert_ne!(t1, t3);
+/// ```
+#[derive(Clone)]
+pub struct Cmac {
+    aes: Aes128,
+    k1: Block,
+    k2: Block,
+}
+
+impl core::fmt::Debug for Cmac {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Cmac").finish_non_exhaustive()
+    }
+}
+
+/// Doubles a value in GF(2^128) per RFC 4493 subkey generation.
+fn dbl(block: &Block) -> Block {
+    let mut out = [0u8; BLOCK_SIZE];
+    let mut carry = 0u8;
+    for i in (0..BLOCK_SIZE).rev() {
+        out[i] = (block[i] << 1) | carry;
+        carry = block[i] >> 7;
+    }
+    if carry != 0 {
+        out[BLOCK_SIZE - 1] ^= 0x87;
+    }
+    out
+}
+
+impl Cmac {
+    /// Creates a CMAC instance, deriving the RFC 4493 subkeys K1/K2.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let l = aes.encrypt_block(&[0u8; BLOCK_SIZE]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        Self { aes, k1, k2 }
+    }
+
+    /// Computes the full 128-bit CMAC tag of `msg`.
+    pub fn compute(&self, msg: &[u8]) -> Block {
+        let n = msg.len().div_ceil(BLOCK_SIZE).max(1);
+        let complete_last = !msg.is_empty() && msg.len() % BLOCK_SIZE == 0;
+
+        let mut x = [0u8; BLOCK_SIZE];
+        for i in 0..n - 1 {
+            for j in 0..BLOCK_SIZE {
+                x[j] ^= msg[i * BLOCK_SIZE + j];
+            }
+            x = self.aes.encrypt_block(&x);
+        }
+
+        let mut last = [0u8; BLOCK_SIZE];
+        let tail = &msg[(n - 1) * BLOCK_SIZE..];
+        if complete_last {
+            last.copy_from_slice(tail);
+            for j in 0..BLOCK_SIZE {
+                last[j] ^= self.k1[j];
+            }
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for j in 0..BLOCK_SIZE {
+                last[j] ^= self.k2[j];
+            }
+        }
+        for j in 0..BLOCK_SIZE {
+            x[j] ^= last[j];
+        }
+        self.aes.encrypt_block(&x)
+    }
+
+    /// Computes a tag truncated to the first 8 bytes (64-bit MAC).
+    pub fn compute_u64(&self, msg: &[u8]) -> u64 {
+        let tag = self.compute(msg);
+        u64::from_be_bytes(tag[..8].try_into().expect("tag is 16 bytes"))
+    }
+
+    /// Computes a tag truncated to the first 2 bytes (16-bit sector MAC).
+    pub fn compute_u16(&self, msg: &[u8]) -> u16 {
+        let tag = self.compute(msg);
+        u16::from_be_bytes(tag[..2].try_into().expect("tag is 16 bytes"))
+    }
+}
+
+/// Computes the 16-bit truncated MAC of one 32 B sector.
+///
+/// The MAC is *stateful*: it binds the ciphertext to the sector address and
+/// the encryption counter, which is what lets the Bonsai construction drop
+/// the data from the Merkle tree (Rogers et al., MICRO'07).
+pub fn sector_mac(mac: &Cmac, sector_addr: u64, counter: u64, ciphertext: &[u8]) -> u16 {
+    let mut msg = Vec::with_capacity(16 + ciphertext.len());
+    msg.extend_from_slice(&sector_addr.to_be_bytes());
+    msg.extend_from_slice(&counter.to_be_bytes());
+    msg.extend_from_slice(ciphertext);
+    mac.compute_u16(&msg)
+}
+
+/// Computes the 64-bit MAC of one 128 B line.
+pub fn line_mac(mac: &Cmac, line_addr: u64, counter: u64, ciphertext: &[u8]) -> u64 {
+    let mut msg = Vec::with_capacity(16 + ciphertext.len());
+    msg.extend_from_slice(&line_addr.to_be_bytes());
+    msg.extend_from_slice(&counter.to_be_bytes());
+    msg.extend_from_slice(ciphertext);
+    mac.compute_u64(&msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc_key() -> [u8; 16] {
+        hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap()
+    }
+
+    #[test]
+    fn rfc4493_subkeys() {
+        let cmac = Cmac::new(&rfc_key());
+        assert_eq!(cmac.k1.to_vec(), hex("fbeed618357133667c85e08f7236a8de"));
+        assert_eq!(cmac.k2.to_vec(), hex("f7ddac306ae266ccf90bc11ee46d513b"));
+    }
+
+    #[test]
+    fn rfc4493_example_1_empty() {
+        let cmac = Cmac::new(&rfc_key());
+        assert_eq!(cmac.compute(b"").to_vec(), hex("bb1d6929e95937287fa37d129b756746"));
+    }
+
+    #[test]
+    fn rfc4493_example_2_16_bytes() {
+        let cmac = Cmac::new(&rfc_key());
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a");
+        assert_eq!(cmac.compute(&msg).to_vec(), hex("070a16b46b4d4144f79bdd9dd04a287c"));
+    }
+
+    #[test]
+    fn rfc4493_example_3_40_bytes() {
+        let cmac = Cmac::new(&rfc_key());
+        let msg = hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
+        );
+        assert_eq!(cmac.compute(&msg).to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
+    }
+
+    #[test]
+    fn rfc4493_example_4_64_bytes() {
+        let cmac = Cmac::new(&rfc_key());
+        let msg = hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+        );
+        assert_eq!(cmac.compute(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+    }
+
+    #[test]
+    fn truncations_are_prefixes() {
+        let cmac = Cmac::new(&[5u8; 16]);
+        let tag = cmac.compute(b"some message");
+        assert_eq!(cmac.compute_u64(b"some message"), u64::from_be_bytes(tag[..8].try_into().unwrap()));
+        assert_eq!(cmac.compute_u16(b"some message"), u16::from_be_bytes(tag[..2].try_into().unwrap()));
+    }
+
+    #[test]
+    fn sector_mac_binds_address_and_counter() {
+        let cmac = Cmac::new(&[9u8; 16]);
+        let data = [0x11u8; 32];
+        let base = sector_mac(&cmac, 0x1000, 4, &data);
+        assert_ne!(base, sector_mac(&cmac, 0x1020, 4, &data), "address must be bound");
+        assert_ne!(base, sector_mac(&cmac, 0x1000, 5, &data), "counter must be bound");
+        let mut tampered = data;
+        tampered[0] ^= 1;
+        assert_ne!(base, sector_mac(&cmac, 0x1000, 4, &tampered), "data must be bound");
+    }
+
+    #[test]
+    fn line_mac_is_deterministic_and_tamper_sensitive() {
+        let cmac = Cmac::new(&[9u8; 16]);
+        let data = [0u8; 128];
+        let lm = line_mac(&cmac, 0x80, 1, &data);
+        assert_eq!(lm, line_mac(&cmac, 0x80, 1, &data));
+        let mut tampered = data;
+        tampered[127] ^= 0x80;
+        assert_ne!(lm, line_mac(&cmac, 0x80, 1, &tampered));
+        assert_ne!(lm, line_mac(&cmac, 0x100, 1, &data));
+    }
+}

@@ -1,0 +1,47 @@
+//! Functional cryptography for the GPU secure-memory reproduction.
+//!
+//! This crate provides the *functional* (bit-accurate) cryptographic
+//! primitives that the secure memory engine of
+//! [`secmem-core`](https://crates.io/crates/secmem-core) builds upon:
+//!
+//! * [`aes`] — AES-128 block cipher (FIPS-197), used for one-time-pad
+//!   generation in counter-mode encryption and for direct encryption.
+//! * [`cmac`] — AES-CMAC (RFC 4493) message authentication, with the
+//!   truncated per-sector MAC variants used by the paper (16-bit MAC per
+//!   32 B sector, 64-bit MAC per 128 B line).
+//! * [`ctr`] — counter-block (seed) construction `addr ‖ major ‖ minor`
+//!   and pad generation/XOR helpers for counter-mode memory encryption.
+//! * [`hash`] — a Davies–Meyer AES-based compression hash used for the
+//!   Bonsai Merkle Tree / Merkle Tree node digests.
+//!
+//! The timing models (pipelined AES engines, 40-cycle MAC units) live in
+//! `secmem-core`; this crate is purely functional and deterministic so it
+//! can back correctness tests and the tamper/replay attack examples.
+//!
+//! # Example
+//!
+//! ```
+//! use secmem_crypto::aes::Aes128;
+//! use secmem_crypto::ctr::{CounterBlock, encrypt_sector};
+//!
+//! let key = Aes128::new(&[0u8; 16]);
+//! let seed = CounterBlock::new(0x8000_0040, 7, 3);
+//! let plain = [0xABu8; 32];
+//! let cipher = encrypt_sector(&key, &seed, &plain);
+//! let recovered = encrypt_sector(&key, &seed, &cipher); // XOR pad is an involution
+//! assert_eq!(plain, recovered);
+//! assert_ne!(plain, cipher);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod cmac;
+pub mod ctr;
+pub mod hash;
+
+pub use aes::Aes128;
+pub use cmac::Cmac;
+pub use ctr::CounterBlock;
+pub use hash::NodeHash;

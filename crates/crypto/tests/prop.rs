@@ -1,0 +1,96 @@
+//! Property-based tests for the functional cryptography crate.
+
+use proptest::prelude::*;
+use secmem_crypto::aes::Aes128;
+use secmem_crypto::cmac::{line_mac, sector_mac, Cmac};
+use secmem_crypto::ctr::{encrypt_line, CounterBlock};
+use secmem_crypto::hash::NodeHash;
+
+proptest! {
+    #[test]
+    fn aes_roundtrip(key in prop::array::uniform16(any::<u8>()),
+                     pt in prop::array::uniform16(any::<u8>())) {
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(&pt);
+        prop_assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn aes_is_a_permutation(key in prop::array::uniform16(any::<u8>()),
+                            a in prop::array::uniform16(any::<u8>()),
+                            b in prop::array::uniform16(any::<u8>())) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(&key);
+        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+    }
+
+    #[test]
+    fn ctr_line_roundtrip(key in prop::array::uniform16(any::<u8>()),
+                          addr in any::<u64>(), major in any::<u64>(), minor in any::<u8>(),
+                          data in prop::collection::vec(any::<u8>(), 128)) {
+        let aes = Aes128::new(&key);
+        let seed = CounterBlock::new(addr, major, minor & 0x7f);
+        let mut line: [u8; 128] = data.clone().try_into().unwrap();
+        encrypt_line(&aes, &seed, &mut line);
+        encrypt_line(&aes, &seed, &mut line);
+        prop_assert_eq!(line.to_vec(), data);
+    }
+
+    #[test]
+    fn ctr_counter_bump_changes_ciphertext(key in prop::array::uniform16(any::<u8>()),
+                                           addr in any::<u64>(), major in any::<u64>(),
+                                           minor in 0u8..0x7f) {
+        let aes = Aes128::new(&key);
+        let mut a = [0u8; 128];
+        let mut b = [0u8; 128];
+        encrypt_line(&aes, &CounterBlock::new(addr, major, minor), &mut a);
+        encrypt_line(&aes, &CounterBlock::new(addr, major, minor + 1), &mut b);
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cmac_detects_single_bit_flips(key in prop::array::uniform16(any::<u8>()),
+                                     msg in prop::collection::vec(any::<u8>(), 1..96),
+                                     byte_sel in any::<prop::sample::Index>(),
+                                     bit in 0u8..8) {
+        let cmac = Cmac::new(&key);
+        let tag = cmac.compute(&msg);
+        let mut tampered = msg.clone();
+        let idx = byte_sel.index(tampered.len());
+        tampered[idx] ^= 1 << bit;
+        prop_assert_ne!(tag, cmac.compute(&tampered));
+    }
+
+    #[test]
+    fn sector_mac_stable_and_bound(key in prop::array::uniform16(any::<u8>()),
+                                   addr in any::<u64>(), ctr in any::<u64>(),
+                                   data in prop::collection::vec(any::<u8>(), 32)) {
+        let cmac = Cmac::new(&key);
+        let m1 = sector_mac(&cmac, addr, ctr, &data);
+        let m2 = sector_mac(&cmac, addr, ctr, &data);
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn line_mac_detects_tampering(key in prop::array::uniform16(any::<u8>()),
+                                  addr in any::<u64>(), ctr in any::<u64>(),
+                                  data in prop::collection::vec(any::<u8>(), 128),
+                                  byte_sel in any::<prop::sample::Index>()) {
+        let cmac = Cmac::new(&key);
+        let tag = line_mac(&cmac, addr, ctr, &data);
+        let mut tampered = data.clone();
+        let idx = byte_sel.index(tampered.len());
+        tampered[idx] = tampered[idx].wrapping_add(1);
+        prop_assert_ne!(tag, line_mac(&cmac, addr, ctr, &tampered));
+    }
+
+    #[test]
+    fn node_hash_collision_resistant_in_practice(
+            addr in any::<u64>(),
+            a in prop::collection::vec(any::<u8>(), 0..200),
+            b in prop::collection::vec(any::<u8>(), 0..200)) {
+        prop_assume!(a != b);
+        let h = NodeHash::new();
+        prop_assert_ne!(h.digest(addr, &a), h.digest(addr, &b));
+    }
+}

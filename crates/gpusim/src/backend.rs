@@ -1,0 +1,181 @@
+//! The memory backend abstraction: what sits between an L2 bank's miss
+//! path and the DRAM channel of a partition.
+//!
+//! The baseline GPU uses [`PassthroughBackend`] (requests go straight to
+//! DRAM). The secure memory engine in `secmem-core` implements
+//! [`MemoryBackend`] too, inserting encryption, MAC and integrity-tree
+//! processing — exactly where the paper places the secure memory hardware
+//! (inside each memory controller, Fig. 1).
+
+use crate::dram::{Dram, DramRequest, DramStats};
+use crate::stats::EngineStats;
+use crate::types::{BackendReq, Cycle, TrafficClass};
+
+/// A memory-side engine + DRAM channel for one partition.
+///
+/// Contract: the partition checks `can_accept_*` before calling
+/// `submit_*`; submitting when not accepting is a programming error and
+/// may panic. Completed reads surface through `pop_read_response` with the
+/// same `BackendReq` (id, line, sectors, bank) that was submitted; writes
+/// complete silently.
+pub trait MemoryBackend {
+    /// True if a read can be submitted this cycle.
+    fn can_accept_read(&self) -> bool;
+    /// True if a write (L2 dirty eviction) can be submitted this cycle.
+    fn can_accept_write(&self) -> bool;
+    /// Submits a data-sector read.
+    fn submit_read(&mut self, now: Cycle, req: BackendReq);
+    /// Submits a data-sector writeback.
+    fn submit_write(&mut self, now: Cycle, req: BackendReq);
+    /// Advances internal state to cycle `now`.
+    fn cycle(&mut self, now: Cycle);
+    /// Pops one completed read, if any.
+    fn pop_read_response(&mut self) -> Option<BackendReq>;
+    /// DRAM statistics for this partition.
+    fn dram_stats(&self) -> &DramStats;
+    /// Secure-engine statistics (all-zero default for plain backends).
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
+    /// True when no work is pending anywhere in the backend.
+    fn is_idle(&self) -> bool;
+    /// Resets statistics (state preserved) — used to discard warmup.
+    fn reset_stats(&mut self);
+}
+
+/// Token carried through the baseline DRAM channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Read(BackendReq),
+    Write,
+}
+
+/// The baseline backend: a bare DRAM channel, no security processing.
+#[derive(Debug)]
+pub struct PassthroughBackend {
+    dram: Dram<Token>,
+    ready: Vec<BackendReq>,
+}
+
+impl PassthroughBackend {
+    /// Creates a backend over a DRAM channel with the given bandwidth
+    /// (22.10 fixed-point bytes/cycle), latency and queue capacity.
+    pub fn new(bytes_per_cycle_fp: u64, latency: u32, queue_cap: usize) -> Self {
+        Self { dram: Dram::new(bytes_per_cycle_fp, latency, queue_cap), ready: Vec::new() }
+    }
+
+    /// Creates a backend from a GPU configuration (honoring the banked
+    /// row-buffer model when `dram_banks > 0`).
+    pub fn from_config(cfg: &crate::config::GpuConfig) -> Self {
+        Self {
+            dram: Dram::with_banks(
+                cfg.dram_bytes_per_cycle_fp(),
+                cfg.dram_latency,
+                cfg.dram_queue_cap,
+                cfg.dram_banks,
+                cfg.dram_row_bytes,
+                cfg.dram_row_miss_penalty,
+            ),
+            ready: Vec::new(),
+        }
+    }
+}
+
+impl MemoryBackend for PassthroughBackend {
+    fn can_accept_read(&self) -> bool {
+        // A sectored L2 miss submits up to 4 per-sector reads at once.
+        self.dram.free_capacity() >= 4
+    }
+
+    fn can_accept_write(&self) -> bool {
+        !self.dram.is_full()
+    }
+
+    fn submit_read(&mut self, _now: Cycle, req: BackendReq) {
+        let bytes = req.sectors.bytes();
+        self.dram
+            .try_push(DramRequest { bytes, addr: req.line_addr, is_write: false, class: TrafficClass::Data, token: Token::Read(req) })
+            .unwrap_or_else(|_| panic!("submit_read called while full"));
+    }
+
+    fn submit_write(&mut self, _now: Cycle, req: BackendReq) {
+        let bytes = req.sectors.bytes();
+        self.dram
+            .try_push(DramRequest { bytes, addr: req.line_addr, is_write: true, class: TrafficClass::Data, token: Token::Write })
+            .unwrap_or_else(|_| panic!("submit_write called while full"));
+    }
+
+    fn cycle(&mut self, now: Cycle) {
+        self.dram.cycle(now);
+        while let Some(done) = self.dram.pop_completed() {
+            if let Token::Read(req) = done.token {
+                self.ready.push(req);
+            }
+        }
+    }
+
+    fn pop_read_response(&mut self) -> Option<BackendReq> {
+        self.ready.pop()
+    }
+
+    fn dram_stats(&self) -> &DramStats {
+        self.dram.stats()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.dram.is_idle() && self.ready.is_empty()
+    }
+
+    fn reset_stats(&mut self) {
+        self.dram.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SectorMask;
+
+    fn req(id: u64) -> BackendReq {
+        BackendReq { id, line_addr: 0x1000, sectors: SectorMask::single(1), bank: 0 }
+    }
+
+    #[test]
+    fn read_roundtrip() {
+        let mut b = PassthroughBackend::new(24 * 1024, 10, 8);
+        assert!(b.can_accept_read());
+        b.submit_read(0, req(5));
+        let mut got = None;
+        for now in 0..50 {
+            b.cycle(now);
+            if let Some(r) = b.pop_read_response() {
+                got = Some(r);
+                break;
+            }
+        }
+        assert_eq!(got.expect("read completes").id, 5);
+        assert!(b.is_idle());
+        assert_eq!(b.dram_stats().class(TrafficClass::Data).reads, 1);
+    }
+
+    #[test]
+    fn writes_complete_silently() {
+        let mut b = PassthroughBackend::new(24 * 1024, 10, 8);
+        b.submit_write(0, req(9));
+        for now in 0..50 {
+            b.cycle(now);
+        }
+        assert!(b.pop_read_response().is_none());
+        assert!(b.is_idle());
+        assert_eq!(b.dram_stats().class(TrafficClass::Data).writes, 1);
+    }
+
+    #[test]
+    fn backpressure_reported() {
+        let mut b = PassthroughBackend::new(24 * 1024, 10, 2);
+        b.submit_read(0, req(1));
+        b.submit_read(0, req(2));
+        assert!(!b.can_accept_read());
+        assert!(!b.can_accept_write());
+    }
+}

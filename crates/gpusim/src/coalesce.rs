@@ -1,0 +1,113 @@
+//! The memory coalescer: merges the 32 per-thread addresses of a warp
+//! memory instruction into the minimal set of line/sector accesses,
+//! exactly as GPU hardware does. Used by trace converters and custom
+//! kernels; the built-in synthetic workloads emit pre-coalesced accesses.
+
+use crate::types::{Access, Addr, SectorMask, LINE_SIZE};
+
+/// Coalesces per-thread byte addresses (`None` = thread inactive) into
+/// line/sector accesses, ordered by first-touching thread.
+///
+/// Each thread is assumed to access `bytes_per_thread` consecutive bytes
+/// (1..=32; accesses never straddle a 32 B sector in real GPUs unless
+/// misaligned, which we allow — a straddling access touches both sectors).
+///
+/// # Panics
+///
+/// Panics if `bytes_per_thread` is 0 or greater than 128.
+pub fn coalesce(threads: &[Option<Addr>], bytes_per_thread: u64) -> Vec<Access> {
+    assert!(bytes_per_thread >= 1 && bytes_per_thread <= 128, "unsupported access size");
+    let mut out: Vec<Access> = Vec::new();
+    for addr in threads.iter().flatten() {
+        let first = *addr;
+        let last = addr + bytes_per_thread - 1;
+        let mut sector_addr = first - first % 32;
+        while sector_addr <= last {
+            let line = sector_addr & !(LINE_SIZE - 1);
+            let mask = SectorMask::single(((sector_addr % LINE_SIZE) / 32) as u32);
+            match out.iter_mut().find(|a| a.line_addr == line) {
+                Some(existing) => existing.sectors = existing.sectors.union(mask),
+                None => out.push(Access { line_addr: line, sectors: mask }),
+            }
+            sector_addr += 32;
+        }
+    }
+    out
+}
+
+/// Convenience: coalesces a fully active warp accessing
+/// `base + lane * stride`, `bytes_per_thread` bytes each.
+pub fn coalesce_strided(base: Addr, stride: u64, bytes_per_thread: u64, lanes: u32) -> Vec<Access> {
+    let threads: Vec<Option<Addr>> =
+        (0..lanes as u64).map(|lane| Some(base + lane * stride)).collect();
+    coalesce(&threads, bytes_per_thread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FULL_SECTOR_MASK;
+
+    #[test]
+    fn unit_stride_f32_coalesces_to_one_line() {
+        // 32 threads x 4 B consecutive = 128 B = one full line.
+        let accesses = coalesce_strided(0x1000, 4, 4, 32);
+        assert_eq!(accesses, vec![Access { line_addr: 0x1000, sectors: FULL_SECTOR_MASK }]);
+    }
+
+    #[test]
+    fn unit_stride_f64_spans_two_lines() {
+        // 32 threads x 8 B = 256 B = two full lines.
+        let accesses = coalesce_strided(0x1000, 8, 8, 32);
+        assert_eq!(accesses.len(), 2);
+        assert!(accesses.iter().all(|a| a.sectors == FULL_SECTOR_MASK));
+        assert_eq!(accesses[0].line_addr, 0x1000);
+        assert_eq!(accesses[1].line_addr, 0x1080);
+    }
+
+    #[test]
+    fn large_stride_fully_diverges() {
+        // Column-major style: each lane in its own line, one sector each.
+        let accesses = coalesce_strided(0, 4096, 4, 32);
+        assert_eq!(accesses.len(), 32);
+        assert!(accesses.iter().all(|a| a.sectors.count() == 1));
+    }
+
+    #[test]
+    fn half_warp_same_sector_merges() {
+        // 16 threads hitting the same 4 bytes -> one sector.
+        let threads: Vec<Option<Addr>> = (0..16).map(|_| Some(0x2004)).collect();
+        let accesses = coalesce(&threads, 4);
+        assert_eq!(accesses, vec![Access { line_addr: 0x2000, sectors: SectorMask::single(0) }]);
+    }
+
+    #[test]
+    fn inactive_threads_skipped() {
+        let mut threads: Vec<Option<Addr>> = vec![None; 32];
+        threads[7] = Some(0x80);
+        threads[19] = Some(0xA0);
+        let accesses = coalesce(&threads, 4);
+        assert_eq!(accesses.len(), 1);
+        assert_eq!(accesses[0].line_addr, 0x80);
+        assert_eq!(accesses[0].sectors, SectorMask(0b0011));
+    }
+
+    #[test]
+    fn misaligned_access_straddles_sectors() {
+        // A 4 B access at sector boundary - 2 touches two sectors.
+        let accesses = coalesce(&[Some(0x1E)], 4);
+        assert_eq!(accesses.len(), 1);
+        assert_eq!(accesses[0].sectors, SectorMask(0b0011));
+    }
+
+    #[test]
+    fn empty_warp_produces_nothing() {
+        assert!(coalesce(&[None; 32], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access size")]
+    fn zero_size_rejected() {
+        let _ = coalesce(&[Some(0)], 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! DRAM channel model: a bandwidth-limited, fixed-latency service queue.
+//!
+//! Each memory partition owns one channel. Requests are serviced in order
+//! at the channel's byte rate (`868 GB/s / 32 partitions` in the baseline),
+//! then complete after the access latency. The finite request queue
+//! provides backpressure: when a workload (or the secure engine's metadata
+//! traffic) oversubscribes the channel, queueing delay grows and upstream
+//! structures (L2 MSHRs, SM scoreboards) fill — reproducing the
+//! contention-driven slowdowns that dominate the paper's results.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::types::{Addr, Cycle, TrafficClass};
+
+/// Fixed-point scale for byte-credit arithmetic (10 fractional bits).
+const FP: u64 = 1024;
+
+/// A request presented to the DRAM channel.
+///
+/// `T` is an opaque token returned with the completion (e.g. a transaction
+/// id in the secure engine, or an L2 fill descriptor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramRequest<T> {
+    /// Bytes transferred (32 for a sector, 128 for a full metadata line).
+    pub bytes: u64,
+    /// Target address, used only by the banked row-buffer model (pass 0
+    /// when row modeling is disabled).
+    pub addr: Addr,
+    /// Read or write (writes complete but typically need no downstream action).
+    pub is_write: bool,
+    /// Traffic class for statistics.
+    pub class: TrafficClass,
+    /// Caller token returned on completion.
+    pub token: T,
+}
+
+/// Per-class DRAM traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramClassStats {
+    /// Read requests.
+    pub reads: u64,
+    /// Write requests.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Stats per traffic class, indexed by `TrafficClass::ALL` order.
+    pub per_class: [DramClassStats; 4],
+    /// Cycles (fixed-point) the channel data bus was busy.
+    pub busy_fp: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected: u64,
+    /// Row-buffer hits (banked model only).
+    pub row_hits: u64,
+    /// Row-buffer misses (banked model only).
+    pub row_misses: u64,
+}
+
+impl DramStats {
+    fn class_mut(&mut self, c: TrafficClass) -> &mut DramClassStats {
+        let idx = TrafficClass::ALL.iter().position(|&x| x == c).expect("class in ALL");
+        &mut self.per_class[idx]
+    }
+
+    /// Stats for one class.
+    pub fn class(&self, c: TrafficClass) -> DramClassStats {
+        let idx = TrafficClass::ALL.iter().position(|&x| x == c).expect("class in ALL");
+        self.per_class[idx]
+    }
+
+    /// Total requests (reads + writes, all classes).
+    pub fn total_requests(&self) -> u64 {
+        self.per_class.iter().map(|c| c.reads + c.writes).sum()
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_class.iter().map(|c| c.bytes_read + c.bytes_written).sum()
+    }
+
+    /// Bandwidth utilization over `cycles` simulated cycles (0..=1).
+    pub fn utilization(&self, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            (self.busy_fp as f64 / FP as f64) / cycles as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InFlight<T> {
+    req: DramRequest<T>,
+}
+
+/// The DRAM channel.
+#[derive(Debug)]
+pub struct Dram<T> {
+    bytes_per_cycle_fp: u64,
+    latency: Cycle,
+    /// Open row per bank; empty = row modeling disabled.
+    open_rows: Vec<Option<Addr>>,
+    row_bytes: u64,
+    row_miss_penalty_fp: u64,
+    queue: VecDeque<DramRequest<T>>,
+    queue_cap: usize,
+    next_free_fp: u64,
+    inflight: BinaryHeap<Reverse<(Cycle, u64)>>,
+    inflight_store: Vec<Option<InFlight<T>>>,
+    free_slots: Vec<usize>,
+    ready: VecDeque<DramRequest<T>>,
+    seq: u64,
+    stats: DramStats,
+}
+
+impl<T> Dram<T> {
+    /// Creates a channel.
+    ///
+    /// * `bytes_per_cycle_fp` — peak bandwidth in bytes/cycle, 22.10 fixed
+    ///   point (see `GpuConfig::dram_bytes_per_cycle_fp`).
+    /// * `latency` — access latency in cycles added after service.
+    /// * `queue_cap` — request queue capacity (backpressure bound).
+    pub fn new(bytes_per_cycle_fp: u64, latency: u32, queue_cap: usize) -> Self {
+        Self::with_banks(bytes_per_cycle_fp, latency, queue_cap, 0, 2048, 0)
+    }
+
+    /// Creates a channel with a banked row-buffer model: a request whose
+    /// row (addr / `row_bytes`) differs from its bank's open row pays
+    /// `row_miss_penalty` extra cycles of service time. `banks = 0`
+    /// disables row modeling (every access costs the flat rate).
+    pub fn with_banks(
+        bytes_per_cycle_fp: u64,
+        latency: u32,
+        queue_cap: usize,
+        banks: u32,
+        row_bytes: u64,
+        row_miss_penalty: u32,
+    ) -> Self {
+        assert!(bytes_per_cycle_fp > 0, "bandwidth must be positive");
+        assert!(row_bytes.is_power_of_two(), "row size must be a power of two");
+        Self {
+            bytes_per_cycle_fp,
+            latency: latency as Cycle,
+            open_rows: vec![None; banks as usize],
+            row_bytes,
+            row_miss_penalty_fp: row_miss_penalty as u64 * FP,
+            queue: VecDeque::new(),
+            queue_cap: queue_cap.max(1),
+            next_free_fp: 0,
+            inflight: BinaryHeap::new(),
+            inflight_store: Vec::new(),
+            free_slots: Vec::new(),
+            ready: VecDeque::new(),
+            seq: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// True if the request queue cannot accept another request.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.queue_cap
+    }
+
+    /// Submits a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the queue is full.
+    pub fn try_push(&mut self, req: DramRequest<T>) -> Result<(), DramRequest<T>> {
+        if self.is_full() {
+            self.stats.rejected += 1;
+            return Err(req);
+        }
+        let cs = self.stats.class_mut(req.class);
+        if req.is_write {
+            cs.writes += 1;
+            cs.bytes_written += req.bytes;
+        } else {
+            cs.reads += 1;
+            cs.bytes_read += req.bytes;
+        }
+        self.queue.push_back(req);
+        Ok(())
+    }
+
+    /// Advances the channel to cycle `now`: starts service of queued
+    /// requests as bandwidth allows and retires finished ones into the
+    /// ready queue.
+    pub fn cycle(&mut self, now: Cycle) {
+        let now_fp = now * FP;
+        // Begin service for queued requests that can start within this
+        // cycle (start < now+1 in fixed point keeps fractional service
+        // times from leaking bandwidth at cycle boundaries).
+        while let Some(front) = self.queue.front() {
+            let start_fp = self.next_free_fp.max(now_fp);
+            if start_fp >= now_fp + FP {
+                break; // channel busy beyond this cycle
+            }
+            let mut service_fp = front.bytes * FP * FP / self.bytes_per_cycle_fp;
+            if !self.open_rows.is_empty() {
+                let row = front.addr / self.row_bytes;
+                let bank = (row as usize) % self.open_rows.len();
+                if self.open_rows[bank] == Some(row) {
+                    self.stats.row_hits += 1;
+                } else {
+                    self.stats.row_misses += 1;
+                    self.open_rows[bank] = Some(row);
+                    service_fp += self.row_miss_penalty_fp;
+                }
+            }
+            let end_fp = start_fp + service_fp;
+            self.next_free_fp = end_fp;
+            self.stats.busy_fp += service_fp;
+            let done_at = end_fp.div_ceil(FP) + self.latency;
+            let req = self.queue.pop_front().expect("front exists");
+            let slot = if let Some(s) = self.free_slots.pop() {
+                self.inflight_store[s] = Some(InFlight { req });
+                s
+            } else {
+                self.inflight_store.push(Some(InFlight { req }));
+                self.inflight_store.len() - 1
+            };
+            self.inflight.push(Reverse((done_at, slot as u64)));
+            self.seq += 1;
+        }
+        // Retire completions.
+        while let Some(Reverse((done_at, slot))) = self.inflight.peek().copied() {
+            if done_at > now {
+                break;
+            }
+            self.inflight.pop();
+            let inflight = self.inflight_store[slot as usize].take().expect("slot occupied");
+            self.free_slots.push(slot as usize);
+            self.ready.push_back(inflight.req);
+        }
+    }
+
+    /// Pops one completed request, if any.
+    pub fn pop_completed(&mut self) -> Option<DramRequest<T>> {
+        self.ready.pop_front()
+    }
+
+    /// True when no requests are queued, in flight, or awaiting pickup.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.inflight.is_empty() && self.ready.is_empty()
+    }
+
+    /// Number of queued (not yet serviced) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Free request-queue slots.
+    pub fn free_capacity(&self) -> usize {
+        self.queue_cap.saturating_sub(self.queue.len())
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Resets statistics (state preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(bytes: u64, write: bool, token: u32) -> DramRequest<u32> {
+        DramRequest { bytes, addr: 0, is_write: write, class: TrafficClass::Data, token }
+    }
+
+    /// 24 B/cycle, 10-cycle latency, queue of 4.
+    fn dram() -> Dram<u32> {
+        Dram::new(24 * FP, 10, 4)
+    }
+
+    #[test]
+    fn single_request_latency() {
+        let mut d = dram();
+        d.try_push(req(32, false, 1)).unwrap();
+        let mut done_cycle = None;
+        for now in 0..40 {
+            d.cycle(now);
+            if let Some(r) = d.pop_completed() {
+                assert_eq!(r.token, 1);
+                done_cycle = Some(now);
+                break;
+            }
+        }
+        // 32 B at 24 B/cycle = 2 cycles (ceil), + 10 latency.
+        assert_eq!(done_cycle, Some(12));
+        assert!(d.is_idle());
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        let mut d = Dram::new(24 * FP, 0, 1024);
+        for i in 0..100 {
+            d.try_push(req(32, false, i)).unwrap();
+        }
+        let mut completed = 0;
+        let mut cycles = 0;
+        while completed < 100 {
+            d.cycle(cycles);
+            while d.pop_completed().is_some() {
+                completed += 1;
+            }
+            cycles += 1;
+            assert!(cycles < 1000, "requests never completed");
+        }
+        // 100 * 32 B = 3200 B at 24 B/cycle ~= 133 cycles.
+        assert!((130..=140).contains(&cycles), "took {cycles} cycles");
+        let util = d.stats().utilization(cycles);
+        assert!(util > 0.9, "utilization {util}");
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        let mut d = dram();
+        for i in 0..4 {
+            d.try_push(req(32, false, i)).unwrap();
+        }
+        assert!(d.is_full());
+        assert!(d.try_push(req(32, false, 99)).is_err());
+        assert_eq!(d.stats().rejected, 1);
+    }
+
+    #[test]
+    fn completions_in_service_order() {
+        let mut d = dram();
+        d.try_push(req(128, false, 1)).unwrap();
+        d.try_push(req(32, false, 2)).unwrap();
+        let mut order = Vec::new();
+        for now in 0..100 {
+            d.cycle(now);
+            while let Some(r) = d.pop_completed() {
+                order.push(r.token);
+            }
+        }
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn per_class_stats() {
+        let mut d: Dram<()> = Dram::new(24 * FP, 0, 16);
+        d.try_push(DramRequest { bytes: 32, addr: 0, is_write: false, class: TrafficClass::Mac, token: () })
+            .unwrap();
+        d.try_push(DramRequest { bytes: 128, addr: 0, is_write: true, class: TrafficClass::Counter, token: () })
+            .unwrap();
+        assert_eq!(d.stats().class(TrafficClass::Mac).reads, 1);
+        assert_eq!(d.stats().class(TrafficClass::Mac).bytes_read, 32);
+        assert_eq!(d.stats().class(TrafficClass::Counter).writes, 1);
+        assert_eq!(d.stats().class(TrafficClass::Counter).bytes_written, 128);
+        assert_eq!(d.stats().total_requests(), 2);
+        assert_eq!(d.stats().total_bytes(), 160);
+    }
+
+    #[test]
+    fn writes_complete_too() {
+        let mut d = dram();
+        d.try_push(req(32, true, 7)).unwrap();
+        let mut saw = false;
+        for now in 0..40 {
+            d.cycle(now);
+            if let Some(r) = d.pop_completed() {
+                assert!(r.is_write);
+                saw = true;
+            }
+        }
+        assert!(saw);
+    }
+
+    #[test]
+    fn row_buffer_hits_are_faster() {
+        // 16 B/cycle, zero latency; row misses cost 10 extra cycles.
+        let run = |addrs: &[u64]| {
+            let mut d: Dram<u32> = Dram::with_banks(16 * FP, 0, 64, 4, 2048, 10);
+            for (i, &a) in addrs.iter().enumerate() {
+                d.try_push(DramRequest { bytes: 32, addr: a, is_write: false, class: TrafficClass::Data, token: i as u32 })
+                    .unwrap();
+            }
+            let mut done = 0;
+            let mut now = 0;
+            while done < addrs.len() {
+                d.cycle(now);
+                while d.pop_completed().is_some() {
+                    done += 1;
+                }
+                now += 1;
+                assert!(now < 10_000);
+            }
+            now
+        };
+        // Same row streaming vs. alternating rows in the same bank.
+        let stream: Vec<u64> = (0..16).map(|i| i * 32).collect();
+        let thrash: Vec<u64> = (0..16).map(|i| (i % 2) * 4 * 2048 + i * 32).collect();
+        assert!(run(&stream) < run(&thrash), "row thrashing must be slower");
+    }
+
+    #[test]
+    fn row_stats_recorded() {
+        let mut d: Dram<u32> = Dram::with_banks(16 * FP, 0, 64, 2, 2048, 10);
+        for i in 0..4u64 {
+            d.try_push(DramRequest { bytes: 32, addr: i * 32, is_write: false, class: TrafficClass::Data, token: i as u32 })
+                .unwrap();
+        }
+        for now in 0..100 {
+            d.cycle(now);
+            while d.pop_completed().is_some() {}
+        }
+        assert_eq!(d.stats().row_misses, 1, "first access opens the row");
+        assert_eq!(d.stats().row_hits, 3);
+    }
+
+    #[test]
+    fn unbanked_records_no_row_stats() {
+        let mut d = dram();
+        d.try_push(req(32, false, 1)).unwrap();
+        for now in 0..40 {
+            d.cycle(now);
+        }
+        assert_eq!(d.stats().row_hits, 0);
+        assert_eq!(d.stats().row_misses, 0);
+    }
+
+    #[test]
+    fn utilization_zero_when_idle() {
+        let d = dram();
+        assert_eq!(d.stats().utilization(100), 0.0);
+        assert_eq!(d.stats().utilization(0), 0.0);
+    }
+}

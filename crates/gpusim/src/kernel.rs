@@ -1,0 +1,149 @@
+//! The kernel abstraction: workloads supply per-warp instruction streams.
+//!
+//! A [`Kernel`] describes one GPU grid: how many SMs it occupies, how many
+//! warps run on each, and a factory for per-warp instruction generators
+//! ([`WarpProgram`]). The `secmem-workloads` crate implements these traits
+//! for the 14 synthetic benchmarks of Table IV.
+
+use crate::types::Inst;
+
+/// A per-warp instruction stream.
+///
+/// `next_inst` is called once each time the warp is ready to issue; the
+/// returned instruction is executed by the SM model. Return [`Inst::Exit`]
+/// to retire the warp; after that, `next_inst` is not called again.
+pub trait WarpProgram {
+    /// Produces the warp's next dynamic instruction.
+    fn next_inst(&mut self) -> Inst;
+}
+
+/// A GPU kernel: grid shape plus per-warp program factory.
+pub trait Kernel {
+    /// Number of SMs the kernel occupies (1..=cfg.num_sms).
+    fn active_sms(&self, available_sms: u32) -> u32 {
+        available_sms
+    }
+
+    /// Number of warps resident on SM `sm` (1..=cfg.max_warps_per_sm).
+    fn warps_per_sm(&self, sm: u32) -> u32;
+
+    /// Creates the instruction stream for warp `warp` of SM `sm`.
+    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram>;
+
+    /// A short display name for reports.
+    fn name(&self) -> &str {
+        "kernel"
+    }
+}
+
+/// A trivial infinite streaming kernel, useful for tests: each warp
+/// alternates `alu_per_mem` ALU instructions with one fully-coalesced
+/// sector load marching sequentially through a private address range.
+#[derive(Debug, Clone)]
+pub struct StreamKernel {
+    /// ALU instructions between consecutive loads.
+    pub alu_per_mem: u32,
+    /// Bytes of address space given to each warp.
+    pub bytes_per_warp: u64,
+    /// Warps per SM.
+    pub warps: u32,
+}
+
+impl StreamKernel {
+    /// A memory-hungry default: 1 ALU per load.
+    pub fn memory_bound(warps: u32) -> Self {
+        Self { alu_per_mem: 1, bytes_per_warp: 1 << 20, warps }
+    }
+}
+
+#[derive(Debug)]
+struct StreamProgram {
+    alu_per_mem: u32,
+    alu_left: u32,
+    base: u64,
+    len: u64,
+    pos: u64,
+}
+
+impl WarpProgram for StreamProgram {
+    fn next_inst(&mut self) -> Inst {
+        if self.alu_left > 0 {
+            self.alu_left -= 1;
+            // The first ALU op after a load consumes the loaded value.
+            let wait = self.alu_left + 1 == self.alu_per_mem;
+            return Inst::Alu { stall: 1, wait_mem: wait };
+        }
+        self.alu_left = self.alu_per_mem;
+        let addr = self.base + (self.pos % self.len);
+        self.pos += 128;
+        Inst::load(crate::types::Access::new(addr, crate::types::FULL_SECTOR_MASK))
+    }
+}
+
+impl Kernel for StreamKernel {
+    fn warps_per_sm(&self, _sm: u32) -> u32 {
+        self.warps
+    }
+
+    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {
+        let idx = sm as u64 * 64 + warp as u64;
+        Box::new(StreamProgram {
+            alu_per_mem: self.alu_per_mem,
+            alu_left: 0,
+            base: idx * self.bytes_per_warp,
+            len: self.bytes_per_warp,
+            pos: 0,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Access;
+
+    #[test]
+    fn stream_program_alternates() {
+        let k = StreamKernel { alu_per_mem: 2, bytes_per_warp: 1024, warps: 1 };
+        let mut p = k.spawn(0, 0);
+        // First instruction is a load (alu_left starts at 0).
+        match p.next_inst() {
+            Inst::Load { accesses, .. } => assert_eq!(accesses.len(), 1),
+            other => panic!("expected load, got {other:?}"),
+        }
+        assert!(matches!(p.next_inst(), Inst::Alu { .. }));
+        assert!(matches!(p.next_inst(), Inst::Alu { .. }));
+        assert!(matches!(p.next_inst(), Inst::Load { .. }));
+    }
+
+    #[test]
+    fn stream_wraps_around() {
+        let k = StreamKernel { alu_per_mem: 0, bytes_per_warp: 256, warps: 1 };
+        let mut p = k.spawn(0, 0);
+        let mut addrs = Vec::new();
+        for _ in 0..4 {
+            if let Inst::Load { accesses, .. } = p.next_inst() {
+                addrs.push(accesses[0].line_addr);
+            }
+        }
+        assert_eq!(addrs, vec![0, 128, 0, 128]);
+        let _ = Access::sector(0);
+    }
+
+    #[test]
+    fn warps_are_disjoint() {
+        let k = StreamKernel::memory_bound(2);
+        let mut a = k.spawn(0, 0);
+        let mut b = k.spawn(0, 1);
+        let first = |p: &mut Box<dyn WarpProgram>| loop {
+            if let Inst::Load { accesses, .. } = p.next_inst() {
+                return accesses[0].line_addr;
+            }
+        };
+        assert_ne!(first(&mut a), first(&mut b));
+    }
+}

@@ -1,0 +1,211 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! MSHRs track in-flight line fetches and merge *secondary misses* —
+//! accesses to a line that has already been requested but has not yet
+//! returned — so they do not generate redundant memory traffic. The paper
+//! shows (§V-B) that GPU sectored L2 caches make secondary misses the
+//! dominant class of metadata-cache misses (up to >90%), which makes
+//! MSHRs essential for metadata caches.
+
+use std::collections::HashMap;
+
+use crate::types::{Addr, SectorMask};
+
+/// Outcome of presenting a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated (primary miss): the caller must issue a
+    /// memory request for the line's missing sectors.
+    Allocated,
+    /// Merged into an existing entry (secondary miss): no memory request
+    /// needed; the target will be notified when the line returns.
+    Merged,
+    /// Merged into an existing entry, but the entry had not requested all
+    /// of the sectors the new access needs: the caller must issue a memory
+    /// request for the returned mask only.
+    MergedNewSectors(SectorMask),
+    /// The file (or the entry's merge capacity) is exhausted; the access
+    /// must be retried later.
+    Full,
+}
+
+/// MSHR statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Primary misses (new entry allocated).
+    pub primary: u64,
+    /// Secondary misses merged into an existing entry.
+    pub secondary: u64,
+    /// Accesses rejected because the file or entry was full.
+    pub stalls: u64,
+}
+
+impl MshrStats {
+    /// Fraction of misses that were secondary (0 when no misses).
+    pub fn secondary_ratio(&self) -> f64 {
+        let total = self.primary + self.secondary;
+        if total == 0 {
+            0.0
+        } else {
+            self.secondary as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    requested: SectorMask,
+    targets: Vec<T>,
+}
+
+/// An MSHR file with bounded entries and bounded merges per entry.
+///
+/// `T` is the caller's target token (e.g. a warp reference or transaction
+/// id), returned when the fill completes.
+#[derive(Debug)]
+pub struct MshrFile<T> {
+    entries: HashMap<Addr, Entry<T>>,
+    capacity: usize,
+    max_merge: usize,
+    stats: MshrStats,
+}
+
+impl<T> MshrFile<T> {
+    /// Creates a file with `capacity` entries, each merging at most
+    /// `max_merge` targets (including the primary one).
+    pub fn new(capacity: usize, max_merge: usize) -> Self {
+        Self { entries: HashMap::new(), capacity, max_merge: max_merge.max(1), stats: MshrStats::default() }
+    }
+
+    /// Presents a missing access. See [`MshrOutcome`].
+    pub fn access(&mut self, line_addr: Addr, sectors: SectorMask, target: T) -> MshrOutcome {
+        if let Some(entry) = self.entries.get_mut(&line_addr) {
+            if entry.targets.len() >= self.max_merge {
+                self.stats.stalls += 1;
+                return MshrOutcome::Full;
+            }
+            entry.targets.push(target);
+            self.stats.secondary += 1;
+            let missing = sectors.minus(entry.requested);
+            if missing.is_empty() {
+                MshrOutcome::Merged
+            } else {
+                entry.requested = entry.requested.union(missing);
+                MshrOutcome::MergedNewSectors(missing)
+            }
+        } else if self.entries.len() < self.capacity {
+            self.entries.insert(line_addr, Entry { requested: sectors, targets: vec![target] });
+            self.stats.primary += 1;
+            MshrOutcome::Allocated
+        } else {
+            self.stats.stalls += 1;
+            MshrOutcome::Full
+        }
+    }
+
+    /// True if the line has an in-flight entry.
+    pub fn contains(&self, line_addr: Addr) -> bool {
+        self.entries.contains_key(&line_addr)
+    }
+
+    /// The sectors requested by the line's in-flight entry, if any.
+    pub fn requested(&self, line_addr: Addr) -> Option<SectorMask> {
+        self.entries.get(&line_addr).map(|e| e.requested)
+    }
+
+    /// Completes a fill: removes the entry and returns the sectors that
+    /// were requested plus all merged targets. Returns `None` if the line
+    /// had no entry (e.g. a prefetch or a zero-capacity file).
+    pub fn complete(&mut self, line_addr: Addr) -> Option<(SectorMask, Vec<T>)> {
+        self.entries.remove(&line_addr).map(|e| (e.requested, e.targets))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if no new entry can be allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MshrStats {
+        self.stats
+    }
+
+    /// Resets statistics (entries preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = MshrStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FULL_SECTOR_MASK;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m: MshrFile<u32> = MshrFile::new(4, 8);
+        assert_eq!(m.access(0x80, SectorMask::single(0), 1), MshrOutcome::Allocated);
+        assert_eq!(m.access(0x80, SectorMask::single(0), 2), MshrOutcome::Merged);
+        assert_eq!(
+            m.access(0x80, SectorMask::single(2), 3),
+            MshrOutcome::MergedNewSectors(SectorMask::single(2))
+        );
+        let (sectors, targets) = m.complete(0x80).expect("entry exists");
+        assert_eq!(sectors, SectorMask(0b0101));
+        assert_eq!(targets, vec![1, 2, 3]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_limit() {
+        let mut m: MshrFile<()> = MshrFile::new(2, 8);
+        assert_eq!(m.access(0x0, FULL_SECTOR_MASK, ()), MshrOutcome::Allocated);
+        assert_eq!(m.access(0x80, FULL_SECTOR_MASK, ()), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.access(0x100, FULL_SECTOR_MASK, ()), MshrOutcome::Full);
+        // Merging into existing entries still works when full.
+        assert_eq!(m.access(0x0, FULL_SECTOR_MASK, ()), MshrOutcome::Merged);
+        assert_eq!(m.stats().stalls, 1);
+    }
+
+    #[test]
+    fn merge_limit() {
+        let mut m: MshrFile<u8> = MshrFile::new(2, 2);
+        assert_eq!(m.access(0x0, FULL_SECTOR_MASK, 0), MshrOutcome::Allocated);
+        assert_eq!(m.access(0x0, FULL_SECTOR_MASK, 1), MshrOutcome::Merged);
+        assert_eq!(m.access(0x0, FULL_SECTOR_MASK, 2), MshrOutcome::Full);
+        assert_eq!(m.stats().secondary, 1);
+    }
+
+    #[test]
+    fn secondary_ratio() {
+        let mut m: MshrFile<u8> = MshrFile::new(8, 8);
+        m.access(0x0, FULL_SECTOR_MASK, 0);
+        m.access(0x0, FULL_SECTOR_MASK, 1);
+        m.access(0x0, FULL_SECTOR_MASK, 2);
+        m.access(0x80, FULL_SECTOR_MASK, 3);
+        assert!((m.stats().secondary_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_none() {
+        let mut m: MshrFile<u8> = MshrFile::new(2, 2);
+        assert!(m.complete(0x40).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_always_full() {
+        let mut m: MshrFile<u8> = MshrFile::new(0, 1);
+        assert_eq!(m.access(0x0, FULL_SECTOR_MASK, 0), MshrOutcome::Full);
+    }
+}

@@ -1,0 +1,417 @@
+//! Warp-trace recording and replay.
+//!
+//! Lets users capture the instruction stream of any [`Kernel`] into a
+//! portable text format and replay it later — e.g. to feed real
+//! application traces (converted from NVBit/GPGPU-Sim captures) through
+//! the secure-memory models, or to archive the exact workload behind a
+//! result.
+//!
+//! # Format (`gpu-secure-memory trace v1`)
+//!
+//! ```text
+//! # gpu-secure-memory trace v1
+//! warp 0 0            # begin stream for SM 0, warp 0
+//! A 1                 # ALU, 1-cycle stall
+//! U 1                 # ALU consuming loaded data (wait_mem)
+//! L 0 1a80:3 2b00:1   # load, dependent=0, accesses addr:sector-mask (hex:hex)
+//! S 3c80:f            # store
+//! X                   # warp exit
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::kernel::{Kernel, WarpProgram};
+use crate::types::{Access, Addr, Inst, SectorMask};
+
+/// Magic first line of a trace file.
+pub const TRACE_HEADER: &str = "# gpu-secure-memory trace v1";
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes one instruction to its trace line.
+pub fn serialize_inst(inst: &Inst) -> String {
+    let accesses = |list: &[Access]| {
+        list.iter()
+            .map(|a| format!("{:x}:{:x}", a.line_addr, a.sectors.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    match inst {
+        Inst::Alu { stall, wait_mem: false } => format!("A {stall}"),
+        Inst::Alu { stall, wait_mem: true } => format!("U {stall}"),
+        Inst::Load { accesses: list, dependent } => {
+            format!("L {} {}", u8::from(*dependent), accesses(list))
+        }
+        Inst::Store { accesses: list } => format!("S {}", accesses(list)),
+        Inst::Exit => "X".to_string(),
+    }
+}
+
+fn parse_accesses(parts: &[&str], line: usize) -> Result<Vec<Access>, ParseTraceError> {
+    if parts.is_empty() {
+        return Err(ParseTraceError { line, message: "memory instruction with no accesses".into() });
+    }
+    parts
+        .iter()
+        .map(|p| {
+            let (addr, mask) = p.split_once(':').ok_or_else(|| ParseTraceError {
+                line,
+                message: format!("access '{p}' is not addr:mask"),
+            })?;
+            let addr = Addr::from_str_radix(addr, 16).map_err(|_| ParseTraceError {
+                line,
+                message: format!("bad address '{addr}'"),
+            })?;
+            let mask = u8::from_str_radix(mask, 16).map_err(|_| ParseTraceError {
+                line,
+                message: format!("bad sector mask '{mask}'"),
+            })?;
+            if mask == 0 || mask > 0xF {
+                return Err(ParseTraceError { line, message: format!("mask {mask:#x} out of range") });
+            }
+            Ok(Access { line_addr: addr & !127, sectors: SectorMask(mask) })
+        })
+        .collect()
+}
+
+/// Parses one instruction line.
+pub fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseTraceError> {
+    let mut parts = text.split_whitespace();
+    let op = parts.next().ok_or_else(|| ParseTraceError { line, message: "empty line".into() })?;
+    let rest: Vec<&str> = parts.collect();
+    let stall = |rest: &[&str]| -> Result<u32, ParseTraceError> {
+        rest.first()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseTraceError { line, message: "ALU needs a stall count".into() })
+    };
+    match op {
+        "A" => Ok(Inst::Alu { stall: stall(&rest)?, wait_mem: false }),
+        "U" => Ok(Inst::Alu { stall: stall(&rest)?, wait_mem: true }),
+        "L" => {
+            let dep = rest
+                .first()
+                .and_then(|s| s.parse::<u8>().ok())
+                .ok_or_else(|| ParseTraceError { line, message: "load needs a dependent flag".into() })?;
+            Ok(Inst::Load { accesses: parse_accesses(&rest[1..], line)?, dependent: dep != 0 })
+        }
+        "S" => Ok(Inst::Store { accesses: parse_accesses(&rest, line)? }),
+        "X" => Ok(Inst::Exit),
+        other => Err(ParseTraceError { line, message: format!("unknown opcode '{other}'") }),
+    }
+}
+
+/// A recorded multi-warp trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    streams: HashMap<(u32, u32), Vec<Inst>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the first `max_insts` instructions of every warp of
+    /// `kernel` (stopping early at `Exit`).
+    pub fn record(kernel: &dyn Kernel, sms: u32, max_insts: usize) -> Self {
+        let mut streams = HashMap::new();
+        let active = kernel.active_sms(sms);
+        for sm in 0..active {
+            for warp in 0..kernel.warps_per_sm(sm) {
+                let mut program = kernel.spawn(sm, warp);
+                let mut insts = Vec::new();
+                for _ in 0..max_insts {
+                    let inst = program.next_inst();
+                    let exit = matches!(inst, Inst::Exit);
+                    insts.push(inst);
+                    if exit {
+                        break;
+                    }
+                }
+                streams.insert((sm, warp), insts);
+            }
+        }
+        Self { streams }
+    }
+
+    /// Adds (or replaces) one warp's stream.
+    pub fn insert(&mut self, sm: u32, warp: u32, insts: Vec<Inst>) {
+        self.streams.insert((sm, warp), insts);
+    }
+
+    /// The instruction stream of a warp, if recorded.
+    pub fn stream(&self, sm: u32, warp: u32) -> Option<&[Inst]> {
+        self.streams.get(&(sm, warp)).map(Vec::as_slice)
+    }
+
+    /// Number of recorded warps.
+    pub fn warp_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Serializes to the v1 text format (warps in sorted order).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{TRACE_HEADER}");
+        let mut keys: Vec<&(u32, u32)> = self.streams.keys().collect();
+        keys.sort();
+        for key in keys {
+            let _ = writeln!(out, "warp {} {}", key.0, key.1);
+            for inst in &self.streams[key] {
+                let _ = writeln!(out, "{}", serialize_inst(inst));
+            }
+        }
+        out
+    }
+
+    /// Parses the v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, ParseTraceError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l.trim() == TRACE_HEADER => {}
+            _ => {
+                return Err(ParseTraceError { line: 1, message: format!("missing header '{TRACE_HEADER}'") })
+            }
+        }
+        let mut streams: HashMap<(u32, u32), Vec<Inst>> = HashMap::new();
+        let mut current: Option<(u32, u32)> = None;
+        for (i, raw) in lines {
+            let line_no = i + 1;
+            let text = raw.split('#').next().unwrap_or("").trim();
+            if text.is_empty() {
+                continue;
+            }
+            if let Some(rest) = text.strip_prefix("warp ") {
+                let mut it = rest.split_whitespace();
+                let sm = it.next().and_then(|s| s.parse().ok());
+                let warp = it.next().and_then(|s| s.parse().ok());
+                match (sm, warp) {
+                    (Some(sm), Some(warp)) => {
+                        current = Some((sm, warp));
+                        streams.entry((sm, warp)).or_default();
+                    }
+                    _ => {
+                        return Err(ParseTraceError {
+                            line: line_no,
+                            message: format!("bad warp directive '{text}'"),
+                        })
+                    }
+                }
+                continue;
+            }
+            let Some(key) = current else {
+                return Err(ParseTraceError {
+                    line: line_no,
+                    message: "instruction before any 'warp' directive".into(),
+                });
+            };
+            streams.get_mut(&key).expect("stream exists").push(parse_inst(text, line_no)?);
+        }
+        Ok(Self { streams })
+    }
+}
+
+/// Replays a [`Trace`] as a [`Kernel`]: each recorded warp runs its
+/// stream once and exits; unrecorded warps exit immediately.
+#[derive(Debug, Clone)]
+pub struct TraceKernel {
+    trace: std::sync::Arc<Trace>,
+    name: String,
+}
+
+impl TraceKernel {
+    /// Wraps a trace for replay.
+    pub fn new(trace: Trace, name: impl Into<String>) -> Self {
+        Self { trace: std::sync::Arc::new(trace), name: name.into() }
+    }
+
+    /// Loads a trace file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and parse failures (boxed).
+    pub fn from_file(path: &std::path::Path) -> Result<Self, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path)?;
+        let trace = Trace::from_text(&text)?;
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace").to_string();
+        Ok(Self::new(trace, name))
+    }
+}
+
+#[derive(Debug)]
+struct Replay {
+    insts: Vec<Inst>,
+    pos: usize,
+}
+
+impl WarpProgram for Replay {
+    fn next_inst(&mut self) -> Inst {
+        let inst = self.insts.get(self.pos).cloned().unwrap_or(Inst::Exit);
+        self.pos += 1;
+        inst
+    }
+}
+
+impl Kernel for TraceKernel {
+    fn active_sms(&self, available: u32) -> u32 {
+        let max_sm = self.trace.streams.keys().map(|k| k.0 + 1).max().unwrap_or(1);
+        max_sm.min(available)
+    }
+
+    fn warps_per_sm(&self, sm: u32) -> u32 {
+        self.trace
+            .streams
+            .keys()
+            .filter(|k| k.0 == sm)
+            .map(|k| k.1 + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {
+        let insts = self.trace.stream(sm, warp).map(<[Inst]>::to_vec).unwrap_or_default();
+        Box::new(Replay { insts, pos: 0 })
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::PassthroughBackend;
+    use crate::config::GpuConfig;
+    use crate::kernel::StreamKernel;
+    use crate::sim::Simulator;
+    use crate::types::FULL_SECTOR_MASK;
+
+    fn sample_insts() -> Vec<Inst> {
+        vec![
+            Inst::Alu { stall: 3, wait_mem: false },
+            Inst::Load {
+                accesses: vec![
+                    Access { line_addr: 0x1a80, sectors: SectorMask(0b0011) },
+                    Access { line_addr: 0x2b00, sectors: SectorMask(0b0001) },
+                ],
+                dependent: true,
+            },
+            Inst::Alu { stall: 1, wait_mem: true },
+            Inst::Store { accesses: vec![Access { line_addr: 0x3c80, sectors: FULL_SECTOR_MASK }] },
+            Inst::Exit,
+        ]
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut trace = Trace::new();
+        trace.insert(0, 0, sample_insts());
+        trace.insert(1, 3, vec![Inst::alu(), Inst::Exit]);
+        let text = trace.to_text();
+        assert!(text.starts_with(TRACE_HEADER));
+        let back = Trace::from_text(&text).expect("parses");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn serialize_forms() {
+        assert_eq!(serialize_inst(&Inst::alu()), "A 1");
+        assert_eq!(serialize_inst(&Inst::use_mem()), "U 1");
+        assert_eq!(serialize_inst(&Inst::Exit), "X");
+        let l = serialize_inst(&sample_insts()[1]);
+        assert_eq!(l, "L 1 1a80:3 2b00:1");
+        assert_eq!(parse_inst(&l, 1).expect("parses"), sample_insts()[1]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::from_text("not a trace").is_err());
+        let bad_op = format!("{TRACE_HEADER}\nwarp 0 0\nZ 1\n");
+        let err = Trace::from_text(&bad_op).expect_err("bad opcode");
+        assert_eq!(err.line, 3);
+        let bad_mask = format!("{TRACE_HEADER}\nwarp 0 0\nL 0 80:ff\n");
+        assert!(Trace::from_text(&bad_mask).is_err());
+        let orphan = format!("{TRACE_HEADER}\nA 1\n");
+        assert!(Trace::from_text(&orphan).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = format!("{TRACE_HEADER}\n\nwarp 0 0  # first warp\nA 4 # compute\nX\n");
+        let trace = Trace::from_text(&text).expect("parses");
+        assert_eq!(
+            trace.stream(0, 0).expect("warp recorded"),
+            &[Inst::Alu { stall: 4, wait_mem: false }, Inst::Exit]
+        );
+    }
+
+    #[test]
+    fn record_captures_kernel() {
+        let kernel = StreamKernel { alu_per_mem: 1, bytes_per_warp: 4096, warps: 2 };
+        let trace = Trace::record(&kernel, 2, 16);
+        assert_eq!(trace.warp_count(), 4);
+        let s = trace.stream(0, 0).expect("recorded");
+        assert_eq!(s.len(), 16, "infinite kernel truncated at max_insts");
+        assert!(s.iter().any(|i| matches!(i, Inst::Load { .. })));
+    }
+
+    #[test]
+    fn recorded_trace_replays_equivalently() {
+        let kernel = StreamKernel { alu_per_mem: 2, bytes_per_warp: 1 << 16, warps: 4 };
+        let trace = Trace::record(&kernel, 4, 200);
+        let replay = TraceKernel::new(trace, "stream-replay");
+        let cfg = GpuConfig::small();
+        let mut sim = Simulator::new(cfg, &replay, |_, g| PassthroughBackend::from_config(g));
+        let report = sim.run(50_000);
+        // 4 SMs x 4 warps x 200 instructions, all retired.
+        assert_eq!(report.warp_instructions, 4 * 4 * 200);
+    }
+
+    #[test]
+    fn trace_kernel_reports_shape() {
+        let mut trace = Trace::new();
+        trace.insert(0, 0, vec![Inst::Exit]);
+        trace.insert(2, 5, vec![Inst::Exit]);
+        let k = TraceKernel::new(trace, "t");
+        assert_eq!(k.active_sms(8), 3);
+        assert_eq!(k.warps_per_sm(2), 6);
+        assert_eq!(k.warps_per_sm(0), 1);
+        assert_eq!(k.name(), "t");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut trace = Trace::new();
+        trace.insert(0, 0, sample_insts());
+        let dir = std::env::temp_dir().join("secmem_trace_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("sample.trace");
+        std::fs::write(&path, trace.to_text()).expect("write");
+        let k = TraceKernel::from_file(&path).expect("loads");
+        assert_eq!(k.name(), "sample");
+        assert_eq!(k.warps_per_sm(0), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

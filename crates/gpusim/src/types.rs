@@ -1,0 +1,345 @@
+//! Fundamental types shared across the simulator: addresses, cycles,
+//! sector masks, memory requests and kernel instructions.
+
+/// A byte address in the simulated GPU physical address space.
+pub type Addr = u64;
+
+/// A simulation time in core-clock cycles.
+pub type Cycle = u64;
+
+/// Size of a cache line in bytes (GPUs use 128 B lines).
+pub const LINE_SIZE: u64 = 128;
+
+/// Size of a sector in bytes (each 128 B line holds four 32 B sectors).
+pub const SECTOR_SIZE: u64 = 32;
+
+/// Number of sectors per cache line.
+pub const SECTORS_PER_LINE: u32 = (LINE_SIZE / SECTOR_SIZE) as u32;
+
+/// Mask with all four sectors of a line selected.
+pub const FULL_SECTOR_MASK: SectorMask = SectorMask(0b1111);
+
+/// Rounds `addr` down to its line base address.
+#[inline]
+pub fn line_of(addr: Addr) -> Addr {
+    addr & !(LINE_SIZE - 1)
+}
+
+/// Returns the sector index (0..4) of `addr` within its line.
+#[inline]
+pub fn sector_of(addr: Addr) -> u32 {
+    ((addr % LINE_SIZE) / SECTOR_SIZE) as u32
+}
+
+/// A bitmask of sectors within one 128 B line (bits 0..4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct SectorMask(pub u8);
+
+impl SectorMask {
+    /// The empty mask.
+    pub const EMPTY: SectorMask = SectorMask(0);
+
+    /// Mask selecting only sector `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    #[inline]
+    pub fn single(index: u32) -> Self {
+        assert!(index < SECTORS_PER_LINE, "sector index out of range");
+        SectorMask(1 << index)
+    }
+
+    /// Mask derived from a byte address (selects the sector containing it).
+    #[inline]
+    pub fn of_addr(addr: Addr) -> Self {
+        Self::single(sector_of(addr))
+    }
+
+    /// True if no sector is selected.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 & 0xF == 0
+    }
+
+    /// True if all four sectors are selected.
+    #[inline]
+    pub fn is_full(self) -> bool {
+        self.0 & 0xF == 0xF
+    }
+
+    /// True if every sector in `other` is also in `self`.
+    #[inline]
+    pub fn contains(self, other: SectorMask) -> bool {
+        (other.0 & !self.0) == 0
+    }
+
+    /// Number of sectors selected.
+    #[inline]
+    pub fn count(self) -> u32 {
+        (self.0 & 0xF).count_ones()
+    }
+
+    /// Number of bytes covered by the selected sectors.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        self.count() as u64 * SECTOR_SIZE
+    }
+
+    /// Union of two masks.
+    #[inline]
+    pub fn union(self, other: SectorMask) -> SectorMask {
+        SectorMask((self.0 | other.0) & 0xF)
+    }
+
+    /// Intersection of two masks.
+    #[inline]
+    pub fn intersect(self, other: SectorMask) -> SectorMask {
+        SectorMask(self.0 & other.0 & 0xF)
+    }
+
+    /// Sectors in `self` but not in `other`.
+    #[inline]
+    pub fn minus(self, other: SectorMask) -> SectorMask {
+        SectorMask(self.0 & !other.0 & 0xF)
+    }
+
+    /// Iterates over the selected sector indices.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        (0..SECTORS_PER_LINE).filter(move |i| self.0 & (1 << i) != 0)
+    }
+}
+
+impl core::fmt::Display for SectorMask {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:04b}", self.0 & 0xF)
+    }
+}
+
+/// The type of traffic a memory request carries.
+///
+/// The paper's Fig. 4 breaks DRAM requests down by these classes; the
+/// baseline GPU only generates [`TrafficClass::Data`], while the secure
+/// memory engine adds counter, MAC and integrity-tree traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Regular program data.
+    Data,
+    /// Encryption counter blocks.
+    Counter,
+    /// Message authentication codes.
+    Mac,
+    /// Bonsai Merkle Tree / Merkle Tree nodes.
+    Tree,
+}
+
+impl TrafficClass {
+    /// All traffic classes in display order.
+    pub const ALL: [TrafficClass; 4] =
+        [TrafficClass::Data, TrafficClass::Counter, TrafficClass::Mac, TrafficClass::Tree];
+
+    /// Short lowercase label used in reports (matches the paper's figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Data => "data",
+            TrafficClass::Counter => "ctr",
+            TrafficClass::Mac => "mac",
+            TrafficClass::Tree => "bmt",
+        }
+    }
+}
+
+impl core::fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read access.
+    Load,
+    /// A write access.
+    Store,
+}
+
+/// One coalesced memory access produced by a warp: a set of sectors within
+/// a single 128 B line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Base address of the line (must be 128 B aligned).
+    pub line_addr: Addr,
+    /// Sectors touched within the line.
+    pub sectors: SectorMask,
+}
+
+impl Access {
+    /// Creates an access, aligning `addr` down to its line.
+    pub fn new(addr: Addr, sectors: SectorMask) -> Self {
+        Self { line_addr: line_of(addr), sectors }
+    }
+
+    /// Single-sector access containing `addr`.
+    pub fn sector(addr: Addr) -> Self {
+        Self { line_addr: line_of(addr), sectors: SectorMask::of_addr(addr) }
+    }
+}
+
+/// One dynamic instruction executed by a warp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// An arithmetic instruction. `stall` is the number of cycles before
+    /// the warp may issue its next instruction (1 = fully pipelined).
+    /// With `wait_mem` set, the instruction consumes a loaded value and
+    /// cannot issue until all of the warp's outstanding loads returned.
+    Alu {
+        /// Issue-to-issue delay imposed on the warp (>= 1).
+        stall: u32,
+        /// True if this instruction uses the result of outstanding loads.
+        wait_mem: bool,
+    },
+    /// A load touching the given coalesced accesses. Independent loads
+    /// overlap (up to the SM's outstanding-load cap); a `dependent` load
+    /// (pointer chase) waits for all prior loads first.
+    Load {
+        /// Coalesced line/sector accesses (1 entry when fully coalesced,
+        /// up to 32 for fully divergent scatter loads).
+        accesses: Vec<Access>,
+        /// True if the address depends on an outstanding load.
+        dependent: bool,
+    },
+    /// A store to the given accesses. Fire-and-forget from the warp's
+    /// perspective (write-through L1, write-validate L2).
+    Store {
+        /// Coalesced line/sector accesses.
+        accesses: Vec<Access>,
+    },
+    /// The warp has finished its kernel and retires.
+    Exit,
+}
+
+impl Inst {
+    /// A fully pipelined ALU instruction.
+    pub fn alu() -> Self {
+        Inst::Alu { stall: 1, wait_mem: false }
+    }
+
+    /// An ALU instruction consuming loaded values (a "use").
+    pub fn use_mem() -> Self {
+        Inst::Alu { stall: 1, wait_mem: true }
+    }
+
+    /// An independent (overlappable) load of one coalesced access.
+    pub fn load(access: Access) -> Self {
+        Inst::Load { accesses: vec![access], dependent: false }
+    }
+
+    /// A dependent (pointer-chasing) load of one coalesced access.
+    pub fn dependent_load(access: Access) -> Self {
+        Inst::Load { accesses: vec![access], dependent: true }
+    }
+
+    /// A store of one coalesced access.
+    pub fn store(access: Access) -> Self {
+        Inst::Store { accesses: vec![access] }
+    }
+}
+
+/// Identifies the warp that issued a request, for response routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WarpRef {
+    /// SM index.
+    pub sm: u32,
+    /// Warp index within the SM.
+    pub warp: u32,
+}
+
+/// A memory request traveling between an SM and a memory partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Unique id, for tracing.
+    pub id: u64,
+    /// Line base address (global address space).
+    pub line_addr: Addr,
+    /// Sectors requested / written.
+    pub sectors: SectorMask,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Issuing warp; `None` for requests with no one waiting (writebacks).
+    pub warp: Option<WarpRef>,
+}
+
+/// A request presented to a memory backend (DRAM + optional secure engine)
+/// by an L2 bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendReq {
+    /// Unique id, preserved in the response.
+    pub id: u64,
+    /// Line base address (global address space).
+    pub line_addr: Addr,
+    /// Sectors to read or write.
+    pub sectors: SectorMask,
+    /// Which L2 bank (within the partition) the response returns to.
+    pub bank: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_sector_math() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(127), 0);
+        assert_eq!(line_of(128), 128);
+        assert_eq!(line_of(0x1234), 0x1200);
+        assert_eq!(sector_of(0), 0);
+        assert_eq!(sector_of(31), 0);
+        assert_eq!(sector_of(32), 1);
+        assert_eq!(sector_of(96), 3);
+        assert_eq!(sector_of(127), 3);
+    }
+
+    #[test]
+    fn sector_mask_ops() {
+        let a = SectorMask::single(0);
+        let b = SectorMask::single(3);
+        let u = a.union(b);
+        assert_eq!(u.count(), 2);
+        assert_eq!(u.bytes(), 64);
+        assert!(u.contains(a));
+        assert!(!a.contains(u));
+        assert_eq!(u.minus(a), b);
+        assert_eq!(u.intersect(a), a);
+        assert!(SectorMask::EMPTY.is_empty());
+        assert!(FULL_SECTOR_MASK.is_full());
+        assert_eq!(FULL_SECTOR_MASK.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sector_mask_rejects_bad_index() {
+        let _ = SectorMask::single(4);
+    }
+
+    #[test]
+    fn access_alignment() {
+        let a = Access::sector(0x1234);
+        assert_eq!(a.line_addr, 0x1200);
+        assert_eq!(a.line_addr % LINE_SIZE, 0);
+        assert_eq!(a.sectors, SectorMask::single(1));
+    }
+
+    #[test]
+    fn traffic_class_labels() {
+        assert_eq!(TrafficClass::Data.label(), "data");
+        assert_eq!(TrafficClass::Tree.to_string(), "bmt");
+        assert_eq!(TrafficClass::ALL.len(), 4);
+    }
+
+    #[test]
+    fn mask_display() {
+        assert_eq!(SectorMask(0b0101).to_string(), "0101");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the memory-system building blocks.
+
+use proptest::prelude::*;
+
+use secmem_gpusim::cache::{Probe, SectoredCache};
+use secmem_gpusim::config::{AddressMap, GpuConfig};
+use secmem_gpusim::dram::{Dram, DramRequest};
+use secmem_gpusim::mshr::{MshrFile, MshrOutcome};
+use secmem_gpusim::reuse::ReuseProfiler;
+use secmem_gpusim::types::{SectorMask, TrafficClass, FULL_SECTOR_MASK};
+
+proptest! {
+    /// A cache never reports more resident lines than its capacity, and a
+    /// line just filled is always at least partially present.
+    #[test]
+    fn cache_capacity_and_fill_visibility(
+            ops in prop::collection::vec((0u64..256, 1u8..16), 1..300)) {
+        let mut cache = SectoredCache::new(2 * 1024, 4);
+        for (line, mask) in ops {
+            let addr = line * 128;
+            let mask = SectorMask(mask & 0xF);
+            cache.fill(addr, mask, SectorMask::EMPTY);
+            prop_assert!(cache.occupancy() <= cache.capacity_lines());
+            prop_assert_ne!(cache.peek(addr, mask), Probe::Miss, "freshly filled line vanished");
+        }
+    }
+
+    /// Dirty data is never silently dropped: every dirty sector eventually
+    /// leaves through an eviction or a flush.
+    #[test]
+    fn cache_conserves_dirty_sectors(
+            writes in prop::collection::vec(0u64..64, 1..200)) {
+        let mut cache = SectoredCache::new(1024, 2);
+        let mut dirty_in = 0u64;
+        let mut dirty_out = 0u64;
+        for line in writes {
+            let addr = line * 128;
+            if let Some(ev) = cache.fill(addr, FULL_SECTOR_MASK, FULL_SECTOR_MASK) {
+                dirty_out += ev.dirty.count() as u64;
+            }
+            dirty_in += 4;
+        }
+        for ev in cache.flush_dirty() {
+            dirty_out += ev.dirty.count() as u64;
+        }
+        // Re-writing a resident line re-dirties the same sectors, so
+        // conservation is an inequality: nothing leaves that never entered.
+        prop_assert!(dirty_out <= dirty_in);
+        // And after the flush nothing dirty remains.
+        prop_assert!(cache.flush_dirty().is_empty());
+    }
+
+    /// The MSHR file: every allocated entry is completed exactly once and
+    /// returns every merged waiter exactly once.
+    #[test]
+    fn mshr_waiters_conserved(accesses in prop::collection::vec(0u64..16, 1..200)) {
+        let mut mshr: MshrFile<u32> = MshrFile::new(8, 1 << 20);
+        let mut accepted = 0u64;
+        for (i, line) in accesses.iter().enumerate() {
+            match mshr.access(line * 128, FULL_SECTOR_MASK, i as u32) {
+                MshrOutcome::Full => {}
+                _ => accepted += 1,
+            }
+        }
+        let mut returned = 0u64;
+        for line in 0u64..16 {
+            if let Some((_, waiters)) = mshr.complete(line * 128) {
+                returned += waiters.len() as u64;
+            }
+        }
+        prop_assert_eq!(returned, accepted);
+        prop_assert!(mshr.is_empty());
+    }
+
+    /// DRAM conserves requests: everything pushed eventually completes,
+    /// in bounded time, and moves the right number of bytes.
+    #[test]
+    fn dram_conserves_requests(sizes in prop::collection::vec(prop::sample::select(vec![32u64,64,96,128]), 1..64)) {
+        let mut dram: Dram<usize> = Dram::new(24 * 1024, 100, 1024);
+        let total_bytes: u64 = sizes.iter().sum();
+        for (i, bytes) in sizes.iter().enumerate() {
+            dram.try_push(DramRequest { bytes: *bytes, addr: i as u64 * 128, is_write: i % 3 == 0, class: TrafficClass::Data, token: i })
+                .expect("queue large enough");
+        }
+        let mut seen = vec![false; sizes.len()];
+        let mut now = 0;
+        while !dram.is_idle() {
+            dram.cycle(now);
+            while let Some(done) = dram.pop_completed() {
+                prop_assert!(!seen[done.token], "request completed twice");
+                seen[done.token] = true;
+            }
+            now += 1;
+            prop_assert!(now < 100_000, "dram wedged");
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(dram.stats().total_bytes(), total_bytes);
+    }
+
+    /// Address map round-trips and never crosses partitions.
+    #[test]
+    fn address_map_roundtrip(addr in 0u64..(4u64 << 30)) {
+        let cfg = GpuConfig::volta();
+        let map = AddressMap::new(&cfg);
+        let p = map.partition_of(addr);
+        prop_assert!(p < cfg.num_partitions);
+        let local = map.local_offset(addr);
+        prop_assert_eq!(map.global_addr(p, local), addr);
+        // Lines never straddle partitions.
+        let line = addr & !127;
+        prop_assert_eq!(map.partition_of(line), map.partition_of(line + 127));
+    }
+
+    /// Reuse histogram mass always equals the access count.
+    #[test]
+    fn reuse_mass_conservation(lines in prop::collection::vec(0u64..128, 1..400)) {
+        let mut p = ReuseProfiler::new();
+        for l in &lines {
+            p.access(l * 128);
+        }
+        prop_assert_eq!(p.histogram().iter().sum::<u64>(), lines.len() as u64);
+        prop_assert!(p.distinct_lines() <= 128);
+    }
+}

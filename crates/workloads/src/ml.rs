@@ -1,0 +1,134 @@
+//! Extended suite: deep-learning accelerator workloads.
+//!
+//! The paper's motivation (and the related work it contrasts with — Zuo
+//! et al., Hua et al.) centers on ML serving in the cloud. These four
+//! kernels model the dominant memory behaviours of DL inference on a GPU
+//! so the secure-memory schemes can be evaluated on them too (used by the
+//! `selective-encryption` extension, where protecting only the
+//! weights/KV region is the natural policy).
+
+use crate::program::SyntheticKernel;
+use crate::spec::{AccessPattern, BenchSpec, Category};
+
+const MB: u64 = 1024 * 1024;
+
+/// Tiled GEMM: compute-dominated, tile reuse keeps bandwidth moderate.
+pub fn gemm() -> BenchSpec {
+    BenchSpec {
+        name: "ml_gemm",
+        category: Category::MediumMemoryIntensive,
+        paper_bw_pct: (20.0, 35.0),
+        paper_ipc: 4000.0,
+        warps_per_sm: 24,
+        active_sms: 80,
+        alu_per_access: 40,
+        alu_stall: 8,
+        pattern: AccessPattern::Stream { arrays: 2 },
+        store_every: 16,
+        mlp: 4,
+        footprint: 24 * MB,
+    }
+}
+
+/// Attention score/value pass: streaming reads of a large KV cache,
+/// little compute per byte — bandwidth-bound.
+pub fn attention() -> BenchSpec {
+    BenchSpec {
+        name: "ml_attention",
+        category: Category::MemoryIntensive,
+        paper_bw_pct: (70.0, 85.0),
+        paper_ipc: 1500.0,
+        warps_per_sm: 40,
+        active_sms: 80,
+        alu_per_access: 8,
+        alu_stall: 1,
+        pattern: AccessPattern::Stream { arrays: 3 },
+        store_every: 12,
+        mlp: 4,
+        footprint: 48 * MB,
+    }
+}
+
+/// Embedding-table lookups: random single-sector gathers over a huge
+/// table — the metadata-locality worst case.
+pub fn embedding() -> BenchSpec {
+    BenchSpec {
+        name: "ml_embedding",
+        category: Category::MediumMemoryIntensive,
+        paper_bw_pct: (30.0, 50.0),
+        paper_ipc: 300.0,
+        warps_per_sm: 6,
+        active_sms: 80,
+        alu_per_access: 6,
+        alu_stall: 1,
+        pattern: AccessPattern::Scatter { lanes: 16, random: true, dependent: false },
+        store_every: 0,
+        mlp: 2,
+        footprint: 512 * MB,
+    }
+}
+
+/// 3x3 convolution: stencil streaming with row reuse and a write stream.
+pub fn conv3x3() -> BenchSpec {
+    BenchSpec {
+        name: "ml_conv3x3",
+        category: Category::MemoryIntensive,
+        paper_bw_pct: (50.0, 70.0),
+        paper_ipc: 2500.0,
+        warps_per_sm: 28,
+        active_sms: 80,
+        alu_per_access: 18,
+        alu_stall: 1,
+        pattern: AccessPattern::Stream { arrays: 3 },
+        store_every: 4,
+        mlp: 4,
+        footprint: 32 * MB,
+    }
+}
+
+/// The extended ML suite.
+pub fn ml_suite() -> Vec<SyntheticKernel> {
+    [gemm(), attention(), embedding(), conv3x3()]
+        .into_iter()
+        .map(|s| SyntheticKernel::new(s, 0xD1_u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secmem_gpusim::kernel::Kernel;
+
+    #[test]
+    fn ml_specs_validate() {
+        for k in ml_suite() {
+            k.spec().validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn ml_suite_names_are_prefixed_and_unique() {
+        let suite = ml_suite();
+        assert_eq!(suite.len(), 4);
+        let names: std::collections::HashSet<&str> = suite.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names.iter().all(|n| n.starts_with("ml_")));
+    }
+
+    #[test]
+    fn ml_kernels_produce_instructions() {
+        for kernel in ml_suite() {
+            let mut p = kernel.spawn(0, 0);
+            let mut mem = 0;
+            for _ in 0..500 {
+                if matches!(
+                    p.next_inst(),
+                    secmem_gpusim::types::Inst::Load { .. } | secmem_gpusim::types::Inst::Store { .. }
+                ) {
+                    mem += 1;
+                }
+            }
+            assert!(mem > 0, "{} never touches memory", kernel.name());
+        }
+    }
+}

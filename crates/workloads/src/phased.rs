@@ -1,0 +1,197 @@
+//! Multi-phase kernels: a sequence of behaviours per warp.
+//!
+//! Several Table-IV benchmarks are phased in reality — `bfs` alternates
+//! small and large frontiers (its 5%–60% bandwidth band), `kmeans`
+//! alternates assignment (scatter-read) and update (write) steps. A
+//! [`PhasedKernel`] chains [`SyntheticKernel`]s, giving each phase a
+//! per-warp instruction budget, optionally looping forever.
+
+use secmem_gpusim::kernel::{Kernel, WarpProgram};
+use secmem_gpusim::types::Inst;
+
+use crate::program::SyntheticKernel;
+
+/// One phase: a kernel and the number of instructions each warp spends
+/// in it before moving on.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// The behaviour during this phase.
+    pub kernel: SyntheticKernel,
+    /// Per-warp instruction budget.
+    pub instructions: u64,
+}
+
+/// A kernel made of consecutive phases.
+#[derive(Debug, Clone)]
+pub struct PhasedKernel {
+    phases: Vec<Phase>,
+    looping: bool,
+    name: String,
+}
+
+impl PhasedKernel {
+    /// Chains `phases`, each with its instruction budget; with `looping`
+    /// the sequence repeats forever, otherwise warps exit at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any budget is zero.
+    pub fn new(phases: Vec<Phase>, looping: bool, name: impl Into<String>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(phases.iter().all(|p| p.instructions > 0), "zero-length phase");
+        Self { phases, looping, name: name.into() }
+    }
+
+    /// Number of phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+struct PhasedProgram {
+    /// (program, budget) per phase, spawned up front for this warp.
+    programs: Vec<(Box<dyn WarpProgram>, u64)>,
+    current: usize,
+    issued_in_phase: u64,
+    looping: bool,
+    done: bool,
+}
+
+impl WarpProgram for PhasedProgram {
+    fn next_inst(&mut self) -> Inst {
+        if self.done {
+            return Inst::Exit;
+        }
+        if self.issued_in_phase >= self.programs[self.current].1 {
+            self.issued_in_phase = 0;
+            self.current += 1;
+            if self.current >= self.programs.len() {
+                if self.looping {
+                    self.current = 0;
+                } else {
+                    self.done = true;
+                    return Inst::Exit;
+                }
+            }
+        }
+        self.issued_in_phase += 1;
+        let inst = self.programs[self.current].0.next_inst();
+        if matches!(inst, Inst::Exit) {
+            self.done = true;
+        }
+        inst
+    }
+}
+
+impl Kernel for PhasedKernel {
+    fn active_sms(&self, available: u32) -> u32 {
+        self.phases.iter().map(|p| p.kernel.active_sms(available)).max().unwrap_or(available)
+    }
+
+    fn warps_per_sm(&self, sm: u32) -> u32 {
+        self.phases.iter().map(|p| p.kernel.warps_per_sm(sm)).max().unwrap_or(1)
+    }
+
+    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {
+        let programs = self
+            .phases
+            .iter()
+            .map(|p| (p.kernel.spawn(sm, warp), p.instructions))
+            .collect();
+        Box::new(PhasedProgram { programs, current: 0, issued_in_phase: 0, looping: self.looping, done: false })
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AccessPattern, BenchSpec, Category};
+
+    fn mini(name: &'static str, alu: u32) -> SyntheticKernel {
+        SyntheticKernel::new(
+            BenchSpec {
+                name,
+                category: Category::NonMemoryIntensive,
+                paper_bw_pct: (0.0, 1.0),
+                paper_ipc: 1.0,
+                warps_per_sm: 2,
+                active_sms: 2,
+                alu_per_access: alu,
+                alu_stall: 1,
+                pattern: AccessPattern::Stream { arrays: 1 },
+                store_every: 0,
+                mlp: 1,
+                footprint: 1 << 16,
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn phases_switch_at_budget() {
+        let k = PhasedKernel::new(
+            vec![
+                Phase { kernel: mini("a", 100), instructions: 5 },
+                Phase { kernel: mini("b", 0), instructions: 5 },
+            ],
+            false,
+            "two-phase",
+        );
+        let mut p = k.spawn(0, 0);
+        let insts: Vec<Inst> = (0..11).map(|_| p.next_inst()).collect();
+        // Phase a (alu-heavy after its first load): 1 load + 4 alus.
+        assert!(matches!(insts[0], Inst::Load { .. }));
+        assert!(insts[1..5].iter().all(|i| matches!(i, Inst::Alu { .. })));
+        // Phase b (no alu): all memory instructions.
+        assert!(insts[5..10].iter().all(|i| matches!(i, Inst::Load { .. } | Inst::Store { .. })));
+        // Then exit (not looping).
+        assert!(matches!(insts[10], Inst::Exit));
+    }
+
+    #[test]
+    fn looping_repeats_phases() {
+        let k = PhasedKernel::new(
+            vec![Phase { kernel: mini("a", 0), instructions: 3 }],
+            true,
+            "looped",
+        );
+        let mut p = k.spawn(0, 0);
+        for _ in 0..50 {
+            assert!(!matches!(p.next_inst(), Inst::Exit), "looping kernel never exits");
+        }
+    }
+
+    #[test]
+    fn shape_is_union_of_phases() {
+        let mut big = mini("big", 1);
+        let _ = &mut big;
+        let k = PhasedKernel::new(
+            vec![
+                Phase { kernel: mini("a", 1), instructions: 10 },
+                Phase { kernel: mini("b", 1), instructions: 10 },
+            ],
+            false,
+            "union",
+        );
+        assert_eq!(k.warps_per_sm(0), 2);
+        assert_eq!(k.active_sms(8), 2);
+        assert_eq!(k.phase_count(), 2);
+        assert_eq!(k.name(), "union");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        let _ = PhasedKernel::new(vec![], false, "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_budget_rejected() {
+        let _ = PhasedKernel::new(vec![Phase { kernel: mini("a", 1), instructions: 0 }], false, "bad");
+    }
+}

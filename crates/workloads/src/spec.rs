@@ -1,0 +1,191 @@
+//! Benchmark specifications: the knobs that define a synthetic kernel and
+//! the paper's reference numbers (Table IV) it is calibrated against.
+
+/// Memory-intensity category from Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// < 20% of peak DRAM bandwidth.
+    NonMemoryIntensive,
+    /// 20%–50%.
+    MediumMemoryIntensive,
+    /// > 50%.
+    MemoryIntensive,
+}
+
+impl Category {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::NonMemoryIntensive => "non",
+            Category::MediumMemoryIntensive => "medium",
+            Category::MemoryIntensive => "intensive",
+        }
+    }
+}
+
+impl core::fmt::Display for Category {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The memory access pattern a warp generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Coalesced sequential streaming over `arrays` interleaved arrays
+    /// (stencils, BLAS-like sweeps). Each warp owns contiguous slices.
+    Stream {
+        /// Number of distinct input arrays cycled through.
+        arrays: u32,
+    },
+    /// Divergent access: each memory instruction touches `lanes` distinct
+    /// lines (one 32 B sector each), strided (`random = false`, e.g.
+    /// column-major kmeans) or random (`random = true`, e.g. bfs).
+    Scatter {
+        /// Distinct lines per memory instruction (1..=32).
+        lanes: u32,
+        /// Random lines vs. a fixed large stride.
+        random: bool,
+        /// If true the scatter address depends on a prior load
+        /// (pointer-indirection), serializing memory-level parallelism.
+        dependent: bool,
+    },
+    /// Pointer chasing: `depth` serially dependent random loads per
+    /// iteration (tree/graph traversal).
+    Chase {
+        /// Dependent loads per traversal.
+        depth: u32,
+    },
+}
+
+/// One synthetic benchmark: generator knobs + the paper's Table IV
+/// reference values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSpec {
+    /// Benchmark name (matches the paper).
+    pub name: &'static str,
+    /// Memory-intensity category (Table IV).
+    pub category: Category,
+    /// Paper-reported bandwidth-utilization band, percent (lo, hi).
+    pub paper_bw_pct: (f64, f64),
+    /// Paper-reported baseline IPC.
+    pub paper_ipc: f64,
+
+    /// Warps resident per SM.
+    pub warps_per_sm: u32,
+    /// SMs occupied (small kernels use fewer).
+    pub active_sms: u32,
+    /// ALU instructions between consecutive memory instructions.
+    pub alu_per_access: u32,
+    /// Issue-to-issue delay of ALU instructions (dependence chains).
+    pub alu_stall: u32,
+    /// The access pattern.
+    pub pattern: AccessPattern,
+    /// Every `store_every`-th memory instruction is a store (0 = never).
+    pub store_every: u32,
+    /// Loads issued per consuming ALU instruction (software pipelining
+    /// depth): only every `mlp`-th load's following ALU waits for memory.
+    /// 1 = every load is consumed immediately (pointer-chase-like).
+    pub mlp: u32,
+    /// Per-kernel data footprint in bytes (drives cache behaviour).
+    pub footprint: u64,
+}
+
+impl BenchSpec {
+    /// Paper bandwidth band midpoint (fraction 0..=1).
+    pub fn paper_bw_mid(&self) -> f64 {
+        (self.paper_bw_pct.0 + self.paper_bw_pct.1) / 200.0
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.warps_per_sm == 0 || self.active_sms == 0 {
+            return Err(format!("{}: warps and SMs must be nonzero", self.name));
+        }
+        if self.alu_stall == 0 {
+            return Err(format!("{}: alu_stall must be >= 1", self.name));
+        }
+        if self.mlp == 0 {
+            return Err(format!("{}: mlp must be >= 1", self.name));
+        }
+        if self.footprint < 1 << 16 {
+            return Err(format!("{}: footprint too small", self.name));
+        }
+        match self.pattern {
+            AccessPattern::Scatter { lanes, .. } if lanes == 0 || lanes > 32 => {
+                Err(format!("{}: scatter lanes must be 1..=32", self.name))
+            }
+            AccessPattern::Stream { arrays } if arrays == 0 => {
+                Err(format!("{}: need at least one array", self.name))
+            }
+            AccessPattern::Chase { depth } if depth == 0 => {
+                Err(format!("{}: chase depth must be >= 1", self.name))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BenchSpec {
+        BenchSpec {
+            name: "test",
+            category: Category::MediumMemoryIntensive,
+            paper_bw_pct: (20.0, 50.0),
+            paper_ipc: 1000.0,
+            warps_per_sm: 8,
+            active_sms: 80,
+            alu_per_access: 4,
+            alu_stall: 1,
+            pattern: AccessPattern::Stream { arrays: 2 },
+            store_every: 4,
+            mlp: 1,
+            footprint: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        spec().validate().expect("valid");
+    }
+
+    #[test]
+    fn midpoint() {
+        assert!((spec().paper_bw_mid() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = spec();
+        s.warps_per_sm = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.alu_stall = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.pattern = AccessPattern::Scatter { lanes: 33, random: true, dependent: false };
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.pattern = AccessPattern::Chase { depth: 0 };
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.footprint = 1024;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.mlp = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(Category::NonMemoryIntensive.to_string(), "non");
+        assert_eq!(Category::MemoryIntensive.label(), "intensive");
+    }
+}

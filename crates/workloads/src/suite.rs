@@ -1,0 +1,289 @@
+//! The 14 synthetic benchmarks of Table IV.
+//!
+//! Each spec is calibrated (on the Volta baseline, no secure memory) so
+//! its bandwidth utilization falls inside the band the paper reports and
+//! its IPC lands near the paper's value. The *pattern class* is what
+//! matters for the secure-memory study: streaming stencils exercise
+//! metadata spatial locality, scatter workloads defeat it, chase
+//! workloads expose latency, small kernels lack latency tolerance.
+
+use crate::program::SyntheticKernel;
+use crate::spec::{AccessPattern, BenchSpec, Category};
+
+const MB: u64 = 1024 * 1024;
+
+/// The default workload seed (all published numbers use this).
+pub const DEFAULT_SEED: u64 = 0x5EC;
+
+/// Builds the full Table IV suite in the paper's order.
+pub fn table4_suite() -> Vec<SyntheticKernel> {
+    table4_suite_seeded(DEFAULT_SEED)
+}
+
+/// Builds the suite with an explicit seed (for robustness checks: the
+/// random-pattern benchmarks — kmeans, bfs, b+tree, nw — draw different
+/// address streams per seed).
+pub fn table4_suite_seeded(seed: u64) -> Vec<SyntheticKernel> {
+    all_specs().into_iter().map(|s| SyntheticKernel::new(s, seed)).collect()
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<SyntheticKernel> {
+    all_specs()
+        .into_iter()
+        .find(|s| s.name == name)
+        .map(|s| SyntheticKernel::new(s, DEFAULT_SEED))
+}
+
+/// All 14 benchmark specifications in Table IV order.
+pub fn all_specs() -> Vec<BenchSpec> {
+    vec![
+        // ---- non memory intensive ----
+        BenchSpec {
+            name: "heartwall",
+            category: Category::NonMemoryIntensive,
+            paper_bw_pct: (0.0, 1.0),
+            paper_ipc: 1195.37,
+            warps_per_sm: 4,
+            active_sms: 80,
+            alu_per_access: 48,
+            alu_stall: 8,
+            pattern: AccessPattern::Stream { arrays: 2 },
+            mlp: 2,
+            store_every: 8,
+            footprint: MB / 2,
+        },
+        BenchSpec {
+            name: "lavaMD",
+            category: Category::NonMemoryIntensive,
+            paper_bw_pct: (0.0, 1.0),
+            paper_ipc: 4615.23,
+            warps_per_sm: 16,
+            active_sms: 80,
+            alu_per_access: 64,
+            alu_stall: 9,
+            pattern: AccessPattern::Stream { arrays: 1 },
+            mlp: 2,
+            store_every: 8,
+            footprint: MB / 2,
+        },
+        BenchSpec {
+            name: "nw",
+            category: Category::NonMemoryIntensive,
+            paper_bw_pct: (0.0, 2.0),
+            paper_ipc: 23.90,
+            warps_per_sm: 1,
+            active_sms: 64,
+            alu_per_access: 2,
+            alu_stall: 1,
+            pattern: AccessPattern::Chase { depth: 1 },
+            mlp: 1,
+            store_every: 4,
+            footprint: 8 * MB,
+        },
+        BenchSpec {
+            name: "b+tree",
+            category: Category::NonMemoryIntensive,
+            paper_bw_pct: (12.0, 14.0),
+            paper_ipc: 2768.61,
+            warps_per_sm: 16,
+            active_sms: 80,
+            alu_per_access: 96,
+            alu_stall: 1,
+            pattern: AccessPattern::Chase { depth: 4 },
+            mlp: 1,
+            store_every: 0,
+            footprint: 512 * MB,
+        },
+        // ---- medium memory intensive ----
+        BenchSpec {
+            name: "backprop",
+            category: Category::MediumMemoryIntensive,
+            paper_bw_pct: (25.0, 25.0),
+            paper_ipc: 3067.61,
+            warps_per_sm: 32,
+            active_sms: 80,
+            alu_per_access: 62,
+            alu_stall: 27,
+            pattern: AccessPattern::Stream { arrays: 2 },
+            mlp: 4,
+            store_every: 4,
+            footprint: 32 * MB,
+        },
+        BenchSpec {
+            name: "cfd",
+            category: Category::MediumMemoryIntensive,
+            paper_bw_pct: (15.0, 50.0),
+            paper_ipc: 1076.98,
+            warps_per_sm: 32,
+            active_sms: 80,
+            alu_per_access: 16,
+            alu_stall: 76,
+            pattern: AccessPattern::Stream { arrays: 4 },
+            mlp: 4,
+            store_every: 4,
+            footprint: 48 * MB,
+        },
+        BenchSpec {
+            name: "dwt2d",
+            category: Category::MediumMemoryIntensive,
+            paper_bw_pct: (20.0, 50.0),
+            paper_ipc: 784.70,
+            warps_per_sm: 32,
+            active_sms: 80,
+            alu_per_access: 10,
+            alu_stall: 104,
+            pattern: AccessPattern::Stream { arrays: 2 },
+            mlp: 4,
+            store_every: 2,
+            footprint: 32 * MB,
+        },
+        BenchSpec {
+            name: "kmeans",
+            category: Category::MediumMemoryIntensive,
+            paper_bw_pct: (40.0, 45.0),
+            paper_ipc: 97.04,
+            warps_per_sm: 3,
+            active_sms: 80,
+            alu_per_access: 8,
+            alu_stall: 1,
+            pattern: AccessPattern::Scatter { lanes: 28, random: false, dependent: false },
+            mlp: 2,
+            store_every: 16,
+            footprint: 128 * MB,
+        },
+        BenchSpec {
+            name: "bfs",
+            category: Category::MediumMemoryIntensive,
+            paper_bw_pct: (5.0, 60.0),
+            paper_ipc: 699.51,
+            warps_per_sm: 4,
+            active_sms: 80,
+            alu_per_access: 21,
+            alu_stall: 1,
+            pattern: AccessPattern::Scatter { lanes: 8, random: true, dependent: true },
+            mlp: 1,
+            store_every: 8,
+            footprint: 256 * MB,
+        },
+        // ---- memory intensive ----
+        BenchSpec {
+            name: "srad_v2",
+            category: Category::MemoryIntensive,
+            paper_bw_pct: (79.0, 80.0),
+            paper_ipc: 3306.82,
+            warps_per_sm: 48,
+            active_sms: 80,
+            alu_per_access: 21,
+            alu_stall: 1,
+            pattern: AccessPattern::Stream { arrays: 3 },
+            mlp: 4,
+            store_every: 3,
+            footprint: 32 * MB,
+        },
+        BenchSpec {
+            name: "streamcluster",
+            category: Category::MemoryIntensive,
+            paper_bw_pct: (78.0, 80.0),
+            paper_ipc: 1178.18,
+            warps_per_sm: 28,
+            active_sms: 80,
+            alu_per_access: 7,
+            alu_stall: 1,
+            pattern: AccessPattern::Stream { arrays: 1 },
+            mlp: 2,
+            store_every: 0,
+            footprint: 48 * MB,
+        },
+        BenchSpec {
+            name: "2Dconvolution",
+            category: Category::MemoryIntensive,
+            paper_bw_pct: (53.0, 53.0),
+            paper_ipc: 2487.22,
+            warps_per_sm: 32,
+            active_sms: 80,
+            alu_per_access: 23,
+            alu_stall: 33,
+            pattern: AccessPattern::Stream { arrays: 2 },
+            mlp: 4,
+            store_every: 9,
+            footprint: 32 * MB,
+        },
+        BenchSpec {
+            name: "fdtd2d",
+            category: Category::MemoryIntensive,
+            paper_bw_pct: (82.0, 83.0),
+            paper_ipc: 1773.95,
+            warps_per_sm: 44,
+            active_sms: 80,
+            alu_per_access: 10,
+            alu_stall: 1,
+            pattern: AccessPattern::Stream { arrays: 3 },
+            mlp: 4,
+            store_every: 3,
+            footprint: 32 * MB,
+        },
+        BenchSpec {
+            name: "lbm",
+            category: Category::MemoryIntensive,
+            paper_bw_pct: (58.0, 58.0),
+            paper_ipc: 552.12,
+            warps_per_sm: 32,
+            active_sms: 80,
+            alu_per_access: 4,
+            alu_stall: 185,
+            pattern: AccessPattern::Stream { arrays: 4 },
+            mlp: 4,
+            store_every: 2,
+            footprint: 48 * MB,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fourteen_benchmarks() {
+        let suite = table4_suite();
+        assert_eq!(suite.len(), 14);
+        // Paper order: first is heartwall, last is lbm.
+        assert_eq!(suite[0].spec().name, "heartwall");
+        assert_eq!(suite[13].spec().name, "lbm");
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for s in all_specs() {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let specs = all_specs();
+        let names: std::collections::HashSet<_> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("fdtd2d").is_some());
+        assert!(by_name("kmeans").is_some());
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn categories_match_paper_bands() {
+        for s in all_specs() {
+            match s.category {
+                Category::NonMemoryIntensive => assert!(s.paper_bw_pct.1 <= 20.0, "{}", s.name),
+                Category::MediumMemoryIntensive => {
+                    assert!(s.paper_bw_pct.1 <= 60.0, "{}", s.name)
+                }
+                Category::MemoryIntensive => assert!(s.paper_bw_pct.1 >= 50.0, "{}", s.name),
+            }
+        }
+    }
+}

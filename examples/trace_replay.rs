@@ -1,0 +1,70 @@
+//! Trace record & replay: capture a synthetic benchmark's instruction
+//! stream into the portable v1 trace format, write it to disk, replay it
+//! through the simulator, and confirm the replay is cycle-identical.
+//! The same path lets you feed externally captured GPU traces through the
+//! secure-memory models.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [benchmark] [out.trace]
+//! ```
+
+use gpu_secure_memory::core::{SecureBackend, SecureMemConfig};
+use gpu_secure_memory::gpusim::config::GpuConfig;
+use gpu_secure_memory::gpusim::kernel::Kernel;
+use gpu_secure_memory::gpusim::sim::Simulator;
+use gpu_secure_memory::gpusim::trace::{Trace, TraceKernel};
+use gpu_secure_memory::workloads::suite;
+
+const CYCLES: u64 = 15_000;
+const INSTS_PER_WARP: usize = 2_000;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| "streamcluster".to_string());
+    let out = args.next().unwrap_or_else(|| format!("{bench}.trace"));
+    let Some(kernel) = suite::by_name(&bench) else {
+        eprintln!("unknown benchmark '{bench}'");
+        std::process::exit(2);
+    };
+    let gpu = GpuConfig::small();
+
+    // 1. Record.
+    let trace = Trace::record(&kernel, gpu.num_sms, INSTS_PER_WARP);
+    let text = trace.to_text();
+    std::fs::write(&out, &text).expect("trace written");
+    println!(
+        "recorded {} warps x <= {INSTS_PER_WARP} instructions of '{bench}' -> {out} ({} KiB)",
+        trace.warp_count(),
+        text.len() / 1024
+    );
+
+    // 2. Replay the file under the secure memory engine.
+    let replay = TraceKernel::from_file(std::path::Path::new(&out)).expect("trace loads");
+    let mut sim = Simulator::new(gpu.clone(), &replay, |_, g| {
+        SecureBackend::new(SecureMemConfig::secure_mem(), g)
+    });
+    let from_file = sim.run(CYCLES);
+
+    // 3. Replay the in-memory recording: must match exactly.
+    let replay2 = TraceKernel::new(Trace::from_text(&text).expect("round-trips"), replay.name());
+    let mut sim2 = Simulator::new(gpu.clone(), &replay2, |_, g| {
+        SecureBackend::new(SecureMemConfig::secure_mem(), g)
+    });
+    let from_memory = sim2.run(CYCLES);
+
+    println!(
+        "replay (file):   {} instructions, ipc {:.1}, {} DRAM requests",
+        from_file.warp_instructions,
+        from_file.ipc(),
+        from_file.dram.total_requests()
+    );
+    println!(
+        "replay (memory): {} instructions, ipc {:.1}, {} DRAM requests",
+        from_memory.warp_instructions,
+        from_memory.ipc(),
+        from_memory.dram.total_requests()
+    );
+    assert_eq!(from_file.warp_instructions, from_memory.warp_instructions);
+    assert_eq!(from_file.dram.total_requests(), from_memory.dram.total_requests());
+    println!("replays are identical — the trace fully determines the simulation.");
+}

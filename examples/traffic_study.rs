@@ -1,0 +1,84 @@
+//! Traffic anatomy: where do the extra DRAM requests of secure memory
+//! come from? Reproduces the §V-A / §V-B analysis for one benchmark:
+//! request breakdown, metadata cache miss rates, secondary-miss ratios,
+//! and the effect of metadata-cache MSHRs.
+//!
+//! ```text
+//! cargo run --release --example traffic_study [benchmark]
+//! ```
+
+use gpu_secure_memory::core::{SecureBackend, SecureMemConfig};
+use gpu_secure_memory::gpusim::config::GpuConfig;
+use gpu_secure_memory::gpusim::sim::Simulator;
+use gpu_secure_memory::gpusim::stats::SimReport;
+use gpu_secure_memory::gpusim::types::TrafficClass;
+use gpu_secure_memory::workloads::suite;
+
+const CYCLES: u64 = 25_000;
+
+fn run(kernel: &gpu_secure_memory::workloads::SyntheticKernel, gpu: &GpuConfig, mshrs: u32) -> SimReport {
+    let cfg = SecureMemConfig { mdcache_mshrs: mshrs, ..SecureMemConfig::secure_mem() };
+    let mut sim = Simulator::new(gpu.clone(), kernel, |_, g| SecureBackend::new(cfg.clone(), g));
+    sim.run(CYCLES)
+}
+
+fn breakdown(report: &SimReport) {
+    let d = &report.dram;
+    let total = d.total_requests().max(1) as f64;
+    let pct = |x: u64| format!("{:.1}%", x as f64 / total * 100.0);
+    println!(
+        "    requests: data {} | ctr {} | mac {} | bmt {} | metadata-wb {}",
+        pct(d.class(TrafficClass::Data).reads + d.class(TrafficClass::Data).writes),
+        pct(d.class(TrafficClass::Counter).reads),
+        pct(d.class(TrafficClass::Mac).reads),
+        pct(d.class(TrafficClass::Tree).reads),
+        pct(d.class(TrafficClass::Counter).writes
+            + d.class(TrafficClass::Mac).writes
+            + d.class(TrafficClass::Tree).writes),
+    );
+    for class in [TrafficClass::Counter, TrafficClass::Mac, TrafficClass::Tree] {
+        let m = report.engine.class(class);
+        println!(
+            "    {:<4} cache: {:>6} accesses, miss rate {:>5.1}%, secondary misses {:>5.1}%",
+            class.label(),
+            m.cache.accesses(),
+            m.cache.miss_rate() * 100.0,
+            m.mshr.secondary_ratio() * 100.0,
+        );
+    }
+}
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "srad_v2".to_string());
+    let Some(kernel) = suite::by_name(&bench) else {
+        eprintln!("unknown benchmark '{bench}'");
+        std::process::exit(2);
+    };
+    let gpu = GpuConfig::small();
+    println!("traffic anatomy of '{bench}' under ctr_mac_bmt (small GPU)\n");
+
+    let no_mshr = run(&kernel, &gpu, 0);
+    let with_mshr = run(&kernel, &gpu, 64);
+
+    println!("without metadata-cache MSHRs (the naive port of CPU secure memory):");
+    breakdown(&no_mshr);
+    println!("  ipc {:.1}, DRAM bytes {}", no_mshr.ipc(), no_mshr.dram.total_bytes());
+
+    println!("\nwith 64 MSHRs per metadata cache (the paper's fix, SS V-B):");
+    breakdown(&with_mshr);
+    println!("  ipc {:.1}, DRAM bytes {}", with_mshr.ipc(), with_mshr.dram.total_bytes());
+
+    // Both runs are DRAM-saturated, so compare traffic per unit of work.
+    let per_instr = |r: &SimReport| r.dram.total_bytes() as f64 / r.thread_instructions.max(1) as f64;
+    let saved = 1.0 - per_instr(&with_mshr) / per_instr(&no_mshr).max(1e-9);
+    println!(
+        "\nMSHRs merged the sectored-L2 secondary misses: DRAM bytes per instruction\n\
+         dropped {:.1}% ({:.2} -> {:.2} B/instr) and ipc rose {:.2}x — this is why\n\
+         metadata caches on GPUs need MSHRs even though CPU implementations can\n\
+         get away without them.",
+        saved * 100.0,
+        per_instr(&no_mshr),
+        per_instr(&with_mshr),
+        with_mshr.ipc() / no_mshr.ipc().max(1e-9),
+    );
+}

@@ -1,0 +1,40 @@
+//! **gpu-secure-memory** — a from-scratch Rust reproduction of
+//! *"Analyzing Secure Memory Architecture for GPUs"* (ISPASS 2021).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`crypto`] — functional AES-128 / AES-CMAC / counter-mode / tree hash.
+//! * [`gpusim`] — the Volta-class GPU memory-system timing simulator.
+//! * [`core`] — the secure memory engines (counter-mode + BMT, direct +
+//!   MT), metadata caches, AES/MAC timing models, functional secure
+//!   memory, and the die-area model.
+//! * [`workloads`] — the 14 synthetic Table-IV benchmarks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpu_secure_memory::core::{SecureBackend, SecureMemConfig};
+//! use gpu_secure_memory::gpusim::config::GpuConfig;
+//! use gpu_secure_memory::gpusim::sim::Simulator;
+//! use gpu_secure_memory::workloads::suite;
+//!
+//! let gpu = GpuConfig::small();
+//! let kernel = suite::by_name("fdtd2d").expect("in the suite");
+//! let mut sim = Simulator::new(gpu, &kernel, |_, g| {
+//!     SecureBackend::new(SecureMemConfig::secure_mem(), g)
+//! });
+//! let report = sim.run(3_000);
+//! assert!(report.ipc() > 0.0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and the `secmem-bench`
+//! crate's `reproduce` binary for regenerating every table and figure of
+//! the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use secmem_core as core;
+pub use secmem_crypto as crypto;
+pub use secmem_gpusim as gpusim;
+pub use secmem_workloads as workloads;

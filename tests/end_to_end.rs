@@ -1,0 +1,178 @@
+//! End-to-end integration tests: assert the paper's qualitative results
+//! ("shape criteria" from DESIGN.md §4) hold on the scaled-down GPU.
+
+use gpu_secure_memory::core::{
+    MdcIdealization, SecureBackend, SecureMemConfig, SecurityScheme,
+};
+use gpu_secure_memory::gpusim::backend::PassthroughBackend;
+use gpu_secure_memory::gpusim::config::GpuConfig;
+use gpu_secure_memory::gpusim::sim::Simulator;
+use gpu_secure_memory::gpusim::stats::SimReport;
+use gpu_secure_memory::gpusim::types::TrafficClass;
+use gpu_secure_memory::workloads::suite;
+
+const CYCLES: u64 = 12_000;
+
+fn baseline(bench: &str) -> SimReport {
+    let kernel = suite::by_name(bench).expect("benchmark exists");
+    let mut sim =
+        Simulator::new(GpuConfig::small(), &kernel, |_, g| PassthroughBackend::from_config(g));
+    sim.run(CYCLES)
+}
+
+fn secure(bench: &str, cfg: &SecureMemConfig) -> SimReport {
+    let kernel = suite::by_name(bench).expect("benchmark exists");
+    let mut sim =
+        Simulator::new(GpuConfig::small(), &kernel, |_, g| SecureBackend::new(cfg.clone(), g));
+    sim.run(CYCLES)
+}
+
+#[test]
+fn secure_memory_slows_memory_intensive_workloads() {
+    let base = baseline("fdtd2d");
+    let sec = secure("fdtd2d", &SecureMemConfig::secure_mem());
+    let norm = sec.ipc() / base.ipc();
+    assert!(
+        norm < 0.8,
+        "counter-mode secure memory must cost a memory-bound workload dearly, got {norm:.3}"
+    );
+}
+
+#[test]
+fn secure_memory_is_free_for_compute_bound_workloads() {
+    let base = baseline("lavaMD");
+    let sec = secure("lavaMD", &SecureMemConfig::secure_mem());
+    let norm = sec.ipc() / base.ipc();
+    assert!(norm > 0.95, "compute-bound workloads keep their IPC, got {norm:.3}");
+}
+
+#[test]
+fn perfect_metadata_caches_recover_baseline() {
+    let base = baseline("fdtd2d");
+    let cfg = SecureMemConfig {
+        idealization: MdcIdealization::Perfect,
+        ..SecureMemConfig::secure_mem()
+    };
+    let sec = secure("fdtd2d", &cfg);
+    let norm = sec.ipc() / base.ipc();
+    assert!(
+        norm > 0.9,
+        "with perfect metadata caches the overhead must vanish (Fig. 3), got {norm:.3}"
+    );
+}
+
+#[test]
+fn zero_crypto_latency_does_not_help() {
+    let real = secure("fdtd2d", &SecureMemConfig::secure_mem());
+    let cfg = SecureMemConfig { zero_crypto: true, ..SecureMemConfig::secure_mem() };
+    let zero = secure("fdtd2d", &cfg);
+    let ratio = zero.ipc() / real.ipc();
+    assert!(
+        (0.9..1.15).contains(&ratio),
+        "the bottleneck is traffic, not crypto latency (Fig. 3): ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn direct_encryption_nearly_free_for_streaming() {
+    let base = baseline("fdtd2d");
+    let direct = secure("fdtd2d", &SecureMemConfig::direct(40));
+    let norm = direct.ipc() / base.ipc();
+    assert!(norm > 0.9, "direct encryption hides behind TLP (Fig. 15), got {norm:.3}");
+}
+
+#[test]
+fn direct_beats_counter_mode_without_integrity() {
+    let base = baseline("fdtd2d");
+    let direct = secure("fdtd2d", &SecureMemConfig::direct(40)).ipc() / base.ipc();
+    let ctr =
+        secure("fdtd2d", &SecureMemConfig::with_scheme(SecurityScheme::CtrOnly)).ipc() / base.ipc();
+    assert!(
+        direct > ctr + 0.03,
+        "Fig. 16: direct ({direct:.3}) must beat counter-mode ({ctr:.3})"
+    );
+}
+
+#[test]
+fn direct_mac_beats_ctr_mac_bmt_at_equal_budget() {
+    let base = baseline("fdtd2d");
+    let ctr = secure("fdtd2d", &SecureMemConfig::secure_mem()).ipc() / base.ipc();
+    let dmac_cfg = SecureMemConfig {
+        scheme: SecurityScheme::DirectMac,
+        mdcache_bytes_by_type: Some([0, 6 * 1024, 0]),
+        ..SecureMemConfig::secure_mem()
+    };
+    let dmac = secure("fdtd2d", &dmac_cfg).ipc() / base.ipc();
+    assert!(dmac > ctr, "Fig. 17: direct_mac ({dmac:.3}) must beat ctr_mac_bmt ({ctr:.3})");
+}
+
+#[test]
+fn mshrs_rescue_metadata_caches() {
+    let without = secure(
+        "srad_v2",
+        &SecureMemConfig { mdcache_mshrs: 0, ..SecureMemConfig::secure_mem() },
+    );
+    let with = secure("srad_v2", &SecureMemConfig::secure_mem());
+    assert!(
+        with.ipc() > 1.5 * without.ipc(),
+        "Fig. 6: metadata-cache MSHRs must matter ({} vs {})",
+        with.ipc(),
+        without.ipc()
+    );
+}
+
+#[test]
+fn metadata_traffic_appears_only_under_secure_memory() {
+    let base = baseline("streamcluster");
+    assert_eq!(base.dram.class(TrafficClass::Counter).reads, 0);
+    assert_eq!(base.dram.class(TrafficClass::Mac).reads, 0);
+    let sec = secure("streamcluster", &SecureMemConfig::secure_mem());
+    assert!(sec.dram.class(TrafficClass::Counter).reads > 0);
+    assert!(sec.dram.class(TrafficClass::Mac).reads > 0);
+    assert!(sec.dram.class(TrafficClass::Tree).reads > 0);
+}
+
+#[test]
+fn direct_mode_has_no_counter_traffic() {
+    let sec = secure("fdtd2d", &SecureMemConfig::direct(40));
+    assert_eq!(sec.dram.class(TrafficClass::Counter).reads, 0);
+    assert_eq!(sec.dram.class(TrafficClass::Tree).reads, 0);
+}
+
+#[test]
+fn higher_direct_latency_costs_dependent_workloads() {
+    let base = baseline("nw");
+    let fast = secure("nw", &SecureMemConfig::direct(40)).ipc() / base.ipc();
+    let slow = secure("nw", &SecureMemConfig::direct(160)).ipc() / base.ipc();
+    assert!(
+        slow < fast - 0.05,
+        "Fig. 15: small kernels expose the AES latency (40c: {fast:.3}, 160c: {slow:.3})"
+    );
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let a = secure("bfs", &SecureMemConfig::secure_mem());
+    let b = secure("bfs", &SecureMemConfig::secure_mem());
+    assert_eq!(a.thread_instructions, b.thread_instructions);
+    assert_eq!(a.dram.total_requests(), b.dram.total_requests());
+    assert_eq!(a.engine.meta[0].cache.misses, b.engine.meta[0].cache.misses);
+}
+
+#[test]
+fn secondary_misses_dominate_for_streaming() {
+    let sec = secure("fdtd2d", &SecureMemConfig::secure_mem());
+    let ctr_ratio = sec.engine.class(TrafficClass::Counter).mshr.secondary_ratio();
+    assert!(
+        ctr_ratio > 0.5,
+        "Fig. 5: sectored L2 must make most counter misses secondary, got {ctr_ratio:.3}"
+    );
+}
+
+#[test]
+fn all_fourteen_benchmarks_run_under_secure_memory() {
+    for spec in gpu_secure_memory::workloads::suite::all_specs() {
+        let report = secure(spec.name, &SecureMemConfig::secure_mem());
+        assert!(report.thread_instructions > 0, "{} made no progress", spec.name);
+    }
+}
