@@ -1,65 +1,74 @@
 //! Microbenchmarks for the functional cryptography: AES-128, AES-CMAC,
 //! counter-mode line encryption, and the tree hash. These establish that
-//! the functional layer is fast enough to back large property-test runs.
+//! the functional layer is fast enough to back large randomized-test runs.
+//!
+//! Plain `std::time` harness (`harness = false`): each case runs a fixed
+//! iteration count and reports ns/iter and MB/s where meaningful.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use secmem_crypto::aes::Aes128;
 use secmem_crypto::cmac::{sector_mac, Cmac};
 use secmem_crypto::ctr::{encrypt_line, CounterBlock};
 use secmem_crypto::hash::NodeHash;
 
-fn bench_aes(c: &mut Criterion) {
+fn report(name: &str, iters: u64, bytes_per_iter: u64, elapsed_ns: u128) {
+    let ns_per = elapsed_ns as f64 / iters as f64;
+    if bytes_per_iter > 0 {
+        let mbps = (bytes_per_iter * iters) as f64 / (elapsed_ns as f64 / 1e9) / 1e6;
+        println!("{name:<28} {ns_per:>10.1} ns/iter  {mbps:>8.1} MB/s");
+    } else {
+        println!("{name:<28} {ns_per:>10.1} ns/iter");
+    }
+}
+
+fn bench<F: FnMut()>(name: &str, iters: u64, bytes_per_iter: u64, mut f: F) {
+    // Warm up briefly, then measure.
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    report(name, iters, bytes_per_iter, start.elapsed().as_nanos());
+}
+
+fn main() {
     let aes = Aes128::new(&[7u8; 16]);
     let block = [0x42u8; 16];
-    let mut g = c.benchmark_group("aes128");
-    g.throughput(Throughput::Bytes(16));
-    g.bench_function("encrypt_block", |b| b.iter(|| aes.encrypt_block(black_box(&block))));
-    g.bench_function("decrypt_block", |b| {
-        let ct = aes.encrypt_block(&block);
-        b.iter(|| aes.decrypt_block(black_box(&ct)))
+    let ct = aes.encrypt_block(&block);
+    bench("aes128/encrypt_block", 200_000, 16, || {
+        black_box(aes.encrypt_block(black_box(&block)));
     });
-    g.bench_function("key_schedule", |b| b.iter(|| Aes128::new(black_box(&[9u8; 16]))));
-    g.finish();
-}
+    bench("aes128/decrypt_block", 200_000, 16, || {
+        black_box(aes.decrypt_block(black_box(&ct)));
+    });
+    bench("aes128/key_schedule", 100_000, 0, || {
+        black_box(Aes128::new(black_box(&[9u8; 16])));
+    });
 
-fn bench_ctr(c: &mut Criterion) {
-    let aes = Aes128::new(&[7u8; 16]);
     let seed = CounterBlock::new(0x8000, 3, 5);
-    let mut g = c.benchmark_group("counter_mode");
-    g.throughput(Throughput::Bytes(128));
-    g.bench_function("encrypt_line_128B", |b| {
-        b.iter(|| {
-            let mut line = [0x5Au8; 128];
-            encrypt_line(&aes, black_box(&seed), &mut line);
-            line
-        })
+    bench("ctr/encrypt_line_128B", 100_000, 128, || {
+        let mut line = [0x5Au8; 128];
+        encrypt_line(&aes, black_box(&seed), &mut line);
+        black_box(line);
     });
-    g.finish();
-}
 
-fn bench_cmac(c: &mut Criterion) {
     let cmac = Cmac::new(&[3u8; 16]);
     let sector = [0xA5u8; 32];
     let line = [0xA5u8; 128];
-    let mut g = c.benchmark_group("cmac");
-    g.throughput(Throughput::Bytes(32));
-    g.bench_function("sector_mac_32B", |b| {
-        b.iter(|| sector_mac(&cmac, black_box(0x1000), black_box(7), &sector))
+    bench("cmac/sector_mac_32B", 100_000, 32, || {
+        black_box(sector_mac(&cmac, black_box(0x1000), black_box(7), &sector));
     });
-    g.throughput(Throughput::Bytes(128));
-    g.bench_function("line_tag_128B", |b| b.iter(|| cmac.compute(black_box(&line))));
-    g.finish();
-}
+    bench("cmac/line_tag_128B", 100_000, 128, || {
+        black_box(cmac.compute(black_box(&line)));
+    });
 
-fn bench_hash(c: &mut Criterion) {
     let h = NodeHash::new();
     let node = [0xEEu8; 128];
-    let mut g = c.benchmark_group("tree_hash");
-    g.throughput(Throughput::Bytes(128));
-    g.bench_function("node_digest_128B", |b| b.iter(|| h.digest(black_box(0x4000), &node)));
-    g.finish();
+    bench("hash/node_digest_128B", 100_000, 128, || {
+        black_box(h.digest(black_box(0x4000), &node));
+    });
 }
-
-criterion_group!(benches, bench_aes, bench_ctr, bench_cmac, bench_hash);
-criterion_main!(benches);

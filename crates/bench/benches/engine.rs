@@ -1,8 +1,11 @@
 //! Benchmarks of the secure memory engine itself: read/write transaction
 //! throughput per scheme for one partition, and the functional secure
 //! memory's verified read/write path.
+//!
+//! Plain `std::time` harness (`harness = false`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use secmem_core::functional::FunctionalSecureMemory;
 use secmem_core::{SecureBackend, SecureMemConfig, SecurityScheme};
@@ -39,38 +42,36 @@ fn drive_engine(backend: &mut SecureBackend, reads: u64) -> u64 {
     done
 }
 
-fn bench_engine_schemes(c: &mut Criterion) {
+fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let us_per = start.elapsed().as_nanos() as f64 / iters as f64 / 1e3;
+    println!("{name:<44} {us_per:>10.2} us/iter");
+}
+
+fn main() {
     let gpu = GpuConfig::small();
-    let mut g = c.benchmark_group("secure_engine");
-    g.sample_size(20);
     for scheme in [SecurityScheme::CtrMacBmt, SecurityScheme::Direct, SecurityScheme::DirectMacMt] {
-        g.bench_function(format!("read_256_sectors/{scheme}"), |b| {
-            b.iter(|| {
-                let mut backend =
-                    SecureBackend::new(SecureMemConfig::with_scheme(scheme), &gpu);
-                drive_engine(black_box(&mut backend), 256)
-            })
+        bench(&format!("engine/read_256_sectors/{scheme}"), 20, || {
+            let mut backend = SecureBackend::new(SecureMemConfig::with_scheme(scheme), &gpu);
+            black_box(drive_engine(black_box(&mut backend), 256));
         });
     }
-    g.finish();
-}
 
-fn bench_functional(c: &mut Criterion) {
-    let mut g = c.benchmark_group("functional_secure_memory");
-    let mut m =
-        FunctionalSecureMemory::new(SecurityScheme::CtrMacBmt, 4 * 1024 * 1024, &[1u8; 16]);
+    let mut m = FunctionalSecureMemory::new(SecurityScheme::CtrMacBmt, 4 * 1024 * 1024, &[1u8; 16]);
     let data = [0x77u8; 128];
     m.write_line(0, &data);
-    g.bench_function("write_line_verified", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 1024;
-            m.write_line(black_box(i * 128), &data)
-        })
+    let mut i = 0u64;
+    bench("functional/write_line_verified", 20_000, || {
+        i = (i + 1) % 1024;
+        m.write_line(black_box(i * 128), &data);
     });
-    g.bench_function("read_line_verified", |b| b.iter(|| m.read_line(black_box(0)).unwrap()));
-    g.finish();
+    bench("functional/read_line_verified", 20_000, || {
+        black_box(m.read_line(black_box(0)).unwrap());
+    });
 }
-
-criterion_group!(benches, bench_engine_schemes, bench_functional);
-criterion_main!(benches);

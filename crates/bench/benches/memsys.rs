@@ -1,8 +1,11 @@
 //! Microbenchmarks for the memory-system building blocks: sectored cache,
 //! MSHR file, DRAM channel, and the reuse-distance profiler. These bound
 //! the per-cycle cost of the simulator's hot paths.
+//!
+//! Plain `std::time` harness (`harness = false`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use secmem_gpusim::cache::SectoredCache;
 use secmem_gpusim::dram::{Dram, DramRequest};
@@ -10,60 +13,61 @@ use secmem_gpusim::mshr::MshrFile;
 use secmem_gpusim::reuse::ReuseProfiler;
 use secmem_gpusim::types::{SectorMask, TrafficClass, FULL_SECTOR_MASK};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sectored_cache");
-    g.bench_function("probe_hit", |b| {
+fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns_per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<36} {ns_per:>10.1} ns/iter");
+}
+
+fn main() {
+    {
         let mut cache = SectoredCache::new(96 * 1024, 12);
         for i in 0..768u64 {
             cache.fill(i * 128, FULL_SECTOR_MASK, SectorMask::EMPTY);
         }
         let mut i = 0u64;
-        b.iter(|| {
+        bench("cache/probe_hit", 1_000_000, || {
             i = (i + 1) % 768;
-            cache.probe(black_box(i * 128), SectorMask::single(0))
-        })
-    });
-    g.bench_function("streaming_fill_evict", |b| {
+            black_box(cache.probe(black_box(i * 128), SectorMask::single(0)));
+        });
+    }
+    {
         let mut cache = SectoredCache::new(2 * 1024, 8);
         let mut i = 0u64;
-        b.iter(|| {
+        bench("cache/streaming_fill_evict", 1_000_000, || {
             i += 1;
-            cache.fill(black_box(i * 128), FULL_SECTOR_MASK, SectorMask::EMPTY)
-        })
-    });
-    g.finish();
-}
-
-fn bench_mshr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mshr");
-    g.bench_function("allocate_complete", |b| {
+            black_box(cache.fill(black_box(i * 128), FULL_SECTOR_MASK, SectorMask::EMPTY));
+        });
+    }
+    {
         let mut mshr: MshrFile<u32> = MshrFile::new(64, 64);
         let mut i = 0u64;
-        b.iter(|| {
+        bench("mshr/allocate_complete", 1_000_000, || {
             i += 1;
             let line = (i % 48) * 128;
             mshr.access(black_box(line), FULL_SECTOR_MASK, 1);
-            mshr.complete(line)
-        })
-    });
-    g.bench_function("secondary_merge", |b| {
+            black_box(mshr.complete(line));
+        });
+    }
+    {
         let mut mshr: MshrFile<u32> = MshrFile::new(64, 1 << 20);
         mshr.access(0x80, FULL_SECTOR_MASK, 0);
         let mut t = 0u32;
-        b.iter(|| {
+        bench("mshr/secondary_merge", 1_000_000, || {
             t += 1;
-            mshr.access(black_box(0x80), FULL_SECTOR_MASK, t)
-        })
-    });
-    g.finish();
-}
-
-fn bench_dram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram");
-    g.bench_function("push_cycle_pop", |b| {
+            black_box(mshr.access(black_box(0x80), FULL_SECTOR_MASK, t));
+        });
+    }
+    {
         let mut dram: Dram<u32> = Dram::new(24 * 1024, 250, 32);
         let mut now = 0u64;
-        b.iter(|| {
+        bench("dram/push_cycle_pop", 1_000_000, || {
             now += 1;
             let _ = dram.try_push(DramRequest {
                 bytes: 32,
@@ -74,23 +78,14 @@ fn bench_dram(c: &mut Criterion) {
             });
             dram.cycle(black_box(now));
             while dram.pop_completed().is_some() {}
-        })
-    });
-    g.finish();
-}
-
-fn bench_reuse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reuse_profiler");
-    g.bench_function("access_working_set_64", |b| {
+        });
+    }
+    {
         let mut p = ReuseProfiler::new();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("reuse/access_working_set_64", 1_000_000, || {
             i += 1;
-            p.access(black_box((i % 64) * 128))
-        })
-    });
-    g.finish();
+            p.access(black_box((i % 64) * 128));
+        });
+    }
 }
-
-criterion_group!(benches, bench_cache, bench_mshr, bench_dram, bench_reuse);
-criterion_main!(benches);

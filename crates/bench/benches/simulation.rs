@@ -2,8 +2,11 @@
 //! GPU under each backend, plus per-experiment miniatures that exercise
 //! the same code paths as the paper's tables and figures (the full-size
 //! reproduction lives in the `reproduce` binary).
+//!
+//! Plain `std::time` harness (`harness = false`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use secmem_bench::{run_job, BackendChoice, Job};
 use secmem_core::{MetadataCacheKind, SecureMemConfig};
@@ -11,6 +14,7 @@ use secmem_gpusim::config::GpuConfig;
 use secmem_workloads::suite;
 
 const CYCLES: u64 = 4_000;
+const ITERS: u64 = 5;
 
 fn job(bench: &str, backend: BackendChoice) -> Job {
     Job {
@@ -23,35 +27,22 @@ fn job(bench: &str, backend: BackendChoice) -> Job {
     }
 }
 
-fn bench_baseline_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_4k_cycles");
-    g.sample_size(10);
-    g.bench_function("baseline/fdtd2d", |b| {
-        let j = job("fdtd2d", BackendChoice::Baseline);
-        b.iter(|| run_job(black_box(&j)))
-    });
-    g.bench_function("secure_mem/fdtd2d", |b| {
-        let j = job("fdtd2d", BackendChoice::Secure(SecureMemConfig::secure_mem()));
-        b.iter(|| run_job(black_box(&j)))
-    });
-    g.bench_function("secure_mem/kmeans_scatter", |b| {
-        let j = job("kmeans", BackendChoice::Secure(SecureMemConfig::secure_mem()));
-        b.iter(|| run_job(black_box(&j)))
-    });
-    g.bench_function("direct_40/fdtd2d", |b| {
-        let j = job("fdtd2d", BackendChoice::Secure(SecureMemConfig::direct(40)));
-        b.iter(|| run_job(black_box(&j)))
-    });
-    g.bench_function("unified_mdcache/fdtd2d", |b| {
-        let cfg = SecureMemConfig {
-            cache_kind: MetadataCacheKind::Unified,
-            ..SecureMemConfig::secure_mem()
-        };
-        let j = job("fdtd2d", BackendChoice::Secure(cfg));
-        b.iter(|| run_job(black_box(&j)))
-    });
-    g.finish();
+fn bench(name: &str, j: &Job) {
+    run_job(j); // warm-up
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(run_job(black_box(j)));
+    }
+    let elapsed = start.elapsed().as_secs_f64() / ITERS as f64;
+    let kcps = CYCLES as f64 / elapsed / 1e3;
+    println!("{name:<32} {:>8.1} ms/run  {kcps:>8.1} kcycles/s", elapsed * 1e3);
 }
 
-criterion_group!(benches, bench_baseline_sim);
-criterion_main!(benches);
+fn main() {
+    bench("baseline/fdtd2d", &job("fdtd2d", BackendChoice::Baseline));
+    bench("secure_mem/fdtd2d", &job("fdtd2d", BackendChoice::Secure(SecureMemConfig::secure_mem())));
+    bench("secure_mem/kmeans_scatter", &job("kmeans", BackendChoice::Secure(SecureMemConfig::secure_mem())));
+    bench("direct_40/fdtd2d", &job("fdtd2d", BackendChoice::Secure(SecureMemConfig::direct(40))));
+    let unified = SecureMemConfig { cache_kind: MetadataCacheKind::Unified, ..SecureMemConfig::secure_mem() };
+    bench("unified_mdcache/fdtd2d", &job("fdtd2d", BackendChoice::Secure(unified)));
+}

@@ -29,12 +29,14 @@ struct Args {
     experiments: Vec<String>,
     opts: ExpOpts,
     csv_dir: Option<PathBuf>,
+    resume: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiments = Vec::new();
     let mut opts = ExpOpts::default();
     let mut csv_dir = None;
+    let mut resume = false;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -53,6 +55,9 @@ fn parse_args() -> Result<Args, String> {
             "--small" => {
                 opts.gpu = GpuConfig::small();
             }
+            "--resume" => {
+                resume = true;
+            }
             "--warmup" => {
                 let v = iter.next().ok_or("--warmup needs a value")?;
                 opts.warmup = v.parse().map_err(|_| format!("bad warmup: {v}"))?;
@@ -62,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
                 opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce <experiment...> [--cycles N] [--threads N] [--csv DIR] [--small] [--seed N] [--warmup N]".into());
+                return Err("usage: reproduce <experiment...> [--cycles N] [--threads N] [--csv DIR] [--small] [--seed N] [--warmup N] [--resume]".into());
             }
             other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
             exp => experiments.push(exp.to_string()),
@@ -71,7 +76,10 @@ fn parse_args() -> Result<Args, String> {
     if experiments.is_empty() {
         return Err("no experiment given; try `reproduce all` or `reproduce fig3`".into());
     }
-    Ok(Args { experiments, opts, csv_dir })
+    if resume && csv_dir.is_none() {
+        return Err("--resume requires --csv DIR (resume skips experiments whose CSV exists)".into());
+    }
+    Ok(Args { experiments, opts, csv_dir, resume })
 }
 
 const ALL: [&str; 22] = [
@@ -180,6 +188,24 @@ fn main() {
             todo.extend(EXTENSIONS.iter().map(|s| s.to_string()));
         } else {
             todo.push(exp.clone());
+        }
+    }
+
+    // --resume: drop experiments whose CSV already exists, so a crashed
+    // sweep restarts where it left off (CSVs are written incrementally,
+    // one per experiment, as each finishes).
+    if args.resume {
+        let dir = args.csv_dir.as_ref().expect("checked in parse_args");
+        todo.retain(|exp| {
+            let done = dir.join(format!("{exp}.csv")).exists();
+            if done {
+                eprintln!("[reproduce] {exp}: CSV already present, skipping (--resume)");
+            }
+            !done
+        });
+        if todo.is_empty() {
+            eprintln!("[reproduce] nothing to do: all requested experiments already have CSVs");
+            return;
         }
     }
 

@@ -93,9 +93,8 @@ fn parse() -> Result<Options, String> {
             "--srrip" => o.cfg.mdcache_policy = ReplacementPolicy::Srrip,
             "--blocking" => o.cfg.speculative_verification = false,
             "--protected-mb" => {
-                let mb: u64 = need(&mut it, "--protected-mb")?
-                    .parse()
-                    .map_err(|e| format!("--protected-mb: {e}"))?;
+                let mb: u64 =
+                    need(&mut it, "--protected-mb")?.parse().map_err(|e| format!("--protected-mb: {e}"))?;
                 o.cfg.protected_limit = Some(mb * 1024 * 1024);
             }
             "--json" => o.json = true,

@@ -3,9 +3,7 @@
 
 use std::collections::HashMap;
 
-use secmem_core::{
-    global_storage, MdcIdealization, MetadataCacheKind, SecureMemConfig, SecurityScheme,
-};
+use secmem_core::{global_storage, MdcIdealization, MetadataCacheKind, SecureMemConfig, SecurityScheme};
 use secmem_gpusim::config::GpuConfig;
 use secmem_gpusim::reuse::bucket_labels;
 use secmem_gpusim::stats::SimReport;
@@ -81,10 +79,7 @@ impl Baselines {
     }
 }
 
-fn suite_secure_jobs(
-    opts: &ExpOpts,
-    configs: &[(String, SecureMemConfig)],
-) -> Vec<Job> {
+fn suite_secure_jobs(opts: &ExpOpts, configs: &[(String, SecureMemConfig)]) -> Vec<Job> {
     let mut jobs = Vec::new();
     for kernel in table4_suite_seeded(opts.seed) {
         for (label, cfg) in configs {
@@ -200,11 +195,7 @@ pub fn table2(opts: &ExpOpts) -> ExpTable {
         format!("16-ary, {} levels, {}", s.bmt_levels, mb(s.bmt_bytes)),
         format!("16-ary, {} levels, {}", s.mt_levels, mb(s.mt_bytes)),
     ]);
-    t.push_row(vec![
-        "total".into(),
-        mb(s.counter_mode_total()),
-        mb(s.direct_total()),
-    ]);
+    t.push_row(vec!["total".into(), mb(s.counter_mode_total()), mb(s.direct_total())]);
     t.note("paper: 32 + 256 + 2.14 = 290.14 MB (counter mode); 256 + 17.1 = 273.1 MB (direct)");
     t
 }
@@ -330,10 +321,7 @@ pub fn fig5(opts: &ExpOpts) -> ExpTable {
     let mut sums = [0.0f64; 3];
     for r in &results {
         let mut row = vec![r.bench.clone()];
-        for (i, class) in [TrafficClass::Counter, TrafficClass::Mac, TrafficClass::Tree]
-            .iter()
-            .enumerate()
-        {
+        for (i, class) in [TrafficClass::Counter, TrafficClass::Mac, TrafficClass::Tree].iter().enumerate() {
             let s = r.report.engine.class(*class).mshr;
             let ratio = s.secondary_ratio();
             sums[i] += ratio;
@@ -342,12 +330,7 @@ pub fn fig5(opts: &ExpOpts) -> ExpTable {
         t.push_row(row);
     }
     let n = results.len().max(1) as f64;
-    t.push_row(vec![
-        "MEAN".into(),
-        fmt_pct(sums[0] / n),
-        fmt_pct(sums[1] / n),
-        fmt_pct(sums[2] / n),
-    ]);
+    t.push_row(vec!["MEAN".into(), fmt_pct(sums[0] / n), fmt_pct(sums[1] / n), fmt_pct(sums[2] / n)]);
     t.note("paper averages: ctr 64.96%, mac 59.67%, bmt 85.63%");
     t
 }
@@ -368,10 +351,7 @@ pub fn fig7(opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
     let configs: Vec<(String, SecureMemConfig)> = [2u64, 4, 8, 16, 32, 64]
         .iter()
         .map(|&kb| {
-            (
-                format!("{kb}KB"),
-                SecureMemConfig { mdcache_bytes: kb * 1024, ..SecureMemConfig::secure_mem() },
-            )
+            (format!("{kb}KB"), SecureMemConfig { mdcache_bytes: kb * 1024, ..SecureMemConfig::secure_mem() })
         })
         .collect();
     normalized_ipc_table(
@@ -388,10 +368,8 @@ fn unified_cfg() -> SecureMemConfig {
 
 /// Fig. 8: unified vs. separate metadata caches (normalized IPC).
 pub fn fig8(opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
-    let configs = vec![
-        ("separate".to_string(), SecureMemConfig::secure_mem()),
-        ("unified".to_string(), unified_cfg()),
-    ];
+    let configs =
+        vec![("separate".to_string(), SecureMemConfig::secure_mem()), ("unified".to_string(), unified_cfg())];
     normalized_ipc_table(
         "Fig. 8 — Unified vs. separate metadata caches (normalized IPC)",
         opts,
@@ -402,10 +380,8 @@ pub fn fig8(opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
 
 /// Fig. 9: per-type metadata miss rates, unified vs. separate.
 pub fn fig9(opts: &ExpOpts) -> ExpTable {
-    let configs = vec![
-        ("separate".to_string(), SecureMemConfig::secure_mem()),
-        ("unified".to_string(), unified_cfg()),
-    ];
+    let configs =
+        vec![("separate".to_string(), SecureMemConfig::secure_mem()), ("unified".to_string(), unified_cfg())];
     let results = run_jobs(suite_secure_jobs(opts, &configs), opts.threads);
     let mut t = ExpTable::new(
         "Fig. 9 — Metadata miss rates, unified vs. separate",
@@ -414,10 +390,7 @@ pub fn fig9(opts: &ExpOpts) -> ExpTable {
     let mut by: HashMap<(String, String), [f64; 3]> = HashMap::new();
     for r in &results {
         let mut rates = [0.0; 3];
-        for (i, class) in [TrafficClass::Counter, TrafficClass::Mac, TrafficClass::Tree]
-            .iter()
-            .enumerate()
-        {
+        for (i, class) in [TrafficClass::Counter, TrafficClass::Mac, TrafficClass::Tree].iter().enumerate() {
             rates[i] = r.report.engine.class(*class).cache.miss_rate();
         }
         by.insert((r.bench.clone(), r.label.clone()), rates);
@@ -520,8 +493,7 @@ pub fn table6(_opts: &ExpOpts) -> ExpTable {
 /// Table VII: areas scaled to 12 nm.
 pub fn table7(_opts: &ExpOpts) -> ExpTable {
     let r = secmem_core::area::area_report(12.0, 32, 32);
-    let mut t =
-        ExpTable::new("Table VII — Scaled-down die area (12 nm)", &["structure", "area (mm^2)"]);
+    let mut t = ExpTable::new("Table VII — Scaled-down die area (12 nm)", &["structure", "area (mm^2)"]);
     t.push_row(vec!["AES engine".into(), format!("{:.4}", r.aes_engine_mm2)]);
     t.push_row(vec!["64 KB cache".into(), format!("{:.5}", r.cache_64kb_mm2)]);
     t.push_row(vec!["96 KB cache".into(), format!("{:.5}", r.cache_96kb_mm2)]);
@@ -532,7 +504,8 @@ pub fn table7(_opts: &ExpOpts) -> ExpTable {
 /// §V-F: L2 capacity displaced by the security hardware.
 pub fn area_displacement(_opts: &ExpOpts) -> ExpTable {
     let r = secmem_core::area::area_report(12.0, 32, 32);
-    let mut t = ExpTable::new("§V-F — L2 capacity displaced by security hardware", &["component", "displaced L2"]);
+    let mut t =
+        ExpTable::new("§V-F — L2 capacity displaced by security hardware", &["component", "displaced L2"]);
     t.push_row(vec!["32 AES engines".into(), format!("{:.0} KB", r.l2_displaced_by_aes_kb)]);
     t.push_row(vec!["MAC units (≈AES)".into(), format!("{:.0} KB", r.l2_displaced_by_mac_kb)]);
     t.push_row(vec!["metadata caches".into(), format!("{:.0} KB", r.l2_displaced_by_mdcache_kb)]);
@@ -600,10 +573,8 @@ pub fn fig14(_opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
 
 /// Fig. 15: direct encryption with different AES latencies.
 pub fn fig15(opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
-    let configs: Vec<(String, SecureMemConfig)> = [40u32, 80, 160]
-        .iter()
-        .map(|&lat| (format!("direct_{lat}"), SecureMemConfig::direct(lat)))
-        .collect();
+    let configs: Vec<(String, SecureMemConfig)> =
+        [40u32, 80, 160].iter().map(|&lat| (format!("direct_{lat}"), SecureMemConfig::direct(lat))).collect();
     normalized_ipc_table(
         "Fig. 15 — Normalized IPC of direct encryption vs. AES latency",
         opts,
@@ -769,10 +740,7 @@ pub fn selective_encryption(opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
         let kernel = secmem_workloads::suite::by_name(spec.name).expect("suite benchmark");
         for &pct in &pcts {
             let limit = (spec.footprint * pct / 100).next_multiple_of(align);
-            let cfg = SecureMemConfig {
-                protected_limit: Some(limit),
-                ..SecureMemConfig::secure_mem()
-            };
+            let cfg = SecureMemConfig { protected_limit: Some(limit), ..SecureMemConfig::secure_mem() };
             jobs.push(Job {
                 kernel: kernel.clone(),
                 gpu: opts.gpu.clone(),
@@ -903,11 +871,14 @@ pub fn ml_suite(opts: &ExpOpts) -> ExpTable {
     use secmem_workloads::ml;
     let schemes = [
         ("ctr_mac_bmt", SecureMemConfig::secure_mem()),
-        ("direct_mac", SecureMemConfig {
-            scheme: secmem_core::SecurityScheme::DirectMac,
-            mdcache_bytes_by_type: Some([0, 6 * 1024, 0]),
-            ..SecureMemConfig::secure_mem()
-        }),
+        (
+            "direct_mac",
+            SecureMemConfig {
+                scheme: secmem_core::SecurityScheme::DirectMac,
+                mdcache_bytes_by_type: Some([0, 6 * 1024, 0]),
+                ..SecureMemConfig::secure_mem()
+            },
+        ),
     ];
     let mut jobs = Vec::new();
     for kernel in ml::ml_suite() {

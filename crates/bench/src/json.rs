@@ -25,12 +25,7 @@ pub fn report_to_json(report: &SimReport, cfg: &GpuConfig) -> String {
     field(&mut out, "warp_instructions", report.warp_instructions, true);
     field(&mut out, "thread_instructions", report.thread_instructions, true);
     field(&mut out, "ipc", format!("{:.6}", report.ipc()), true);
-    field(
-        &mut out,
-        "bandwidth_utilization",
-        format!("{:.6}", report.bandwidth_utilization(cfg)),
-        true,
-    );
+    field(&mut out, "bandwidth_utilization", format!("{:.6}", report.bandwidth_utilization(cfg)), true);
     field(&mut out, "warps", report.warps, true);
     field(&mut out, "mem_stall_cycles", report.mem_stall_cycles, true);
 

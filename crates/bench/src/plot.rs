@@ -25,9 +25,7 @@ impl Default for PlotStyle {
             width: 1200,
             height: 420,
             y_max: 1.1,
-            palette: vec![
-                "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c", "#dc7ec0",
-            ],
+            palette: vec!["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c", "#dc7ec0"],
         }
     }
 }
@@ -51,10 +49,7 @@ pub fn grouped_bars(table: &ExpTable, style: &PlotStyle) -> Option<String> {
         .rows
         .iter()
         .map(|row| {
-            let values = row[1..]
-                .iter()
-                .map(|cell| cell.trim_end_matches('%').parse::<f64>().ok())
-                .collect();
+            let values = row[1..].iter().map(|cell| cell.trim_end_matches('%').parse::<f64>().ok()).collect();
             (&row[0], values)
         })
         .collect();
@@ -190,8 +185,7 @@ mod tests {
     fn percent_cells_parse() {
         let mut t = ExpTable::new("T", &["b", "v"]);
         t.push_row(vec!["x".into(), "42.5%".into()]);
-        let svg = grouped_bars(&t, &PlotStyle { y_max: 100.0, ..PlotStyle::default() })
-            .expect("plotable");
+        let svg = grouped_bars(&t, &PlotStyle { y_max: 100.0, ..PlotStyle::default() }).expect("plotable");
         assert!(svg.contains("= 42.5"));
     }
 

@@ -68,9 +68,8 @@ pub fn run_job(job: &Job) -> RunResult {
         }
         BackendChoice::Secure(cfg) => {
             let cfg = cfg.clone();
-            let mut sim = Simulator::new(job.gpu.clone(), &job.kernel, |_, g| {
-                SecureBackend::new(cfg.clone(), g)
-            });
+            let mut sim =
+                Simulator::new(job.gpu.clone(), &job.kernel, |_, g| SecureBackend::new(cfg.clone(), g));
             let report = if job.warmup > 0 {
                 sim.run_with_warmup(job.warmup, job.cycles)
             } else {
@@ -86,19 +85,70 @@ pub fn run_job(job: &Job) -> RunResult {
     }
 }
 
+/// A job that panicked (twice — each job gets one retry before it is
+/// declared failed).
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Benchmark name of the failed job.
+    pub bench: String,
+    /// Configuration label of the failed job.
+    pub label: String,
+    /// The panic payload, stringified.
+    pub error: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}: {}", self.bench, self.label, self.error)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one job with panic isolation: a panicking job is retried once,
+/// and a second panic becomes a [`JobFailure`] instead of tearing down
+/// the whole sweep.
+fn run_job_isolated(job: &Job) -> Result<RunResult, JobFailure> {
+    use secmem_gpusim::kernel::Kernel;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut last = None;
+    for _attempt in 0..2 {
+        match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
+            Ok(result) => return Ok(result),
+            Err(payload) => last = Some(panic_message(payload.as_ref())),
+        }
+    }
+    Err(JobFailure {
+        bench: job.kernel.name().to_string(),
+        label: job.label.clone(),
+        error: last.unwrap_or_else(|| "unknown panic".to_string()),
+    })
+}
+
 /// Runs all jobs, using up to `threads` worker threads (0 = all cores).
-/// Results come back in job order.
-pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<RunResult> {
+///
+/// Successful results come back in job order; jobs whose simulation
+/// panicked (even after one retry) are reported separately so a single
+/// bad configuration cannot take down an entire sweep.
+pub fn run_jobs_with_failures(jobs: Vec<Job>, threads: usize) -> (Vec<RunResult>, Vec<JobFailure>) {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
         threads
     };
     let n = jobs.len();
-    let mut results: Vec<Option<RunResult>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
+    let mut slots: Vec<Option<Result<RunResult, JobFailure>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
     let next = Mutex::new(0usize);
-    let results = Mutex::new(results);
+    let slots = Mutex::new(slots);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
             scope.spawn(|| loop {
@@ -111,17 +161,37 @@ pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<RunResult> {
                     *guard += 1;
                     i
                 };
-                let result = run_job(&jobs[index]);
-                results.lock().expect("results lock")[index] = Some(result);
+                let outcome = run_job_isolated(&jobs[index]);
+                slots.lock().expect("results lock")[index] = Some(outcome);
             });
         }
     });
+    let mut results = Vec::with_capacity(n);
+    let mut failures = Vec::new();
+    for slot in slots.into_inner().expect("all workers joined") {
+        match slot.expect("every job was attempted") {
+            Ok(r) => results.push(r),
+            Err(f) => failures.push(f),
+        }
+    }
+    (results, failures)
+}
+
+/// Runs all jobs, using up to `threads` worker threads (0 = all cores).
+/// Results come back in job order.
+///
+/// Panicking jobs are dropped from the result set after a failure
+/// summary is printed to stderr; callers that need the failure list
+/// programmatically should use [`run_jobs_with_failures`].
+pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<RunResult> {
+    let (results, failures) = run_jobs_with_failures(jobs, threads);
+    if !failures.is_empty() {
+        eprintln!("[runner] {} job(s) failed after retry:", failures.len());
+        for f in &failures {
+            eprintln!("[runner]   {f}");
+        }
+    }
     results
-        .into_inner()
-        .expect("all workers joined")
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -186,5 +256,36 @@ mod tests {
         assert_eq!(results[0].bench, "fdtd2d");
         assert_eq!(results[1].bench, "kmeans");
         assert_eq!(results[2].bench, "nw");
+    }
+
+    #[test]
+    fn panicking_job_is_reported_not_fatal() {
+        let mut bad_gpu = tiny_gpu();
+        bad_gpu.issue_width = 0; // rejected by GpuConfig::validate → Simulator::new panics
+        let job = |name: &str, gpu: GpuConfig, label: &str| Job {
+            kernel: suite::by_name(name).expect("exists"),
+            gpu,
+            backend: BackendChoice::Baseline,
+            cycles: 1_000,
+            warmup: 0,
+            label: label.into(),
+        };
+        let jobs = vec![
+            job("fdtd2d", tiny_gpu(), "ok-1"),
+            job("kmeans", bad_gpu, "broken"),
+            job("nw", tiny_gpu(), "ok-2"),
+        ];
+        let (results, failures) = run_jobs_with_failures(jobs, 2);
+        assert_eq!(results.len(), 2, "healthy jobs still complete");
+        assert_eq!(results[0].bench, "fdtd2d");
+        assert_eq!(results[1].bench, "nw");
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].bench, "kmeans");
+        assert_eq!(failures[0].label, "broken");
+        assert!(
+            failures[0].error.contains("issue_width"),
+            "failure carries the panic message: {}",
+            failures[0].error
+        );
     }
 }

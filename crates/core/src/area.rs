@@ -90,8 +90,7 @@ pub fn area_report(target_nm: f64, aes_engines: u32, partitions: u32) -> AreaRep
     let l2_displaced_by_mdcache_kb = mdcache_total_mm2 * kb_per_mm2;
     // The paper assumes MAC units cost about as much as AES engines.
     let l2_displaced_by_mac_kb = l2_displaced_by_aes_kb;
-    let l2_displaced_total_kb =
-        l2_displaced_by_aes_kb + l2_displaced_by_mac_kb + l2_displaced_by_mdcache_kb;
+    let l2_displaced_total_kb = l2_displaced_by_aes_kb + l2_displaced_by_mac_kb + l2_displaced_by_mdcache_kb;
     let _ = partitions;
     AreaReport {
         aes_engine_mm2,
@@ -134,11 +133,7 @@ mod tests {
         assert!((r.l2_displaced_by_aes_kb - 614.0).abs() < 25.0, "{}", r.l2_displaced_by_aes_kb);
         // Metadata caches: 0.05307 mm² -> ~283 KB.
         assert!((r.mdcache_total_mm2 - 0.05307).abs() < 0.002, "{}", r.mdcache_total_mm2);
-        assert!(
-            (r.l2_displaced_by_mdcache_kb - 283.0).abs() < 15.0,
-            "{}",
-            r.l2_displaced_by_mdcache_kb
-        );
+        assert!((r.l2_displaced_by_mdcache_kb - 283.0).abs() < 15.0, "{}", r.l2_displaced_by_mdcache_kb);
         // Total ~1526 KB ~= 24.84% of 6 MB.
         assert!((r.l2_displaced_total_kb - 1526.0).abs() < 60.0, "{}", r.l2_displaced_total_kb);
         assert!((r.l2_displaced_fraction - 0.2484).abs() < 0.01, "{}", r.l2_displaced_fraction);

@@ -1,6 +1,8 @@
 //! Secure-memory configuration: schemes (Tables V and VIII) and the
 //! metadata-cache organization (Table III).
 
+use secmem_gpusim::error::ConfigError;
+
 /// Which secure memory scheme is installed in the memory controllers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SecurityScheme {
@@ -33,10 +35,7 @@ impl SecurityScheme {
 
     /// True if the scheme verifies per-sector MACs.
     pub fn has_macs(self) -> bool {
-        matches!(
-            self,
-            SecurityScheme::CtrMacBmt | SecurityScheme::DirectMac | SecurityScheme::DirectMacMt
-        )
+        matches!(self, SecurityScheme::CtrMacBmt | SecurityScheme::DirectMac | SecurityScheme::DirectMacMt)
     }
 
     /// True if the scheme maintains an integrity tree, and over what.
@@ -50,10 +49,7 @@ impl SecurityScheme {
 
     /// True if decryption sits on the load critical path (direct modes).
     pub fn direct_encryption(self) -> bool {
-        matches!(
-            self,
-            SecurityScheme::Direct | SecurityScheme::DirectMac | SecurityScheme::DirectMacMt
-        )
+        matches!(self, SecurityScheme::Direct | SecurityScheme::DirectMac | SecurityScheme::DirectMacMt)
     }
 
     /// Display label matching the paper's figures.
@@ -206,11 +202,7 @@ impl SecureMemConfig {
 
     /// Direct encryption with the given latency (no integrity).
     pub fn direct(latency: u32) -> Self {
-        Self {
-            scheme: SecurityScheme::Direct,
-            aes_latency: latency,
-            ..Self::secure_mem()
-        }
+        Self { scheme: SecurityScheme::Direct, aes_latency: latency, ..Self::secure_mem() }
     }
 
     /// Sets the scheme, keeping other defaults.
@@ -240,22 +232,22 @@ impl SecureMemConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ConfigError`] naming the first violated field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.scheme == SecurityScheme::Baseline {
-            return Err("use PassthroughBackend for the baseline".into());
+            return Err(ConfigError::new("scheme", "use PassthroughBackend for the baseline"));
         }
         if self.mdcache_bytes < 256 {
-            return Err("metadata caches must hold at least 2 lines".into());
+            return Err(ConfigError::new("mdcache_bytes", "metadata caches must hold at least 2 lines"));
         }
         if self.aes_engines == 0 || self.aes_engines > 8 {
-            return Err("aes_engines must be in 1..=8".into());
+            return Err(ConfigError::new("aes_engines", "must be in 1..=8"));
         }
         if self.read_txn_cap == 0 || self.write_txn_cap == 0 {
-            return Err("transaction caps must be nonzero".into());
+            return Err(ConfigError::new("read_txn_cap/write_txn_cap", "transaction caps must be nonzero"));
         }
         if self.protected_limit == Some(0) {
-            return Err("protected_limit of 0 protects nothing; use a positive boundary".into());
+            return Err(ConfigError::new("protected_limit", "0 protects nothing; use a positive boundary"));
         }
         Ok(())
     }
@@ -316,13 +308,13 @@ mod tests {
     fn validation_rejects_baseline_and_bad_sizes() {
         let mut c = SecureMemConfig::secure_mem();
         c.scheme = SecurityScheme::Baseline;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate().expect_err("baseline rejected").field, "scheme");
         let mut c = SecureMemConfig::secure_mem();
         c.mdcache_bytes = 128;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate().expect_err("tiny cache rejected").field, "mdcache_bytes");
         let mut c = SecureMemConfig::secure_mem();
         c.aes_engines = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate().expect_err("no engines rejected").field, "aes_engines");
     }
 
     #[test]

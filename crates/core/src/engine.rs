@@ -27,12 +27,14 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use secmem_gpusim::backend::MemoryBackend;
 use secmem_gpusim::config::AddressMap;
 use secmem_gpusim::dram::{Dram, DramRequest, DramStats};
+use secmem_gpusim::fault::{FaultEvent, FaultInjector, FaultKind, FaultStats};
 use secmem_gpusim::reuse::ReuseProfiler;
 use secmem_gpusim::stats::EngineStats;
 use secmem_gpusim::types::{Addr, BackendReq, Cycle, TrafficClass, LINE_SIZE};
 
 use crate::config::{SecureMemConfig, TreeCoverage};
 use crate::engines::{AesEngineBank, MacUnit};
+use crate::error::CoreError;
 use crate::layout::MetadataLayout;
 use crate::mdcache::{MdOutcome, MetadataCaches};
 
@@ -120,6 +122,8 @@ pub struct SecureBackend {
     pub counter_overflows: u64,
     decrypt_waited_on_counter: u64,
     tree_verifications: u64,
+    /// Integrity events for injected faults (empty without an injector).
+    fault_events: Vec<FaultEvent>,
     now: Cycle,
 }
 
@@ -132,9 +136,23 @@ impl SecureBackend {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails validation.
+    /// Panics if `cfg` fails validation; [`SecureBackend::try_new`] is the
+    /// non-panicking form.
     pub fn new(cfg: SecureMemConfig, gpu: &secmem_gpusim::config::GpuConfig) -> Self {
-        cfg.validate().expect("invalid secure memory configuration");
+        match Self::try_new(cfg, gpu) {
+            Ok(engine) => engine,
+            Err(e) => panic!("invalid secure memory configuration: {e}"),
+        }
+    }
+
+    /// Builds the engine for one partition, surfacing configuration
+    /// problems as typed errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when `cfg` fails validation.
+    pub fn try_new(cfg: SecureMemConfig, gpu: &secmem_gpusim::config::GpuConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
         let layout = MetadataLayout::new(gpu.protected_bytes_per_partition(), cfg.scheme.tree());
         let aes = if cfg.zero_crypto {
             AesEngineBank::ideal()
@@ -144,7 +162,7 @@ impl SecureBackend {
         let protected_local_limit = cfg
             .protected_limit
             .map(|limit| (limit / gpu.num_partitions as u64).min(gpu.protected_bytes_per_partition()));
-        Self {
+        Ok(Self {
             protected_local_limit,
             layout,
             map: AddressMap::new(gpu),
@@ -171,8 +189,40 @@ impl SecureBackend {
             counter_overflows: 0,
             decrypt_waited_on_counter: 0,
             tree_verifications: 0,
+            fault_events: Vec::new(),
             now: 0,
             cfg,
+        })
+    }
+
+    /// Installs a fault injector on the DRAM channel. Corrupting faults
+    /// that the scheme's integrity machinery covers surface as detected
+    /// [`FaultEvent`]s; the rest pass through undetected.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.dram.install_faults(injector);
+    }
+
+    /// Whether this scheme's integrity machinery catches a fault of
+    /// `kind` injected on a read of `class`.
+    ///
+    /// Replay faults model a *consistent* rollback (data and its MAC
+    /// reverted together), so only an integrity tree over the relevant
+    /// metadata catches them — the gap Fig. 17 quantifies for
+    /// `direct_mac`. Other corruptions garble the payload against its
+    /// current MAC / parent hash.
+    fn fault_detected(&self, class: TrafficClass, kind: FaultKind) -> bool {
+        let scheme = self.cfg.scheme;
+        match (class, kind) {
+            (TrafficClass::Data, FaultKind::Replay) => scheme.tree() != TreeCoverage::None,
+            (TrafficClass::Data, _) => scheme.has_macs(),
+            (TrafficClass::Counter, FaultKind::Replay) => scheme.tree() == TreeCoverage::Counters,
+            // A corrupted counter fails its BMT hash, or (lacking a tree)
+            // produces the wrong pad and fails the data MAC check.
+            (TrafficClass::Counter, _) => scheme.tree() == TreeCoverage::Counters || scheme.has_macs(),
+            (TrafficClass::Mac, FaultKind::Replay) => scheme.tree() == TreeCoverage::Macs,
+            (TrafficClass::Mac, _) => scheme.has_macs(),
+            // Tree nodes always verify against their (cached) parent.
+            (TrafficClass::Tree, _) => true,
         }
     }
 
@@ -314,11 +364,7 @@ impl SecureBackend {
             }
             MdWaiter::WriteCtr(txn) => {
                 self.mdcache.mark_dirty(TrafficClass::Counter, line);
-                let bytes = self
-                    .write_txns
-                    .get(&txn)
-                    .map(|t| t.req.sectors.bytes())
-                    .unwrap_or(0);
+                let bytes = self.write_txns.get(&txn).map(|t| t.req.sectors.bytes()).unwrap_or(0);
                 if bytes > 0 {
                     // Re-encryption pad for the incremented counter.
                     let _ = self.aes.schedule(now, bytes);
@@ -420,7 +466,13 @@ impl SecureBackend {
         };
         if done {
             let t = self.write_txns.remove(&txn).expect("checked above");
-            self.queue_dram(t.req.sectors.bytes(), t.req.line_addr, true, TrafficClass::Data, DramToken::DataWrite);
+            self.queue_dram(
+                t.req.sectors.bytes(),
+                t.req.line_addr,
+                true,
+                TrafficClass::Data,
+                DramToken::DataWrite,
+            );
         }
     }
 
@@ -577,7 +629,22 @@ impl MemoryBackend for SecureBackend {
     fn cycle(&mut self, now: Cycle) {
         self.now = now;
         self.dram.cycle(now);
-        while let Some(done) = self.dram.pop_completed() {
+        while let Some((done, fault)) = self.dram.pop_completed_with_fault() {
+            if let Some(kind) = fault {
+                if kind.corrupts() {
+                    let detected = self.fault_detected(done.class, kind);
+                    self.fault_events.push(FaultEvent {
+                        cycle: now,
+                        line_addr: done.addr,
+                        class: done.class,
+                        kind,
+                        detected,
+                    });
+                    if let Some(inj) = self.dram.injector_mut() {
+                        inj.record_detection(done.class, detected);
+                    }
+                }
+            }
             self.handle_dram_completion(done);
         }
         self.drain_retries();
@@ -614,6 +681,22 @@ impl MemoryBackend for SecureBackend {
         }
     }
 
+    fn fault_stats(&self) -> FaultStats {
+        self.dram.fault_stats()
+    }
+
+    fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_events
+    }
+
+    fn pending_work(&self) -> usize {
+        self.read_txns.len()
+            + self.write_txns.len()
+            + self.pending_dram.len()
+            + self.retries.len()
+            + self.ready_responses.len()
+    }
+
     fn reset_stats(&mut self) {
         self.dram.reset_stats();
         self.mdcache.reset_stats();
@@ -623,6 +706,7 @@ impl MemoryBackend for SecureBackend {
         self.decrypt_waited_on_counter = 0;
         self.tree_verifications = 0;
         self.counter_overflows = 0;
+        self.fault_events.clear();
     }
 
     fn is_idle(&self) -> bool {
@@ -813,10 +897,7 @@ mod tests {
         }
         assert!(b.is_idle(), "writes must drain");
         let stats = b.dram_stats();
-        assert!(
-            stats.class(TrafficClass::Mac).writes > 0,
-            "dirty MAC lines must write back: {stats:?}"
-        );
+        assert!(stats.class(TrafficClass::Mac).writes > 0, "dirty MAC lines must write back: {stats:?}");
     }
 
     #[test]
@@ -874,18 +955,14 @@ mod extension_tests {
     #[test]
     fn blocking_verification_is_slower_than_speculative() {
         let spec_cfg = SecureMemConfig::secure_mem();
-        let block_cfg =
-            SecureMemConfig { speculative_verification: false, ..SecureMemConfig::secure_mem() };
+        let block_cfg = SecureMemConfig { speculative_verification: false, ..SecureMemConfig::secure_mem() };
         let mut spec = SecureBackend::new(spec_cfg, &gpu());
         let mut block = SecureBackend::new(block_cfg, &gpu());
         spec.submit_read(0, read_req(1, 0x0));
         block.submit_read(0, read_req(1, 0x0));
         let t_spec = run_until_response(&mut spec, 1, 10_000).expect("speculative");
         let t_block = run_until_response(&mut block, 1, 10_000).expect("blocking");
-        assert!(
-            t_block > t_spec,
-            "blocking verification must delay the response ({t_spec} vs {t_block})"
-        );
+        assert!(t_block > t_spec, "blocking verification must delay the response ({t_spec} vs {t_block})");
     }
 
     #[test]
@@ -907,10 +984,8 @@ mod extension_tests {
     #[test]
     fn selective_encryption_skips_unprotected_reads() {
         let g = gpu();
-        let cfg = SecureMemConfig {
-            protected_limit: Some(g.protected_bytes / 2),
-            ..SecureMemConfig::secure_mem()
-        };
+        let cfg =
+            SecureMemConfig { protected_limit: Some(g.protected_bytes / 2), ..SecureMemConfig::secure_mem() };
         let mut b = SecureBackend::new(cfg, &g);
         // An address in the upper (unprotected) half of the partition-local
         // space: local offsets repeat every partitions*interleave bytes.
@@ -930,10 +1005,8 @@ mod extension_tests {
     #[test]
     fn selective_encryption_skips_unprotected_writes() {
         let g = gpu();
-        let cfg = SecureMemConfig {
-            protected_limit: Some(g.protected_bytes / 2),
-            ..SecureMemConfig::secure_mem()
-        };
+        let cfg =
+            SecureMemConfig { protected_limit: Some(g.protected_bytes / 2), ..SecureMemConfig::secure_mem() };
         let mut b = SecureBackend::new(cfg, &g);
         let local_target = g.protected_bytes_per_partition() * 3 / 4;
         let global = local_target / g.interleave_bytes * (g.num_partitions as u64 * g.interleave_bytes);
@@ -1011,13 +1084,119 @@ mod extension_tests {
     }
 
     #[test]
+    fn try_new_surfaces_typed_config_errors() {
+        let mut cfg = SecureMemConfig::secure_mem();
+        cfg.aes_engines = 0;
+        match SecureBackend::try_new(cfg, &gpu()) {
+            Err(crate::error::CoreError::Config(e)) => assert_eq!(e.field, "aes_engines"),
+            other => panic!("expected config error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn srrip_metadata_policy_plumbs_through() {
-        let cfg = SecureMemConfig {
-            mdcache_policy: ReplacementPolicy::Srrip,
-            ..SecureMemConfig::secure_mem()
-        };
+        let cfg =
+            SecureMemConfig { mdcache_policy: ReplacementPolicy::Srrip, ..SecureMemConfig::secure_mem() };
         let mut b = SecureBackend::new(cfg, &gpu());
         b.submit_read(0, read_req(1, 0x0));
         run_until_response(&mut b, 1, 10_000).expect("runs with SRRIP metadata caches");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::config::SecurityScheme;
+    use secmem_gpusim::config::GpuConfig;
+    use secmem_gpusim::fault::{FaultPlan, FaultSpec, FaultTrigger};
+    use secmem_gpusim::types::SectorMask;
+
+    fn read_req(id: u64, addr: Addr) -> BackendReq {
+        BackendReq { id, line_addr: addr, sectors: SectorMask::single(0), bank: 0 }
+    }
+
+    /// Drives one read to completion under an injector; returns the
+    /// backend for inspection.
+    fn faulted_read(scheme: SecurityScheme, plan: FaultPlan) -> SecureBackend {
+        let mut b = SecureBackend::new(SecureMemConfig::with_scheme(scheme), &GpuConfig::small());
+        b.install_faults(plan.injector_for(0));
+        b.submit_read(0, read_req(1, 0x0));
+        for now in 0..10_000 {
+            b.cycle(now);
+            if b.pop_read_response().is_some() {
+                return b;
+            }
+        }
+        panic!("read never completed under {scheme}");
+    }
+
+    #[test]
+    fn bit_flip_detected_by_mac_scheme() {
+        let b = faulted_read(SecurityScheme::CtrMacBmt, FaultPlan::bit_flip_on_line(42, 0x0));
+        let events = b.fault_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FaultKind::BitFlip);
+        assert!(events[0].detected, "MAC scheme must flag a data bit flip");
+        assert_eq!(b.fault_stats().class(TrafficClass::Data).detected, 1);
+        assert_eq!(b.fault_stats().total_undetected(), 0);
+    }
+
+    #[test]
+    fn bit_flip_slips_past_ctr_only() {
+        let b = faulted_read(SecurityScheme::CtrOnly, FaultPlan::bit_flip_on_line(42, 0x0));
+        let events = b.fault_events();
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].detected, "no MACs: the flip sails through");
+        assert_eq!(b.fault_stats().class(TrafficClass::Data).undetected, 1);
+    }
+
+    #[test]
+    fn replay_fools_direct_mac_but_not_the_tree() {
+        let replay = |scheme| {
+            let plan = FaultPlan::new(7).with(
+                FaultSpec::new(secmem_gpusim::fault::FaultKind::Replay, FaultTrigger::Nth(0))
+                    .on_class(TrafficClass::Data),
+            );
+            faulted_read(scheme, plan)
+        };
+        let mac_only = replay(SecurityScheme::DirectMac);
+        assert_eq!(
+            mac_only.fault_stats().class(TrafficClass::Data).undetected,
+            1,
+            "consistent rollback passes the MAC"
+        );
+        let with_tree = replay(SecurityScheme::DirectMacMt);
+        assert_eq!(
+            with_tree.fault_stats().class(TrafficClass::Data).detected,
+            1,
+            "the MT catches the rollback"
+        );
+    }
+
+    #[test]
+    fn corrupted_counter_caught_by_bmt_or_mac() {
+        let corrupt_ctr = |scheme| {
+            let plan = FaultPlan::new(9).with(
+                FaultSpec::new(FaultKind::MetaCorrupt, FaultTrigger::Nth(0)).on_class(TrafficClass::Counter),
+            );
+            faulted_read(scheme, plan)
+        };
+        let bmt = corrupt_ctr(SecurityScheme::CtrBmt);
+        assert_eq!(bmt.fault_stats().class(TrafficClass::Counter).detected, 1);
+        let bare = corrupt_ctr(SecurityScheme::CtrOnly);
+        assert_eq!(
+            bare.fault_stats().class(TrafficClass::Counter).undetected,
+            1,
+            "unverified counters miss corruption"
+        );
+    }
+
+    #[test]
+    fn fault_events_cleared_on_stats_reset() {
+        let mut b = faulted_read(SecurityScheme::CtrMacBmt, FaultPlan::bit_flip_on_line(42, 0x0));
+        assert!(!b.fault_events().is_empty());
+        b.reset_stats();
+        assert!(b.fault_events().is_empty());
+        assert_eq!(b.fault_stats().total_injected(), 0);
     }
 }

@@ -36,13 +36,7 @@ impl AesEngineBank {
     pub fn new(engines: u32, latency: u32, core_clock_mhz: u64, mem_clock_mhz: u64) -> Self {
         assert!(engines > 0, "need at least one engine");
         let bytes_per_cycle_fp = 16 * engines as u64 * mem_clock_mhz * FP / core_clock_mhz;
-        Self {
-            bytes_per_cycle_fp,
-            latency: latency as Cycle,
-            next_free_fp: 0,
-            blocks: 0,
-            stall_cycles: 0,
-        }
+        Self { bytes_per_cycle_fp, latency: latency as Cycle, next_free_fp: 0, blocks: 0, stall_cycles: 0 }
     }
 
     /// An idealized bank with infinite throughput and zero latency

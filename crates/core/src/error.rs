@@ -1,0 +1,66 @@
+//! Typed errors for the secure-memory core.
+//!
+//! Extends the simulator's error taxonomy ([`ConfigError`] from
+//! `secmem-gpusim`) with the functional model's [`SecurityError`], so
+//! callers constructing a [`SecureBackend`](crate::SecureBackend) get one
+//! error type covering both configuration rejection and integrity
+//! violations.
+
+use std::fmt;
+
+pub use secmem_gpusim::error::ConfigError;
+
+use crate::functional::SecurityError;
+
+/// Errors surfaced by the secure-memory core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A [`SecureMemConfig`](crate::SecureMemConfig) failed validation.
+    Config(ConfigError),
+    /// An integrity violation from the functional model.
+    Security(SecurityError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Config(e) => write!(f, "{e}"),
+            CoreError::Security(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Config(e) => Some(e),
+            CoreError::Security(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for CoreError {
+    fn from(e: ConfigError) -> Self {
+        CoreError::Config(e)
+    }
+}
+
+impl From<SecurityError> for CoreError {
+    fn from(e: SecurityError) -> Self {
+        CoreError::Security(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_both_error_families() {
+        let c: CoreError = ConfigError::new("aes_engines", "must be in 1..=8").into();
+        assert!(c.to_string().contains("aes_engines"));
+        let s: CoreError = SecurityError::TreeMismatch { level: 1 }.into();
+        assert!(matches!(s, CoreError::Security(_)));
+        assert!(std::error::Error::source(&s).is_some());
+    }
+}

@@ -173,9 +173,7 @@ impl FunctionalSecureMemory {
     /// (BMT) or the assembled MAC line image (MT).
     fn leaf_bytes(&self, leaf_line: Addr) -> [u8; 128] {
         match self.layout.coverage() {
-            TreeCoverage::Counters => {
-                self.counters.get(&leaf_line).cloned().unwrap_or_default().to_bytes()
-            }
+            TreeCoverage::Counters => self.counters.get(&leaf_line).cloned().unwrap_or_default().to_bytes(),
             TreeCoverage::Macs => {
                 // A MAC line packs the 4x16-bit sector MACs of 16 data lines.
                 let mut out = [0u8; 128];
@@ -230,11 +228,8 @@ impl FunctionalSecureMemory {
             let parent_index = index / TREE_ARITY;
             let slot = (index % TREE_ARITY) as usize;
             let is_root = level == levels - 1;
-            let node = if is_root {
-                &mut self.root
-            } else {
-                self.tree.entry((level, parent_index)).or_default()
-            };
+            let node =
+                if is_root { &mut self.root } else { self.tree.entry((level, parent_index)).or_default() };
             if node.len() <= slot {
                 node.resize(slot + 1, 0);
             }
@@ -293,10 +288,8 @@ impl FunctionalSecureMemory {
         let seed = if self.scheme.has_counters() {
             let ctr_line = self.layout.counter_line_of(line_addr);
             let minor = self.layout.minor_index_of(line_addr) as usize;
-            let will_overflow = self
-                .counters
-                .get(&ctr_line)
-                .is_some_and(|b| b.minor(minor) == crate::counters::MINOR_MAX);
+            let will_overflow =
+                self.counters.get(&ctr_line).is_some_and(|b| b.minor(minor) == crate::counters::MINOR_MAX);
             if will_overflow {
                 // Decrypt every other resident line of the 16 KB chunk
                 // under its current seed before the minors reset.

@@ -153,7 +153,7 @@ impl MetadataLayout {
     /// Panics if `data_bytes` is not a positive multiple of 16 KB.
     pub fn new(data_bytes: u64, coverage: TreeCoverage) -> Self {
         assert!(
-            data_bytes > 0 && data_bytes % (DATA_LINES_PER_COUNTER_LINE * LINE_SIZE) == 0,
+            data_bytes > 0 && data_bytes.is_multiple_of(DATA_LINES_PER_COUNTER_LINE * LINE_SIZE),
             "protected bytes must be a multiple of 16 KB"
         );
         let data_lines = data_bytes / LINE_SIZE;
@@ -487,8 +487,8 @@ mod tests {
     #[test]
     fn metadata_bytes_accounting() {
         let l = layout();
-        let expected = l.counter_lines() * 128 + l.mac_lines() * 128
-            + l.tree().expect("tree").internal_bytes();
+        let expected =
+            l.counter_lines() * 128 + l.mac_lines() * 128 + l.tree().expect("tree").internal_bytes();
         assert_eq!(l.metadata_bytes(), expected);
     }
 

@@ -43,10 +43,13 @@ pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod engines;
+pub mod error;
 pub mod functional;
 pub mod layout;
 pub mod mdcache;
 
 pub use config::{MdcIdealization, MetadataCacheKind, SecureMemConfig, SecurityScheme, TreeCoverage};
 pub use engine::SecureBackend;
+pub use error::CoreError;
+pub use functional::SecurityError;
 pub use layout::{global_storage, MetadataLayout, StorageReport};

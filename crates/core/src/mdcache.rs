@@ -97,9 +97,8 @@ impl<T> MetadataCaches<T> {
         } else {
             1 << 20
         };
-        let mshrs = (0..files.max(1))
-            .map(|_| MshrFile::new(per_file, cfg.mdcache_mshr_merge as usize))
-            .collect();
+        let mshrs =
+            (0..files.max(1)).map(|_| MshrFile::new(per_file, cfg.mdcache_mshr_merge as usize)).collect();
         Self {
             kind: cfg.cache_kind,
             store,

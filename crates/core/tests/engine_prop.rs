@@ -1,35 +1,30 @@
-//! Property-based tests of the secure memory engine's transaction-level
-//! invariants, across all schemes and random request interleavings.
-
-use proptest::prelude::*;
+//! Randomized tests of the secure memory engine's transaction-level
+//! invariants, across all schemes and seeded request interleavings
+//! (offline replacements for the previous `proptest` suites).
 
 use secmem_core::{SecureBackend, SecureMemConfig, SecurityScheme};
 use secmem_gpusim::backend::MemoryBackend;
 use secmem_gpusim::config::GpuConfig;
+use secmem_gpusim::rng::Rng64;
 use secmem_gpusim::types::{BackendReq, SectorMask, TrafficClass};
 
-fn any_scheme() -> impl Strategy<Value = SecurityScheme> {
-    prop::sample::select(vec![
-        SecurityScheme::CtrOnly,
-        SecurityScheme::CtrBmt,
-        SecurityScheme::CtrMacBmt,
-        SecurityScheme::Direct,
-        SecurityScheme::DirectMac,
-        SecurityScheme::DirectMacMt,
-    ])
-}
+const SCHEMES: [SecurityScheme; 6] = [
+    SecurityScheme::CtrOnly,
+    SecurityScheme::CtrBmt,
+    SecurityScheme::CtrMacBmt,
+    SecurityScheme::Direct,
+    SecurityScheme::DirectMac,
+    SecurityScheme::DirectMacMt,
+];
 
-/// A random request: line index, sector, read/write.
-fn any_request() -> impl Strategy<Value = (u64, u32, bool)> {
-    (0u64..4096, 0u32..4, any::<bool>())
+/// A seeded random request mix: (line index, sector, is_write).
+fn random_requests(rng: &mut Rng64, max_len: u64) -> Vec<(u64, u32, bool)> {
+    let n = 1 + rng.gen_range(max_len) as usize;
+    (0..n).map(|_| (rng.gen_range(4096), rng.gen_range(4) as u32, rng.gen_range(2) == 1)).collect()
 }
 
 /// Drives a request mix to completion; returns (responses, engine).
-fn drive(
-    scheme: SecurityScheme,
-    mshrs: u32,
-    requests: &[(u64, u32, bool)],
-) -> (u64, SecureBackend) {
+fn drive(scheme: SecurityScheme, mshrs: u32, requests: &[(u64, u32, bool)]) -> (u64, SecureBackend) {
     let gpu = GpuConfig::small();
     let cfg = SecureMemConfig { mdcache_mshrs: mshrs, ..SecureMemConfig::with_scheme(scheme) };
     let mut b = SecureBackend::new(cfg, &gpu);
@@ -81,66 +76,74 @@ fn drive(
     (responses, b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every submitted read produces exactly one response; the engine
-    /// always drains; reads and writes are conserved in DRAM statistics.
-    #[test]
-    fn reads_conserved_across_schemes(scheme in any_scheme(),
-                                      reqs in prop::collection::vec(any_request(), 1..120)) {
+/// Every submitted read produces exactly one response; the engine
+/// always drains; reads and writes are conserved in DRAM statistics.
+#[test]
+fn reads_conserved_across_schemes() {
+    for (case, &scheme) in SCHEMES.iter().enumerate().flat_map(|(j, s)| (0..3).map(move |k| (j * 3 + k, s))) {
+        let mut rng = Rng64::new(0xE100 + case as u64);
+        let reqs = random_requests(&mut rng, 120);
         let expected_reads = reqs.iter().filter(|r| !r.2).count() as u64;
         let expected_writes = reqs.iter().filter(|r| r.2).count() as u64;
         let (responses, b) = drive(scheme, 64, &reqs);
-        prop_assert_eq!(responses, expected_reads, "one response per read");
+        assert_eq!(responses, expected_reads, "one response per read ({scheme})");
         let data = b.dram_stats().class(TrafficClass::Data);
-        prop_assert_eq!(data.reads, expected_reads, "one DRAM data read per request");
-        prop_assert_eq!(data.writes, expected_writes, "one DRAM data write per writeback");
-        prop_assert!(b.is_idle());
+        assert_eq!(data.reads, expected_reads, "one DRAM data read per request ({scheme})");
+        assert_eq!(data.writes, expected_writes, "one DRAM data write per writeback ({scheme})");
+        assert!(b.is_idle());
     }
+}
 
-    /// The no-MSHR configuration also conserves reads (and never deadlocks
-    /// on its private-waiter bookkeeping).
-    #[test]
-    fn reads_conserved_without_mshrs(reqs in prop::collection::vec(any_request(), 1..80)) {
+/// The no-MSHR configuration also conserves reads (and never deadlocks
+/// on its private-waiter bookkeeping).
+#[test]
+fn reads_conserved_without_mshrs() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::new(0xE200 + case);
+        let reqs = random_requests(&mut rng, 80);
         let expected_reads = reqs.iter().filter(|r| !r.2).count() as u64;
         let (responses, b) = drive(SecurityScheme::CtrMacBmt, 0, &reqs);
-        prop_assert_eq!(responses, expected_reads);
-        prop_assert!(b.is_idle());
+        assert_eq!(responses, expected_reads);
+        assert!(b.is_idle());
     }
+}
 
-    /// Metadata traffic only flows for schemes that define the metadata:
-    /// counters only in ctr modes, tree only under BMT/MT coverage.
-    #[test]
-    fn traffic_classes_match_scheme(scheme in any_scheme(),
-                                    reqs in prop::collection::vec(any_request(), 1..60)) {
+/// Metadata traffic only flows for schemes that define the metadata:
+/// counters only in ctr modes, tree only under BMT/MT coverage.
+#[test]
+fn traffic_classes_match_scheme() {
+    for (case, &scheme) in SCHEMES.iter().enumerate().flat_map(|(j, s)| (0..2).map(move |k| (j * 2 + k, s))) {
+        let mut rng = Rng64::new(0xE300 + case as u64);
+        let reqs = random_requests(&mut rng, 60);
         let (_, b) = drive(scheme, 64, &reqs);
         let s = b.dram_stats();
         let ctr = s.class(TrafficClass::Counter);
         let tree = s.class(TrafficClass::Tree);
         let mac = s.class(TrafficClass::Mac);
         if !scheme.has_counters() {
-            prop_assert_eq!(ctr.reads + ctr.writes, 0, "no counters in {}", scheme);
+            assert_eq!(ctr.reads + ctr.writes, 0, "no counters in {scheme}");
         }
         if scheme.tree() == secmem_core::TreeCoverage::None {
-            prop_assert_eq!(tree.reads + tree.writes, 0, "no tree in {}", scheme);
+            assert_eq!(tree.reads + tree.writes, 0, "no tree in {scheme}");
         }
         if !scheme.has_macs() {
-            prop_assert_eq!(mac.reads + mac.writes, 0, "no MACs in {}", scheme);
+            assert_eq!(mac.reads + mac.writes, 0, "no MACs in {scheme}");
         }
     }
+}
 
-    /// Blocking verification never completes a read earlier than
-    /// speculative verification for the same request stream.
-    #[test]
-    fn blocking_never_faster(reqs in prop::collection::vec(any_request(), 1..40)) {
-        let reads_only: Vec<_> = reqs.into_iter().map(|(l, s, _)| (l, s, false)).collect();
+/// Blocking verification never completes a read earlier than
+/// speculative verification for the same request stream.
+#[test]
+fn blocking_never_faster() {
+    for case in 0..6u64 {
+        let mut rng = Rng64::new(0xE400 + case);
+        let reads_only: Vec<_> =
+            random_requests(&mut rng, 40).into_iter().map(|(l, s, _)| (l, s, false)).collect();
         let gpu = GpuConfig::small();
         let run = |speculative: bool| {
-            let cfg = SecureMemConfig {
-                speculative_verification: speculative,
-                ..SecureMemConfig::secure_mem()
-            };
+            let cfg =
+                SecureMemConfig { speculative_verification: speculative, ..SecureMemConfig::secure_mem() };
             let mut b = SecureBackend::new(cfg, &gpu);
             let mut now = 0u64;
             for (i, &(line, sector, _)) in reads_only.iter().enumerate() {
@@ -171,6 +174,6 @@ proptest! {
         };
         let t_spec = run(true);
         let t_block = run(false);
-        prop_assert!(t_block >= t_spec, "blocking ({t_block}) must not beat speculative ({t_spec})");
+        assert!(t_block >= t_spec, "blocking ({t_block}) must not beat speculative ({t_spec})");
     }
 }

@@ -64,7 +64,7 @@ impl Cmac {
     /// Computes the full 128-bit CMAC tag of `msg`.
     pub fn compute(&self, msg: &[u8]) -> Block {
         let n = msg.len().div_ceil(BLOCK_SIZE).max(1);
-        let complete_last = !msg.is_empty() && msg.len() % BLOCK_SIZE == 0;
+        let complete_last = !msg.is_empty() && msg.len().is_multiple_of(BLOCK_SIZE);
 
         let mut x = [0u8; BLOCK_SIZE];
         for i in 0..n - 1 {
@@ -78,14 +78,14 @@ impl Cmac {
         let tail = &msg[(n - 1) * BLOCK_SIZE..];
         if complete_last {
             last.copy_from_slice(tail);
-            for j in 0..BLOCK_SIZE {
-                last[j] ^= self.k1[j];
+            for (b, k) in last.iter_mut().zip(self.k1.iter()) {
+                *b ^= k;
             }
         } else {
             last[..tail.len()].copy_from_slice(tail);
             last[tail.len()] = 0x80;
-            for j in 0..BLOCK_SIZE {
-                last[j] ^= self.k2[j];
+            for (b, k) in last.iter_mut().zip(self.k2.iter()) {
+                *b ^= k;
             }
         }
         for j in 0..BLOCK_SIZE {
@@ -134,10 +134,7 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     fn rfc_key() -> [u8; 16] {
@@ -167,19 +164,15 @@ mod tests {
     #[test]
     fn rfc4493_example_3_40_bytes() {
         let cmac = Cmac::new(&rfc_key());
-        let msg = hex(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
-        );
+        let msg = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411");
         assert_eq!(cmac.compute(&msg).to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
     }
 
     #[test]
     fn rfc4493_example_4_64_bytes() {
         let cmac = Cmac::new(&rfc_key());
-        let msg = hex(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
-             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
-        );
+        let msg = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710");
         assert_eq!(cmac.compute(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
     }
 

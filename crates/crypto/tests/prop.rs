@@ -1,96 +1,166 @@
-//! Property-based tests for the functional cryptography crate.
+//! Randomized tests for the functional cryptography crate.
+//!
+//! Seeded-loop equivalents of the previous `proptest` suites; the crate
+//! stays dependency-free, so a small SplitMix64 generator lives inline.
 
-use proptest::prelude::*;
 use secmem_crypto::aes::Aes128;
 use secmem_crypto::cmac::{line_mac, sector_mac, Cmac};
 use secmem_crypto::ctr::{encrypt_line, CounterBlock};
 use secmem_crypto::hash::NodeHash;
 
-proptest! {
-    #[test]
-    fn aes_roundtrip(key in prop::array::uniform16(any::<u8>()),
-                     pt in prop::array::uniform16(any::<u8>())) {
+/// SplitMix64 — deterministic, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn bytes<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = self.next_u64() as u8;
+        }
+        out
+    }
+
+    fn vec(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+const CASES: u64 = 64;
+
+#[test]
+fn aes_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xC100 + case);
+        let key: [u8; 16] = rng.bytes();
+        let pt: [u8; 16] = rng.bytes();
         let aes = Aes128::new(&key);
         let ct = aes.encrypt_block(&pt);
-        prop_assert_eq!(aes.decrypt_block(&ct), pt);
+        assert_eq!(aes.decrypt_block(&ct), pt);
     }
+}
 
-    #[test]
-    fn aes_is_a_permutation(key in prop::array::uniform16(any::<u8>()),
-                            a in prop::array::uniform16(any::<u8>()),
-                            b in prop::array::uniform16(any::<u8>())) {
-        prop_assume!(a != b);
+#[test]
+fn aes_is_a_permutation() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xC200 + case);
+        let key: [u8; 16] = rng.bytes();
+        let a: [u8; 16] = rng.bytes();
+        let b: [u8; 16] = rng.bytes();
+        if a == b {
+            continue;
+        }
         let aes = Aes128::new(&key);
-        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+        assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
     }
+}
 
-    #[test]
-    fn ctr_line_roundtrip(key in prop::array::uniform16(any::<u8>()),
-                          addr in any::<u64>(), major in any::<u64>(), minor in any::<u8>(),
-                          data in prop::collection::vec(any::<u8>(), 128)) {
+#[test]
+fn ctr_line_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xC300 + case);
+        let key: [u8; 16] = rng.bytes();
         let aes = Aes128::new(&key);
-        let seed = CounterBlock::new(addr, major, minor & 0x7f);
-        let mut line: [u8; 128] = data.clone().try_into().unwrap();
+        let seed = CounterBlock::new(rng.next_u64(), rng.next_u64(), (rng.next_u64() as u8) & 0x7f);
+        let data: [u8; 128] = rng.bytes();
+        let mut line = data;
         encrypt_line(&aes, &seed, &mut line);
         encrypt_line(&aes, &seed, &mut line);
-        prop_assert_eq!(line.to_vec(), data);
+        assert_eq!(line, data);
     }
+}
 
-    #[test]
-    fn ctr_counter_bump_changes_ciphertext(key in prop::array::uniform16(any::<u8>()),
-                                           addr in any::<u64>(), major in any::<u64>(),
-                                           minor in 0u8..0x7f) {
+#[test]
+fn ctr_counter_bump_changes_ciphertext() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xC400 + case);
+        let key: [u8; 16] = rng.bytes();
         let aes = Aes128::new(&key);
+        let addr = rng.next_u64();
+        let major = rng.next_u64();
+        let minor = rng.gen_range(0x7f) as u8;
         let mut a = [0u8; 128];
         let mut b = [0u8; 128];
         encrypt_line(&aes, &CounterBlock::new(addr, major, minor), &mut a);
         encrypt_line(&aes, &CounterBlock::new(addr, major, minor + 1), &mut b);
-        prop_assert_ne!(a, b);
+        assert_ne!(a, b);
     }
+}
 
-    #[test]
-    fn cmac_detects_single_bit_flips(key in prop::array::uniform16(any::<u8>()),
-                                     msg in prop::collection::vec(any::<u8>(), 1..96),
-                                     byte_sel in any::<prop::sample::Index>(),
-                                     bit in 0u8..8) {
+#[test]
+fn cmac_detects_single_bit_flips() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xC500 + case);
+        let key: [u8; 16] = rng.bytes();
         let cmac = Cmac::new(&key);
+        let len = 1 + rng.gen_range(95) as usize;
+        let msg = rng.vec(len);
         let tag = cmac.compute(&msg);
+        let idx = rng.gen_range(msg.len() as u64) as usize;
+        let bit = rng.gen_range(8) as u8;
         let mut tampered = msg.clone();
-        let idx = byte_sel.index(tampered.len());
         tampered[idx] ^= 1 << bit;
-        prop_assert_ne!(tag, cmac.compute(&tampered));
+        assert_ne!(tag, cmac.compute(&tampered));
     }
+}
 
-    #[test]
-    fn sector_mac_stable_and_bound(key in prop::array::uniform16(any::<u8>()),
-                                   addr in any::<u64>(), ctr in any::<u64>(),
-                                   data in prop::collection::vec(any::<u8>(), 32)) {
+#[test]
+fn sector_mac_stable() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xC600 + case);
+        let key: [u8; 16] = rng.bytes();
         let cmac = Cmac::new(&key);
-        let m1 = sector_mac(&cmac, addr, ctr, &data);
-        let m2 = sector_mac(&cmac, addr, ctr, &data);
-        prop_assert_eq!(m1, m2);
+        let addr = rng.next_u64();
+        let ctr = rng.next_u64();
+        let data = rng.vec(32);
+        assert_eq!(sector_mac(&cmac, addr, ctr, &data), sector_mac(&cmac, addr, ctr, &data));
     }
+}
 
-    #[test]
-    fn line_mac_detects_tampering(key in prop::array::uniform16(any::<u8>()),
-                                  addr in any::<u64>(), ctr in any::<u64>(),
-                                  data in prop::collection::vec(any::<u8>(), 128),
-                                  byte_sel in any::<prop::sample::Index>()) {
+#[test]
+fn line_mac_detects_tampering() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xC700 + case);
+        let key: [u8; 16] = rng.bytes();
         let cmac = Cmac::new(&key);
+        let addr = rng.next_u64();
+        let ctr = rng.next_u64();
+        let data = rng.vec(128);
         let tag = line_mac(&cmac, addr, ctr, &data);
+        let idx = rng.gen_range(128) as usize;
         let mut tampered = data.clone();
-        let idx = byte_sel.index(tampered.len());
         tampered[idx] = tampered[idx].wrapping_add(1);
-        prop_assert_ne!(tag, line_mac(&cmac, addr, ctr, &tampered));
+        assert_ne!(tag, line_mac(&cmac, addr, ctr, &tampered));
     }
+}
 
-    #[test]
-    fn node_hash_collision_resistant_in_practice(
-            addr in any::<u64>(),
-            a in prop::collection::vec(any::<u8>(), 0..200),
-            b in prop::collection::vec(any::<u8>(), 0..200)) {
-        prop_assume!(a != b);
+#[test]
+fn node_hash_collision_resistant_in_practice() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xC800 + case);
+        let addr = rng.next_u64();
+        let len_a = rng.gen_range(200) as usize;
+        let a = rng.vec(len_a);
+        let len_b = rng.gen_range(200) as usize;
+        let b = rng.vec(len_b);
+        if a == b {
+            continue;
+        }
         let h = NodeHash::new();
-        prop_assert_ne!(h.digest(addr, &a), h.digest(addr, &b));
+        assert_ne!(h.digest(addr, &a), h.digest(addr, &b));
     }
 }

@@ -8,6 +8,7 @@
 //! (inside each memory controller, Fig. 1).
 
 use crate::dram::{Dram, DramRequest, DramStats};
+use crate::fault::{FaultEvent, FaultInjector, FaultStats};
 use crate::stats::EngineStats;
 use crate::types::{BackendReq, Cycle, TrafficClass};
 
@@ -37,6 +38,20 @@ pub trait MemoryBackend {
     fn engine_stats(&self) -> EngineStats {
         EngineStats::default()
     }
+    /// Fault-injection statistics (all-zero when no injector installed).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+    /// Typed integrity events observed for injected faults (empty for
+    /// backends without an injector or integrity machinery).
+    fn fault_events(&self) -> &[FaultEvent] {
+        &[]
+    }
+    /// Work items the backend still holds (queued + in-flight + pending
+    /// responses); used by the watchdog's stall diagnostic.
+    fn pending_work(&self) -> usize {
+        0
+    }
     /// True when no work is pending anywhere in the backend.
     fn is_idle(&self) -> bool;
     /// Resets statistics (state preserved) — used to discard warmup.
@@ -55,13 +70,18 @@ enum Token {
 pub struct PassthroughBackend {
     dram: Dram<Token>,
     ready: Vec<BackendReq>,
+    events: Vec<FaultEvent>,
 }
 
 impl PassthroughBackend {
     /// Creates a backend over a DRAM channel with the given bandwidth
     /// (22.10 fixed-point bytes/cycle), latency and queue capacity.
     pub fn new(bytes_per_cycle_fp: u64, latency: u32, queue_cap: usize) -> Self {
-        Self { dram: Dram::new(bytes_per_cycle_fp, latency, queue_cap), ready: Vec::new() }
+        Self {
+            dram: Dram::new(bytes_per_cycle_fp, latency, queue_cap),
+            ready: Vec::new(),
+            events: Vec::new(),
+        }
     }
 
     /// Creates a backend from a GPU configuration (honoring the banked
@@ -77,7 +97,15 @@ impl PassthroughBackend {
                 cfg.dram_row_miss_penalty,
             ),
             ready: Vec::new(),
+            events: Vec::new(),
         }
+    }
+
+    /// Installs a fault injector on the DRAM channel. The baseline has
+    /// no integrity machinery, so every corruption it receives passes
+    /// through undetected (and is accounted as such).
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.dram.install_faults(injector);
     }
 }
 
@@ -94,20 +122,47 @@ impl MemoryBackend for PassthroughBackend {
     fn submit_read(&mut self, _now: Cycle, req: BackendReq) {
         let bytes = req.sectors.bytes();
         self.dram
-            .try_push(DramRequest { bytes, addr: req.line_addr, is_write: false, class: TrafficClass::Data, token: Token::Read(req) })
+            .try_push(DramRequest {
+                bytes,
+                addr: req.line_addr,
+                is_write: false,
+                class: TrafficClass::Data,
+                token: Token::Read(req),
+            })
             .unwrap_or_else(|_| panic!("submit_read called while full"));
     }
 
     fn submit_write(&mut self, _now: Cycle, req: BackendReq) {
         let bytes = req.sectors.bytes();
         self.dram
-            .try_push(DramRequest { bytes, addr: req.line_addr, is_write: true, class: TrafficClass::Data, token: Token::Write })
+            .try_push(DramRequest {
+                bytes,
+                addr: req.line_addr,
+                is_write: true,
+                class: TrafficClass::Data,
+                token: Token::Write,
+            })
             .unwrap_or_else(|_| panic!("submit_write called while full"));
     }
 
     fn cycle(&mut self, now: Cycle) {
         self.dram.cycle(now);
-        while let Some(done) = self.dram.pop_completed() {
+        while let Some((done, fault)) = self.dram.pop_completed_with_fault() {
+            if let Some(kind) = fault {
+                if kind.corrupts() {
+                    // No MACs, no tree: the corruption sails through.
+                    self.events.push(FaultEvent {
+                        cycle: now,
+                        line_addr: done.addr,
+                        class: done.class,
+                        kind,
+                        detected: false,
+                    });
+                    if let Some(inj) = self.dram.injector_mut() {
+                        inj.record_detection(done.class, false);
+                    }
+                }
+            }
             if let Token::Read(req) = done.token {
                 self.ready.push(req);
             }
@@ -122,12 +177,25 @@ impl MemoryBackend for PassthroughBackend {
         self.dram.stats()
     }
 
+    fn fault_stats(&self) -> FaultStats {
+        self.dram.fault_stats()
+    }
+
+    fn fault_events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    fn pending_work(&self) -> usize {
+        self.dram.queue_len() + self.ready.len()
+    }
+
     fn is_idle(&self) -> bool {
         self.dram.is_idle() && self.ready.is_empty()
     }
 
     fn reset_stats(&mut self) {
         self.dram.reset_stats();
+        self.events.clear();
     }
 }
 

@@ -155,10 +155,13 @@ impl SectoredCache {
     ///
     /// Same geometry constraints as [`SectoredCache::new`].
     pub fn with_policy(bytes: u64, assoc: u32, policy: ReplacementPolicy) -> Self {
-        assert!(bytes >= LINE_SIZE && bytes % LINE_SIZE == 0, "capacity must be a multiple of {LINE_SIZE} B");
+        assert!(
+            bytes >= LINE_SIZE && bytes.is_multiple_of(LINE_SIZE),
+            "capacity must be a multiple of {LINE_SIZE} B"
+        );
         let lines = (bytes / LINE_SIZE) as usize;
         let assoc = (assoc as usize).clamp(1, lines);
-        assert!(lines % assoc == 0, "cache of {bytes} B / assoc {assoc} is not well formed");
+        assert!(lines.is_multiple_of(assoc), "cache of {bytes} B / assoc {assoc} is not well formed");
         let num_sets = lines / assoc;
         Self {
             sets: vec![LineState::INVALID; lines],
@@ -299,14 +302,8 @@ impl SectoredCache {
             // streaming burst cannot flush the reused working set.
             ReplacementPolicy::Srrip => RRPV_MAX - 1,
         };
-        ways[victim] = LineState {
-            tag: line_addr,
-            valid: sectors,
-            dirty,
-            lru: tick,
-            rrpv: insert_rrpv,
-            present: true,
-        };
+        ways[victim] =
+            LineState { tag: line_addr, valid: sectors, dirty, lru: tick, rrpv: insert_rrpv, present: true };
         if old.present {
             self.stats.evictions += 1;
             if !old.dirty.is_empty() {
@@ -549,10 +546,7 @@ mod tests {
         let lru_hits = run(ReplacementPolicy::Lru);
         let srrip_hits = run(ReplacementPolicy::Srrip);
         assert_eq!(lru_hits, 0, "LRU must thrash: the burst flushes the set");
-        assert!(
-            srrip_hits > lru_hits,
-            "SRRIP ({srrip_hits}) must beat LRU ({lru_hits}) under thrash"
-        );
+        assert!(srrip_hits > lru_hits, "SRRIP ({srrip_hits}) must beat LRU ({lru_hits}) under thrash");
     }
 
     #[test]

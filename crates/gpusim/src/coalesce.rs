@@ -16,7 +16,7 @@ use crate::types::{Access, Addr, SectorMask, LINE_SIZE};
 ///
 /// Panics if `bytes_per_thread` is 0 or greater than 128.
 pub fn coalesce(threads: &[Option<Addr>], bytes_per_thread: u64) -> Vec<Access> {
-    assert!(bytes_per_thread >= 1 && bytes_per_thread <= 128, "unsupported access size");
+    assert!((1..=128).contains(&bytes_per_thread), "unsupported access size");
     let mut out: Vec<Access> = Vec::new();
     for addr in threads.iter().flatten() {
         let first = *addr;
@@ -38,8 +38,7 @@ pub fn coalesce(threads: &[Option<Addr>], bytes_per_thread: u64) -> Vec<Access> 
 /// Convenience: coalesces a fully active warp accessing
 /// `base + lane * stride`, `bytes_per_thread` bytes each.
 pub fn coalesce_strided(base: Addr, stride: u64, bytes_per_thread: u64, lanes: u32) -> Vec<Access> {
-    let threads: Vec<Option<Addr>> =
-        (0..lanes as u64).map(|lane| Some(base + lane * stride)).collect();
+    let threads: Vec<Option<Addr>> = (0..lanes as u64).map(|lane| Some(base + lane * stride)).collect();
     coalesce(&threads, bytes_per_thread)
 }
 

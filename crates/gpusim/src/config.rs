@@ -1,6 +1,7 @@
 //! GPU configuration (Table I of the paper: an Nvidia Volta-class GPU).
 
-use crate::types::Addr;
+use crate::error::ConfigError;
+use crate::types::{Addr, Cycle};
 
 /// Warp scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,6 +97,17 @@ pub struct GpuConfig {
 
     /// Size of the protected address space in bytes (4 GB in the paper).
     pub protected_bytes: Addr,
+
+    /// Forward-progress watchdog window: if no warp instruction issues
+    /// and the DRAM channels perform no service for this many cycles
+    /// while work is outstanding, [`Simulator::run`](crate::sim::Simulator::run)
+    /// stops with a [`StallReport`](crate::error::StallReport) instead of
+    /// burning the remaining cycle budget. `0` disables the watchdog.
+    ///
+    /// The default (50 000 cycles) is two orders of magnitude above the
+    /// longest legitimate quiet period in this model (a fully serialized
+    /// DRAM round trip plus interconnect latency is < 500 cycles).
+    pub watchdog_cycles: Cycle,
 }
 
 impl GpuConfig {
@@ -135,6 +147,7 @@ impl GpuConfig {
             dram_row_miss_penalty: 8,
             partition_xor_hash: false,
             protected_bytes: 4 << 30,
+            watchdog_cycles: 50_000,
         }
     }
 
@@ -191,26 +204,35 @@ impl GpuConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ConfigError`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !self.num_partitions.is_power_of_two() {
-            return Err(format!("num_partitions must be a power of two, got {}", self.num_partitions));
+            return Err(ConfigError::new(
+                "num_partitions",
+                format!("must be a power of two, got {}", self.num_partitions),
+            ));
         }
         if !self.interleave_bytes.is_power_of_two() || self.interleave_bytes < crate::types::LINE_SIZE {
-            return Err(format!(
-                "interleave_bytes must be a power of two >= {}, got {}",
-                crate::types::LINE_SIZE,
-                self.interleave_bytes
+            return Err(ConfigError::new(
+                "interleave_bytes",
+                format!(
+                    "must be a power of two >= {}, got {}",
+                    crate::types::LINE_SIZE,
+                    self.interleave_bytes
+                ),
             ));
         }
         if !self.l2_banks_per_partition.is_power_of_two() {
-            return Err("l2_banks_per_partition must be a power of two".into());
+            return Err(ConfigError::new("l2_banks_per_partition", "must be a power of two"));
         }
         if self.issue_width == 0 || self.num_sms == 0 || self.max_warps_per_sm == 0 {
-            return Err("SM parameters must be nonzero".into());
+            return Err(ConfigError::new(
+                "num_sms/issue_width/max_warps_per_sm",
+                "SM parameters must be nonzero",
+            ));
         }
-        if self.protected_bytes % (self.num_partitions as u64 * self.interleave_bytes) != 0 {
-            return Err("protected_bytes must be a multiple of partitions * interleave".into());
+        if !self.protected_bytes.is_multiple_of(self.num_partitions as u64 * self.interleave_bytes) {
+            return Err(ConfigError::new("protected_bytes", "must be a multiple of partitions * interleave"));
         }
         Ok(())
     }
@@ -271,11 +293,8 @@ impl AddressMap {
     #[inline]
     pub fn global_addr(&self, partition: u32, local: Addr) -> Addr {
         let chunk_div = local / self.interleave;
-        let slot = if self.xor_hash {
-            (partition as u64) ^ (chunk_div % self.partitions)
-        } else {
-            partition as u64
-        };
+        let slot =
+            if self.xor_hash { (partition as u64) ^ (chunk_div % self.partitions) } else { partition as u64 };
         (chunk_div * self.partitions + slot) * self.interleave + (local % self.interleave)
     }
 
@@ -369,6 +388,15 @@ mod tests {
         let mut cfg = GpuConfig::volta();
         cfg.issue_width = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_errors_name_the_field() {
+        let mut cfg = GpuConfig::volta();
+        cfg.num_partitions = 5;
+        let err = cfg.validate().expect_err("invalid");
+        assert_eq!(err.field, "num_partitions");
+        assert!(err.to_string().contains("power of two"));
     }
 
     #[test]

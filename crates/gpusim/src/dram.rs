@@ -11,6 +11,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::fault::{FaultInjector, FaultKind, FaultStats};
 use crate::types::{Addr, Cycle, TrafficClass};
 
 /// Fixed-point scale for byte-credit arithmetic (10 fractional bits).
@@ -115,9 +116,14 @@ pub struct Dram<T> {
     inflight: BinaryHeap<Reverse<(Cycle, u64)>>,
     inflight_store: Vec<Option<InFlight<T>>>,
     free_slots: Vec<usize>,
-    ready: VecDeque<DramRequest<T>>,
+    ready: VecDeque<(DramRequest<T>, Option<FaultKind>)>,
     seq: u64,
     stats: DramStats,
+    /// Optional fault engine consulted once per retiring transaction.
+    injector: Option<FaultInjector>,
+    /// Slots whose completion was already fault-delayed once (a delayed
+    /// request must not be re-decided when it retires again).
+    no_refault: Vec<bool>,
 }
 
 impl<T> Dram<T> {
@@ -160,7 +166,31 @@ impl<T> Dram<T> {
             ready: VecDeque::new(),
             seq: 0,
             stats: DramStats::default(),
+            injector: None,
+            no_refault: Vec::new(),
         }
+    }
+
+    /// Installs a fault injector. Subsequent completions are candidates
+    /// for deterministic corruption, drop, or delay.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Mutable access to the installed fault injector (used by backends
+    /// to record detection outcomes).
+    pub fn injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.injector.as_mut()
+    }
+
+    /// Fault statistics (zero when no injector is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.as_ref().map(|i| *i.stats()).unwrap_or_default()
     }
 
     /// True if the request queue cannot accept another request.
@@ -228,22 +258,55 @@ impl<T> Dram<T> {
                 self.inflight_store.len() - 1
             };
             self.inflight.push(Reverse((done_at, slot as u64)));
+            if self.no_refault.len() < self.inflight_store.len() {
+                self.no_refault.resize(self.inflight_store.len(), false);
+            }
             self.seq += 1;
         }
-        // Retire completions.
+        // Retire completions, consulting the fault injector (at most
+        // once per transaction) as each one leaves the channel.
         while let Some(Reverse((done_at, slot))) = self.inflight.peek().copied() {
             if done_at > now {
                 break;
             }
             self.inflight.pop();
-            let inflight = self.inflight_store[slot as usize].take().expect("slot occupied");
-            self.free_slots.push(slot as usize);
-            self.ready.push_back(inflight.req);
+            let slot = slot as usize;
+            let already_delayed = std::mem::replace(&mut self.no_refault[slot], false);
+            let fault = match (&mut self.injector, already_delayed) {
+                (Some(inj), false) => {
+                    let req = &self.inflight_store[slot].as_ref().expect("slot occupied").req;
+                    inj.decide(req.class, req.is_write, req.addr)
+                }
+                _ => None,
+            };
+            match fault {
+                Some(FaultKind::Drop) => {
+                    self.inflight_store[slot] = None;
+                    self.free_slots.push(slot);
+                }
+                Some(FaultKind::Delay(d)) => {
+                    self.no_refault[slot] = true;
+                    self.inflight.push(Reverse((now + Cycle::from(d.max(1)), slot as u64)));
+                }
+                other => {
+                    let inflight = self.inflight_store[slot].take().expect("slot occupied");
+                    self.free_slots.push(slot);
+                    self.ready.push_back((inflight.req, other));
+                }
+            }
         }
     }
 
-    /// Pops one completed request, if any.
+    /// Pops one completed request, if any. A request corrupted by fault
+    /// injection is still delivered (the payload is wrong, silently);
+    /// use [`Dram::pop_completed_with_fault`] to observe the fault flag.
     pub fn pop_completed(&mut self) -> Option<DramRequest<T>> {
+        self.ready.pop_front().map(|(req, _)| req)
+    }
+
+    /// Pops one completed request together with the fault (if any) that
+    /// was applied to it. Dropped requests never appear here.
+    pub fn pop_completed_with_fault(&mut self) -> Option<(DramRequest<T>, Option<FaultKind>)> {
         self.ready.pop_front()
     }
 
@@ -267,9 +330,13 @@ impl<T> Dram<T> {
         &self.stats
     }
 
-    /// Resets statistics (state preserved).
+    /// Resets statistics (state preserved; the fault injector's rule
+    /// state and random stream also continue, only its counters reset).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+        if let Some(inj) = &mut self.injector {
+            inj.reset_stats();
+        }
     }
 }
 
@@ -357,8 +424,14 @@ mod tests {
         let mut d: Dram<()> = Dram::new(24 * FP, 0, 16);
         d.try_push(DramRequest { bytes: 32, addr: 0, is_write: false, class: TrafficClass::Mac, token: () })
             .unwrap();
-        d.try_push(DramRequest { bytes: 128, addr: 0, is_write: true, class: TrafficClass::Counter, token: () })
-            .unwrap();
+        d.try_push(DramRequest {
+            bytes: 128,
+            addr: 0,
+            is_write: true,
+            class: TrafficClass::Counter,
+            token: (),
+        })
+        .unwrap();
         assert_eq!(d.stats().class(TrafficClass::Mac).reads, 1);
         assert_eq!(d.stats().class(TrafficClass::Mac).bytes_read, 32);
         assert_eq!(d.stats().class(TrafficClass::Counter).writes, 1);
@@ -388,8 +461,14 @@ mod tests {
         let run = |addrs: &[u64]| {
             let mut d: Dram<u32> = Dram::with_banks(16 * FP, 0, 64, 4, 2048, 10);
             for (i, &a) in addrs.iter().enumerate() {
-                d.try_push(DramRequest { bytes: 32, addr: a, is_write: false, class: TrafficClass::Data, token: i as u32 })
-                    .unwrap();
+                d.try_push(DramRequest {
+                    bytes: 32,
+                    addr: a,
+                    is_write: false,
+                    class: TrafficClass::Data,
+                    token: i as u32,
+                })
+                .unwrap();
             }
             let mut done = 0;
             let mut now = 0;
@@ -413,8 +492,14 @@ mod tests {
     fn row_stats_recorded() {
         let mut d: Dram<u32> = Dram::with_banks(16 * FP, 0, 64, 2, 2048, 10);
         for i in 0..4u64 {
-            d.try_push(DramRequest { bytes: 32, addr: i * 32, is_write: false, class: TrafficClass::Data, token: i as u32 })
-                .unwrap();
+            d.try_push(DramRequest {
+                bytes: 32,
+                addr: i * 32,
+                is_write: false,
+                class: TrafficClass::Data,
+                token: i as u32,
+            })
+            .unwrap();
         }
         for now in 0..100 {
             d.cycle(now);
@@ -440,5 +525,92 @@ mod tests {
         let d = dram();
         assert_eq!(d.stats().utilization(100), 0.0);
         assert_eq!(d.stats().utilization(0), 0.0);
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
+
+        fn faulted_dram(kind: FaultKind) -> Dram<u32> {
+            let mut d = dram();
+            let plan = FaultPlan::new(5).with(FaultSpec::new(kind, FaultTrigger::Nth(0)));
+            d.install_faults(plan.injector_for(0));
+            d
+        }
+
+        #[test]
+        fn bit_flip_is_delivered_with_flag() {
+            let mut d = faulted_dram(FaultKind::BitFlip);
+            d.try_push(req(32, false, 1)).unwrap();
+            d.try_push(req(32, false, 2)).unwrap();
+            let mut seen = Vec::new();
+            for now in 0..40 {
+                d.cycle(now);
+                while let Some((r, f)) = d.pop_completed_with_fault() {
+                    seen.push((r.token, f));
+                }
+            }
+            assert_eq!(seen, vec![(1, Some(FaultKind::BitFlip)), (2, None)]);
+            assert_eq!(d.fault_stats().class(TrafficClass::Data).injected, 1);
+        }
+
+        #[test]
+        fn drop_swallows_the_completion() {
+            let mut d = faulted_dram(FaultKind::Drop);
+            d.try_push(req(32, false, 1)).unwrap();
+            d.try_push(req(32, false, 2)).unwrap();
+            let mut seen = Vec::new();
+            for now in 0..40 {
+                d.cycle(now);
+                while let Some(r) = d.pop_completed() {
+                    seen.push(r.token);
+                }
+            }
+            assert_eq!(seen, vec![2], "first read vanished");
+            assert_eq!(d.fault_stats().class(TrafficClass::Data).dropped, 1);
+            assert!(d.is_idle(), "the channel itself is drained");
+        }
+
+        #[test]
+        fn delay_postpones_completion_once() {
+            let mut base = dram();
+            base.try_push(req(32, false, 1)).unwrap();
+            let mut baseline_done = 0;
+            for now in 0..200 {
+                base.cycle(now);
+                if base.pop_completed().is_some() {
+                    baseline_done = now;
+                    break;
+                }
+            }
+            let mut d = faulted_dram(FaultKind::Delay(25));
+            d.try_push(req(32, false, 1)).unwrap();
+            let mut done = None;
+            for now in 0..200 {
+                d.cycle(now);
+                if let Some((r, f)) = d.pop_completed_with_fault() {
+                    assert_eq!(r.token, 1);
+                    assert_eq!(f, None, "a delayed request is not corrupted");
+                    done = Some(now);
+                    break;
+                }
+            }
+            assert_eq!(done, Some(baseline_done + 25));
+            assert_eq!(d.fault_stats().class(TrafficClass::Data).delayed, 1);
+        }
+
+        #[test]
+        fn plain_pop_hides_the_flag() {
+            let mut d = faulted_dram(FaultKind::BitFlip);
+            d.try_push(req(32, false, 9)).unwrap();
+            for now in 0..40 {
+                d.cycle(now);
+                if let Some(r) = d.pop_completed() {
+                    assert_eq!(r.token, 9);
+                    return;
+                }
+            }
+            panic!("request never completed");
+        }
     }
 }

@@ -1,0 +1,188 @@
+//! Typed errors for the timing simulator: configuration validation
+//! failures and the forward-progress watchdog's stall diagnostic.
+
+use std::fmt;
+
+use crate::types::Cycle;
+
+/// A rejected configuration field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field (or field group).
+    pub field: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Creates an error for `field`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> Self {
+        Self { field, message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration ({}): {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Snapshot of one memory partition's queues at stall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionStall {
+    /// Requests waiting in the partition input queue.
+    pub input: usize,
+    /// Dirty lines waiting in the writeback buffer.
+    pub writebacks: usize,
+    /// Outstanding L2 MSHR entries (all banks).
+    pub mshrs: usize,
+    /// Work the backend still holds (transactions, queued DRAM
+    /// requests, pending responses).
+    pub backend_pending: usize,
+    /// Whether the backend reports itself idle.
+    pub backend_idle: bool,
+}
+
+/// Diagnostic produced when the watchdog detects that the simulation
+/// stopped making forward progress (no instruction issued and no DRAM
+/// service activity for the configured window).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallReport {
+    /// Cycle at which the watchdog fired.
+    pub cycle: Cycle,
+    /// Cycles elapsed since the last observed progress.
+    pub stalled_for: Cycle,
+    /// Warps that had not finished when the watchdog fired.
+    pub unfinished_warps: u64,
+    /// Per-SM overflow-queue depth (requests refused by the interconnect).
+    pub sm_overflow: Vec<usize>,
+    /// Per-partition queue snapshot.
+    pub partitions: Vec<PartitionStall>,
+    /// Per-partition interconnect request-queue depth.
+    pub icnt_requests: Vec<usize>,
+    /// Per-SM interconnect response-queue depth.
+    pub icnt_responses: Vec<usize>,
+}
+
+impl StallReport {
+    /// Total requests stuck in SM overflow queues.
+    pub fn total_overflow(&self) -> usize {
+        self.sm_overflow.iter().sum()
+    }
+
+    /// Total outstanding L2 MSHR entries.
+    pub fn total_mshrs(&self) -> usize {
+        self.partitions.iter().map(|p| p.mshrs).sum()
+    }
+
+    /// Total messages in flight in the interconnect.
+    pub fn total_icnt(&self) -> usize {
+        self.icnt_requests.iter().sum::<usize>() + self.icnt_responses.iter().sum::<usize>()
+    }
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simulation stalled at cycle {} (no progress for {} cycles): {} unfinished warps",
+            self.cycle, self.stalled_for, self.unfinished_warps
+        )?;
+        writeln!(
+            f,
+            "  sm overflow: {} requests; icnt in flight: {}; l2 mshrs: {}",
+            self.total_overflow(),
+            self.total_icnt(),
+            self.total_mshrs()
+        )?;
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.input > 0 || p.writebacks > 0 || p.mshrs > 0 || !p.backend_idle {
+                writeln!(
+                    f,
+                    "  partition {i}: input={} wb={} mshrs={} backend_pending={} backend_idle={}",
+                    p.input, p.writebacks, p.mshrs, p.backend_pending, p.backend_idle
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The GPU configuration failed validation.
+    Config(ConfigError),
+    /// The watchdog detected a deadlock/livelock.
+    Stalled(StallReport),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::Stalled(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Stalled(_) => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_displays_field() {
+        let e = ConfigError::new("num_sms", "must be nonzero");
+        assert!(e.to_string().contains("num_sms"));
+        assert!(e.to_string().contains("nonzero"));
+    }
+
+    #[test]
+    fn stall_report_totals() {
+        let s = StallReport {
+            cycle: 100,
+            stalled_for: 50,
+            unfinished_warps: 4,
+            sm_overflow: vec![1, 2],
+            partitions: vec![PartitionStall {
+                input: 3,
+                writebacks: 1,
+                mshrs: 5,
+                backend_pending: 2,
+                backend_idle: false,
+            }],
+            icnt_requests: vec![4],
+            icnt_responses: vec![0, 6],
+        };
+        assert_eq!(s.total_overflow(), 3);
+        assert_eq!(s.total_mshrs(), 5);
+        assert_eq!(s.total_icnt(), 10);
+        let text = s.to_string();
+        assert!(text.contains("stalled at cycle 100"));
+        assert!(text.contains("partition 0"));
+    }
+
+    #[test]
+    fn sim_error_from_config() {
+        let e: SimError = ConfigError::new("x", "bad").into();
+        assert!(matches!(e, SimError::Config(_)));
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -156,6 +156,16 @@ impl Interconnect {
     pub fn is_idle(&self) -> bool {
         self.to_partition.iter().all(DelayQueue::is_empty) && self.to_sm.iter().all(DelayQueue::is_empty)
     }
+
+    /// Per-partition request-queue occupancy (stall diagnostics).
+    pub fn request_depths(&self) -> Vec<usize> {
+        self.to_partition.iter().map(DelayQueue::len).collect()
+    }
+
+    /// Per-SM response-queue occupancy (stall diagnostics).
+    pub fn response_depths(&self) -> Vec<usize> {
+        self.to_sm.iter().map(DelayQueue::len).collect()
+    }
 }
 
 #[cfg(test)]

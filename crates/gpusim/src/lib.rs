@@ -49,11 +49,14 @@ pub mod cache;
 pub mod coalesce;
 pub mod config;
 pub mod dram;
+pub mod error;
+pub mod fault;
 pub mod icnt;
 pub mod kernel;
 pub mod mshr;
 pub mod partition;
 pub mod reuse;
+pub mod rng;
 pub mod sim;
 pub mod sm;
 pub mod stats;

@@ -176,7 +176,8 @@ impl<B: MemoryBackend> MemPartition<B> {
                         if self.wb_buffer.len() >= self.wb_cap {
                             return false;
                         }
-                        let evicted = self.banks[bank_idx].cache.fill(req.line_addr, req.sectors, req.sectors);
+                        let evicted =
+                            self.banks[bank_idx].cache.fill(req.line_addr, req.sectors, req.sectors);
                         if let Some(ev) = evicted {
                             if !ev.dirty.is_empty() {
                                 let id = self.next_backend_id();
@@ -203,6 +204,17 @@ impl<B: MemoryBackend> MemPartition<B> {
     /// True if the staging queue cannot take another request.
     pub fn input_full(&self) -> bool {
         self.input.len() >= self.input_cap
+    }
+
+    /// Dirty lines currently waiting in the writeback buffer (stall
+    /// diagnostics).
+    pub fn wb_occupancy(&self) -> usize {
+        self.wb_buffer.len()
+    }
+
+    /// Outstanding L2 MSHR entries across all banks (stall diagnostics).
+    pub fn mshr_occupancy(&self) -> usize {
+        self.banks.iter().map(|b| b.mshrs.len()).sum()
     }
 
     /// Advances the partition one cycle, consuming staged requests as
@@ -305,7 +317,7 @@ impl<B: MemoryBackend> MemPartition<B> {
 mod tests {
     use super::*;
     use crate::backend::PassthroughBackend;
-    use crate::types::{FULL_SECTOR_MASK, WarpRef};
+    use crate::types::{WarpRef, FULL_SECTOR_MASK};
 
     fn cfg() -> GpuConfig {
         GpuConfig::small()
@@ -327,13 +339,7 @@ mod tests {
     }
 
     fn store(id: u64, addr: Addr) -> MemRequest {
-        MemRequest {
-            id,
-            line_addr: addr,
-            sectors: FULL_SECTOR_MASK,
-            kind: AccessKind::Store,
-            warp: None,
-        }
+        MemRequest { id, line_addr: addr, sectors: FULL_SECTOR_MASK, kind: AccessKind::Store, warp: None }
     }
 
     /// Drives the partition with a one-shot queue of requests.
@@ -368,7 +374,11 @@ mod tests {
         assert_eq!(r1.len(), 1);
         let r2 = run(&mut p, vec![load(2, 0x0)], 400);
         assert_eq!(r2.len(), 1);
-        assert_eq!(p.backend().dram_stats().class(crate::types::TrafficClass::Data).reads, 1, "second load must not reach DRAM");
+        assert_eq!(
+            p.backend().dram_stats().class(crate::types::TrafficClass::Data).reads,
+            1,
+            "second load must not reach DRAM"
+        );
         assert_eq!(p.l2_stats().hits, 1);
     }
 

@@ -1,8 +1,11 @@
 //! The top-level simulator: wires SMs, interconnect and memory partitions
 //! together and advances them cycle by cycle.
 
+use std::collections::VecDeque;
+
 use crate::backend::MemoryBackend;
 use crate::config::{AddressMap, GpuConfig};
+use crate::error::{PartitionStall, SimError, StallReport};
 use crate::icnt::Interconnect;
 use crate::kernel::Kernel;
 use crate::partition::MemPartition;
@@ -20,10 +23,12 @@ pub struct Simulator<B> {
     cfg: GpuConfig,
     map: AddressMap,
     sms: Vec<Sm>,
-    overflow: Vec<Vec<MemRequest>>,
+    overflow: Vec<VecDeque<MemRequest>>,
     partitions: Vec<MemPartition<B>>,
     icnt: Interconnect,
     now: Cycle,
+    /// Set when the forward-progress watchdog fired.
+    stall: Option<StallReport>,
 }
 
 impl<B: MemoryBackend> Simulator<B> {
@@ -32,37 +37,51 @@ impl<B: MemoryBackend> Simulator<B> {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails validation.
+    /// Panics if the configuration fails validation; use
+    /// [`Simulator::try_new`] for a typed error instead.
     pub fn new(
         cfg: GpuConfig,
         kernel: &dyn Kernel,
-        mut backend_factory: impl FnMut(u32, &GpuConfig) -> B,
+        backend_factory: impl FnMut(u32, &GpuConfig) -> B,
     ) -> Self {
-        cfg.validate().expect("invalid GPU configuration");
+        match Self::try_new(cfg, kernel, backend_factory) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid GPU configuration: {e}"),
+        }
+    }
+
+    /// Builds a simulator, returning a typed error if the configuration
+    /// fails validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] naming the violated constraint.
+    pub fn try_new(
+        cfg: GpuConfig,
+        kernel: &dyn Kernel,
+        mut backend_factory: impl FnMut(u32, &GpuConfig) -> B,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
         let active = kernel.active_sms(cfg.num_sms).min(cfg.num_sms);
         let sms = (0..cfg.num_sms)
             .map(|sm| {
-                let warps = if sm < active {
-                    kernel.warps_per_sm(sm).min(cfg.max_warps_per_sm)
-                } else {
-                    0
-                };
+                let warps = if sm < active { kernel.warps_per_sm(sm).min(cfg.max_warps_per_sm) } else { 0 };
                 let programs = (0..warps).map(|w| kernel.spawn(sm, w)).collect();
                 Sm::new(sm, &cfg, programs)
             })
             .collect();
-        let partitions = (0..cfg.num_partitions)
-            .map(|p| MemPartition::new(p, &cfg, backend_factory(p, &cfg)))
-            .collect();
-        Self {
+        let partitions =
+            (0..cfg.num_partitions).map(|p| MemPartition::new(p, &cfg, backend_factory(p, &cfg))).collect();
+        Ok(Self {
             map: AddressMap::new(&cfg),
             icnt: Interconnect::new(&cfg),
             sms,
-            overflow: vec![Vec::new(); cfg.num_sms as usize],
+            overflow: vec![VecDeque::new(); cfg.num_sms as usize],
             partitions,
             cfg,
             now: 0,
-        }
+            stall: None,
+        })
     }
 
     /// Current simulation time.
@@ -97,11 +116,11 @@ impl<B: MemoryBackend> Simulator<B> {
         for (i, sm) in self.sms.iter_mut().enumerate() {
             // Retry requests that could not be placed last cycle.
             let overflow = &mut self.overflow[i];
-            while let Some(req) = overflow.first().cloned() {
+            while let Some(req) = overflow.front().cloned() {
                 let p = self.map.partition_of(req.line_addr);
                 match self.icnt.push_request(now, p, req) {
                     Ok(()) => {
-                        overflow.remove(0);
+                        overflow.pop_front();
                     }
                     Err(_) => break,
                 }
@@ -112,7 +131,7 @@ impl<B: MemoryBackend> Simulator<B> {
             for req in out.requests.drain(..) {
                 let p = self.map.partition_of(req.line_addr);
                 if let Err(back) = self.icnt.push_request(now, p, req) {
-                    overflow.push(back);
+                    overflow.push_back(back);
                 }
             }
         }
@@ -137,18 +156,60 @@ impl<B: MemoryBackend> Simulator<B> {
 
     /// Runs until `max_cycles` have elapsed or every warp has retired and
     /// the memory system has drained. Returns the report.
+    ///
+    /// A forward-progress watchdog (see [`GpuConfig::watchdog_cycles`])
+    /// guards the loop: if the machine dead- or livelocks, the run stops
+    /// early and the report carries a [`StallReport`] in
+    /// [`SimReport::stall`]. Use [`Simulator::run_checked`] to receive
+    /// the stall as a typed error instead.
     pub fn run(&mut self, max_cycles: Cycle) -> SimReport {
+        match self.run_checked(max_cycles) {
+            Ok(report) => report,
+            // The stall is recorded in `self.stall`; the report carries it.
+            Err(_) => self.report(),
+        }
+    }
+
+    /// Like [`Simulator::run`], but surfaces a watchdog stall as a typed
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] with a diagnostic [`StallReport`]
+    /// when no warp instruction issues and no DRAM channel performs any
+    /// service for [`GpuConfig::watchdog_cycles`] consecutive cycles
+    /// while work is still outstanding.
+    pub fn run_checked(&mut self, max_cycles: Cycle) -> Result<SimReport, Box<SimError>> {
+        let window = self.cfg.watchdog_cycles;
+        let mut last_sig = self.progress_signature();
+        let mut last_progress = self.now;
         while self.now < max_cycles {
             self.step();
             if self.finished() {
                 break;
             }
+            if window > 0 {
+                let sig = self.progress_signature();
+                if sig != last_sig {
+                    last_sig = sig;
+                    last_progress = self.now;
+                } else if self.now - last_progress >= window {
+                    let stall = self.stall_report(self.now - last_progress);
+                    self.stall = Some(stall.clone());
+                    return Err(Box::new(SimError::Stalled(stall)));
+                }
+            }
         }
-        self.report()
+        Ok(self.report())
     }
 
     /// Runs `warmup` cycles, discards all statistics, then runs until
     /// `max_cycles` total. The report covers only the measured window.
+    ///
+    /// If the kernel finishes before the warmup window elapses the
+    /// measured window is empty; the report is then flagged with
+    /// [`SimReport::warmup_truncated`] and its statistics must not be
+    /// interpreted.
     pub fn run_with_warmup(&mut self, warmup: Cycle, max_cycles: Cycle) -> SimReport {
         while self.now < warmup {
             self.step();
@@ -156,10 +217,57 @@ impl<B: MemoryBackend> Simulator<B> {
                 break;
             }
         }
+        let truncated = self.now < warmup || self.finished();
         self.reset_stats();
         let mut report = self.run(max_cycles);
         report.cycles = self.now.saturating_sub(warmup);
+        report.warmup_truncated = truncated;
+        debug_assert!(
+            !truncated || report.cycles == 0 || self.now >= warmup,
+            "warmup accounting: now={} warmup={warmup}",
+            self.now
+        );
         report
+    }
+
+    /// A value that changes whenever the machine makes forward progress:
+    /// instructions issued or DRAM service/queue activity. Deliberately
+    /// excludes retry-style counters (e.g. DRAM rejections) that advance
+    /// even while livelocked.
+    fn progress_signature(&self) -> (u64, u64, u64) {
+        let instructions: u64 = self.sms.iter().map(|sm| sm.instructions).sum();
+        let mut dram_busy = 0u64;
+        let mut l2_activity = 0u64;
+        for p in &self.partitions {
+            let d = p.backend().dram_stats();
+            dram_busy += d.busy_fp;
+            let l2 = p.l2_stats();
+            l2_activity += l2.hits + l2.misses;
+        }
+        (instructions, dram_busy, l2_activity)
+    }
+
+    /// Snapshot of every queue the watchdog cares about.
+    fn stall_report(&self, stalled_for: Cycle) -> StallReport {
+        StallReport {
+            cycle: self.now,
+            stalled_for,
+            unfinished_warps: self.sms.iter().map(|sm| sm.unfinished_warps() as u64).sum(),
+            sm_overflow: self.overflow.iter().map(VecDeque::len).collect(),
+            partitions: self
+                .partitions
+                .iter()
+                .map(|p| PartitionStall {
+                    input: p.input.len(),
+                    writebacks: p.wb_occupancy(),
+                    mshrs: p.mshr_occupancy(),
+                    backend_pending: p.backend().pending_work(),
+                    backend_idle: p.backend().is_idle(),
+                })
+                .collect(),
+            icnt_requests: self.icnt.request_depths(),
+            icnt_responses: self.icnt.response_depths(),
+        }
     }
 
     /// Discards all statistics gathered so far (simulation state — cache
@@ -176,17 +284,14 @@ impl<B: MemoryBackend> Simulator<B> {
     /// True when all warps retired and all queues drained.
     pub fn finished(&self) -> bool {
         self.sms.iter().all(Sm::finished)
-            && self.overflow.iter().all(Vec::is_empty)
+            && self.overflow.iter().all(VecDeque::is_empty)
             && self.icnt.is_idle()
             && self.partitions.iter().all(MemPartition::is_idle)
     }
 
     /// Produces the aggregated end-of-run report.
     pub fn report(&self) -> SimReport {
-        let mut report = SimReport {
-            cycles: self.now,
-            ..SimReport::default()
-        };
+        let mut report = SimReport { cycles: self.now, ..SimReport::default() };
         for sm in &self.sms {
             report.warp_instructions += sm.instructions;
             report.thread_instructions += sm.instructions * self.cfg.threads_per_warp as u64;
@@ -218,7 +323,9 @@ impl<B: MemoryBackend> Simulator<B> {
             report.dram.busy_fp += d.busy_fp;
             report.dram.rejected += d.rejected;
             report.engine.merge(&part.backend().engine_stats());
+            report.faults.merge(&part.backend().fault_stats());
         }
+        report.stall = self.stall.clone();
         report
     }
 }
@@ -296,10 +403,127 @@ mod tests {
     fn more_compute_means_less_dram_traffic() {
         let heavy = run_stream(0, 10_000);
         let light = run_stream(50, 10_000);
-        assert!(
-            heavy.dram.total_bytes() > light.dram.total_bytes(),
-            "memory-bound should move more bytes"
-        );
+        assert!(heavy.dram.total_bytes() > light.dram.total_bytes(), "memory-bound should move more bytes");
+    }
+
+    #[test]
+    fn try_new_reports_config_errors() {
+        let mut cfg = GpuConfig::small();
+        cfg.num_partitions = 3;
+        let kernel = StreamKernel { alu_per_mem: 1, bytes_per_warp: 4096, warps: 1 };
+        let err = Simulator::try_new(cfg, &kernel, |_, c| PassthroughBackend::from_config(c))
+            .err()
+            .expect("three partitions is invalid");
+        match err {
+            crate::error::SimError::Config(e) => assert_eq!(e.field, "num_partitions"),
+            other => panic!("expected config error, got {other:?}"),
+        }
+    }
+
+    /// A kernel whose warps each issue a fixed number of loads and exit
+    /// (`StreamKernel` never exits, so warmup truncation needs this).
+    struct ShortKernel {
+        loads: u32,
+        warps: u32,
+    }
+
+    struct ShortProgram {
+        left: u32,
+        next: u64,
+    }
+
+    impl crate::kernel::WarpProgram for ShortProgram {
+        fn next_inst(&mut self) -> crate::types::Inst {
+            if self.left == 0 {
+                return crate::types::Inst::Exit;
+            }
+            self.left -= 1;
+            let addr = self.next;
+            self.next += 128;
+            crate::types::Inst::load(crate::types::Access::new(addr, crate::types::FULL_SECTOR_MASK))
+        }
+    }
+
+    impl crate::kernel::Kernel for ShortKernel {
+        fn warps_per_sm(&self, _sm: u32) -> u32 {
+            self.warps
+        }
+
+        fn spawn(&self, sm: u32, warp: u32) -> Box<dyn crate::kernel::WarpProgram> {
+            let idx = sm as u64 * 64 + warp as u64;
+            Box::new(ShortProgram { left: self.loads, next: idx << 20 })
+        }
+    }
+
+    #[test]
+    fn warmup_truncation_is_flagged() {
+        let cfg = GpuConfig::small();
+        // A tiny kernel that finishes long before the warmup window.
+        let kernel = ShortKernel { loads: 8, warps: 1 };
+        let mut sim = Simulator::new(cfg, &kernel, |_, c| PassthroughBackend::from_config(c));
+        let report = sim.run_with_warmup(1_000_000, 2_000_000);
+        assert!(report.warmup_truncated, "kernel finished inside warmup");
+        assert_eq!(report.cycles, 0, "no measured window");
+        // The long-running configuration from `warmup_discards_early_statistics`
+        // must stay unflagged; re-check here to pin the polarity.
+        let busy = StreamKernel { alu_per_mem: 2, bytes_per_warp: 1 << 20, warps: 8 };
+        let mut sim2 = Simulator::new(GpuConfig::small(), &busy, |_, c| PassthroughBackend::from_config(c));
+        let ok = sim2.run_with_warmup(4_000, 8_000);
+        assert!(!ok.warmup_truncated);
+    }
+
+    mod watchdog {
+        use super::*;
+        use crate::error::SimError;
+        use crate::fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
+
+        /// Dropping every data-read completion wedges all warps: the
+        /// watchdog must stop the run well before `max_cycles`.
+        fn drop_all_sim() -> Simulator<PassthroughBackend> {
+            let mut cfg = GpuConfig::small();
+            cfg.watchdog_cycles = 2_000;
+            let plan = FaultPlan::new(11)
+                .with(FaultSpec::new(FaultKind::Drop, FaultTrigger::Always).on_class(TrafficClass::Data));
+            let kernel = StreamKernel { alu_per_mem: 0, bytes_per_warp: 1 << 18, warps: 4 };
+            Simulator::new(cfg, &kernel, move |p, c| {
+                let mut b = PassthroughBackend::from_config(c);
+                b.install_faults(plan.injector_for(p));
+                b
+            })
+        }
+
+        #[test]
+        fn livelock_returns_stall_report() {
+            let mut sim = drop_all_sim();
+            let err = sim.run_checked(1_000_000).err().expect("must stall");
+            let SimError::Stalled(stall) = *err else { panic!("expected stall, got {err:?}") };
+            assert!(stall.cycle < 100_000, "stopped early, not at max_cycles");
+            assert!(stall.stalled_for >= 2_000);
+            assert!(stall.unfinished_warps > 0);
+            let text = stall.to_string();
+            assert!(text.contains("stalled"), "diagnostic text: {text}");
+        }
+
+        #[test]
+        fn run_reports_stall_in_report() {
+            let mut sim = drop_all_sim();
+            let report = sim.run(1_000_000);
+            assert!(report.cycles < 100_000, "watchdog truncated the run");
+            let stall = report.stall.as_ref().expect("stall recorded in report");
+            assert!(stall.unfinished_warps > 0);
+            assert!(report.faults.total_dropped() > 0, "drops accounted");
+        }
+
+        #[test]
+        fn healthy_run_never_trips_the_watchdog() {
+            let mut cfg = GpuConfig::small();
+            cfg.watchdog_cycles = 2_000;
+            let kernel = StreamKernel { alu_per_mem: 4, bytes_per_warp: 1 << 20, warps: 16 };
+            let mut sim = Simulator::new(cfg, &kernel, |_, c| PassthroughBackend::from_config(c));
+            let report = sim.run_checked(20_000).expect("no stall");
+            assert!(report.stall.is_none());
+            assert!(report.warp_instructions > 0);
+        }
     }
 }
 

@@ -147,6 +147,12 @@ impl Sm {
         self.warps.len()
     }
 
+    /// Number of resident warps that have not yet retired (stall
+    /// diagnostics).
+    pub fn unfinished_warps(&self) -> usize {
+        self.warps.iter().filter(|w| !w.finished).count()
+    }
+
     /// Delivers a memory response (an L2/engine fill) to this SM.
     pub fn on_response(&mut self, resp: &MemRequest) {
         let line = resp.line_addr;
@@ -310,9 +316,7 @@ impl Sm {
                 // The cap throttles *additional* loads; a single load wider
                 // than the cap (divergent scatter) still issues when the
                 // warp has nothing outstanding.
-                if slot.outstanding > 0
-                    && slot.outstanding + accesses.len() as u32 > self.max_outstanding
-                {
+                if slot.outstanding > 0 && slot.outstanding + accesses.len() as u32 > self.max_outstanding {
                     return IssueCheck::BlockedOnMem;
                 }
                 if dispatch_open {
@@ -384,13 +388,21 @@ impl Sm {
                     self.warps[w].outstanding += accesses.len() as u32;
                     self.warps[w].ready_at = now + 1;
                     for access in accesses {
-                        self.dispatch.push_back(PendingAccess { warp: w as u32, access, kind: AccessKind::Load });
+                        self.dispatch.push_back(PendingAccess {
+                            warp: w as u32,
+                            access,
+                            kind: AccessKind::Load,
+                        });
                     }
                 }
                 Inst::Store { accesses } => {
                     self.warps[w].ready_at = now + 1;
                     for access in accesses {
-                        self.dispatch.push_back(PendingAccess { warp: w as u32, access, kind: AccessKind::Store });
+                        self.dispatch.push_back(PendingAccess {
+                            warp: w as u32,
+                            access,
+                            kind: AccessKind::Store,
+                        });
                     }
                 }
                 Inst::Exit => unreachable!("exit never stored"),
@@ -432,8 +444,7 @@ mod tests {
 
     #[test]
     fn alu_only_warp_finishes_and_counts() {
-        let prog: Box<dyn WarpProgram> =
-            Box::new(Script(vec![Inst::alu(), Inst::alu()]));
+        let prog: Box<dyn WarpProgram> = Box::new(Script(vec![Inst::alu(), Inst::alu()]));
         let mut sm = Sm::new(0, &cfg(), vec![prog]);
         let mut out = SmOutput::default();
         for now in 0..10 {
@@ -508,10 +519,8 @@ mod tests {
 
     #[test]
     fn store_is_fire_and_forget() {
-        let prog: Box<dyn WarpProgram> = Box::new(Script(vec![
-            Inst::store(Access::new(0x200, SectorMask::single(0))),
-            Inst::alu(),
-        ]));
+        let prog: Box<dyn WarpProgram> =
+            Box::new(Script(vec![Inst::store(Access::new(0x200, SectorMask::single(0))), Inst::alu()]));
         let mut sm = Sm::new(0, &cfg(), vec![prog]);
         let mut out = SmOutput::default();
         for now in 0..6 {
@@ -562,9 +571,8 @@ mod tests {
     fn gto_prefers_last_issued_warp() {
         let mut c = cfg();
         c.issue_width = 1;
-        let progs: Vec<Box<dyn WarpProgram>> = (0..2)
-            .map(|_| Box::new(Script(vec![Inst::alu(); 4])) as Box<dyn WarpProgram>)
-            .collect();
+        let progs: Vec<Box<dyn WarpProgram>> =
+            (0..2).map(|_| Box::new(Script(vec![Inst::alu(); 4])) as Box<dyn WarpProgram>).collect();
         let mut sm = Sm::new(0, &c, progs);
         let mut out = SmOutput::default();
         for now in 0..20 {
@@ -578,7 +586,8 @@ mod tests {
     fn divergent_load_produces_many_requests() {
         let accesses: Vec<Access> =
             (0..8).map(|i| Access::new(0x10_000 + i * 4096, SectorMask::single(0))).collect();
-        let prog: Box<dyn WarpProgram> = Box::new(Script(vec![Inst::Load { accesses, dependent: false }, Inst::use_mem()]));
+        let prog: Box<dyn WarpProgram> =
+            Box::new(Script(vec![Inst::Load { accesses, dependent: false }, Inst::use_mem()]));
         let mut sm = Sm::new(0, &cfg(), vec![prog]);
         let mut out = SmOutput::default();
         for now in 0..20 {

@@ -3,6 +3,8 @@
 
 use crate::cache::CacheStats;
 use crate::dram::DramStats;
+use crate::error::StallReport;
+use crate::fault::FaultStats;
 use crate::mshr::MshrStats;
 use crate::types::{Cycle, TrafficClass};
 
@@ -98,6 +100,17 @@ pub struct SimReport {
     pub mem_stall_cycles: u64,
     /// Number of warps that ran.
     pub warps: u64,
+    /// Aggregated fault-injection statistics (all zero when no
+    /// [`FaultPlan`](crate::fault::FaultPlan) was installed).
+    pub faults: FaultStats,
+    /// Present when the forward-progress watchdog stopped the run; the
+    /// `cycles` and statistics fields then cover the truncated window.
+    pub stall: Option<StallReport>,
+    /// True when the kernel finished before the requested warmup window
+    /// elapsed, so the post-warmup measurement window was empty and the
+    /// statistics in this report are not meaningful (see
+    /// [`Simulator::run_with_warmup`](crate::sim::Simulator::run_with_warmup)).
+    pub warmup_truncated: bool,
 }
 
 impl SimReport {
@@ -117,8 +130,7 @@ impl SimReport {
         if self.cycles == 0 {
             0.0
         } else {
-            self.dram.total_bytes() as f64
-                / (self.cycles as f64 * cfg.dram_peak_total_bytes_per_cycle())
+            self.dram.total_bytes() as f64 / (self.cycles as f64 * cfg.dram_peak_total_bytes_per_cycle())
         }
     }
 
@@ -153,11 +165,7 @@ mod tests {
 
     #[test]
     fn ipc_computation() {
-        let report = SimReport {
-            cycles: 1000,
-            thread_instructions: 512_000,
-            ..SimReport::default()
-        };
+        let report = SimReport { cycles: 1000, thread_instructions: 512_000, ..SimReport::default() };
         assert!((report.ipc() - 512.0).abs() < 1e-9);
         assert_eq!(SimReport::default().ipc(), 0.0);
     }

@@ -47,10 +47,7 @@ impl std::error::Error for ParseTraceError {}
 /// Serializes one instruction to its trace line.
 pub fn serialize_inst(inst: &Inst) -> String {
     let accesses = |list: &[Access]| {
-        list.iter()
-            .map(|a| format!("{:x}:{:x}", a.line_addr, a.sectors.0))
-            .collect::<Vec<_>>()
-            .join(" ")
+        list.iter().map(|a| format!("{:x}:{:x}", a.line_addr, a.sectors.0)).collect::<Vec<_>>().join(" ")
     };
     match inst {
         Inst::Alu { stall, wait_mem: false } => format!("A {stall}"),
@@ -70,18 +67,13 @@ fn parse_accesses(parts: &[&str], line: usize) -> Result<Vec<Access>, ParseTrace
     parts
         .iter()
         .map(|p| {
-            let (addr, mask) = p.split_once(':').ok_or_else(|| ParseTraceError {
-                line,
-                message: format!("access '{p}' is not addr:mask"),
-            })?;
-            let addr = Addr::from_str_radix(addr, 16).map_err(|_| ParseTraceError {
-                line,
-                message: format!("bad address '{addr}'"),
-            })?;
-            let mask = u8::from_str_radix(mask, 16).map_err(|_| ParseTraceError {
-                line,
-                message: format!("bad sector mask '{mask}'"),
-            })?;
+            let (addr, mask) = p
+                .split_once(':')
+                .ok_or_else(|| ParseTraceError { line, message: format!("access '{p}' is not addr:mask") })?;
+            let addr = Addr::from_str_radix(addr, 16)
+                .map_err(|_| ParseTraceError { line, message: format!("bad address '{addr}'") })?;
+            let mask = u8::from_str_radix(mask, 16)
+                .map_err(|_| ParseTraceError { line, message: format!("bad sector mask '{mask}'") })?;
             if mask == 0 || mask > 0xF {
                 return Err(ParseTraceError { line, message: format!("mask {mask:#x} out of range") });
             }
@@ -280,13 +272,7 @@ impl Kernel for TraceKernel {
     }
 
     fn warps_per_sm(&self, sm: u32) -> u32 {
-        self.trace
-            .streams
-            .keys()
-            .filter(|k| k.0 == sm)
-            .map(|k| k.1 + 1)
-            .max()
-            .unwrap_or(1)
+        self.trace.streams.keys().filter(|k| k.0 == sm).map(|k| k.1 + 1).max().unwrap_or(1)
     }
 
     fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {

@@ -93,12 +93,14 @@ impl Kernel for PhasedKernel {
     }
 
     fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {
-        let programs = self
-            .phases
-            .iter()
-            .map(|p| (p.kernel.spawn(sm, warp), p.instructions))
-            .collect();
-        Box::new(PhasedProgram { programs, current: 0, issued_in_phase: 0, looping: self.looping, done: false })
+        let programs = self.phases.iter().map(|p| (p.kernel.spawn(sm, warp), p.instructions)).collect();
+        Box::new(PhasedProgram {
+            programs,
+            current: 0,
+            issued_in_phase: 0,
+            looping: self.looping,
+            done: false,
+        })
     }
 
     fn name(&self) -> &str {
@@ -154,11 +156,7 @@ mod tests {
 
     #[test]
     fn looping_repeats_phases() {
-        let k = PhasedKernel::new(
-            vec![Phase { kernel: mini("a", 0), instructions: 3 }],
-            true,
-            "looped",
-        );
+        let k = PhasedKernel::new(vec![Phase { kernel: mini("a", 0), instructions: 3 }], true, "looped");
         let mut p = k.spawn(0, 0);
         for _ in 0..50 {
             assert!(!matches!(p.next_inst(), Inst::Exit), "looping kernel never exits");

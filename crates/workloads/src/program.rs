@@ -1,10 +1,8 @@
 //! The synthetic warp-program generator: turns a [`BenchSpec`] into
 //! deterministic per-warp instruction streams.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use secmem_gpusim::kernel::{Kernel, WarpProgram};
+use secmem_gpusim::rng::Rng64;
 use secmem_gpusim::types::{Access, Addr, Inst, SectorMask, FULL_SECTOR_MASK, LINE_SIZE};
 
 use crate::spec::{AccessPattern, BenchSpec};
@@ -48,8 +46,7 @@ impl Kernel for SyntheticKernel {
     }
 
     fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {
-        let total_warps =
-            (self.spec.active_sms as u64).max(1) * self.spec.warps_per_sm.max(1) as u64;
+        let total_warps = (self.spec.active_sms as u64).max(1) * self.spec.warps_per_sm.max(1) as u64;
         let warp_index = sm as u64 * self.spec.warps_per_sm as u64 + warp as u64;
         Box::new(SyntheticProgram::new(&self.spec, self.seed, warp_index, total_warps))
     }
@@ -71,7 +68,7 @@ struct SyntheticProgram {
     streams: Vec<(Addr, Addr, Addr)>,
     /// Write-region streaming state.
     wstream: (Addr, Addr, Addr),
-    rng: SmallRng,
+    rng: Rng64,
     /// Remaining ALU instructions in the current block.
     alu_left: u32,
     /// The next ALU instruction consumes loaded data.
@@ -114,7 +111,7 @@ impl SyntheticProgram {
             footprint: spec.footprint,
             streams,
             wstream: (wbase, slice, 0),
-            rng: SmallRng::seed_from_u64(seed ^ (warp_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+            rng: Rng64::new(seed ^ (warp_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))),
             mlp: spec.mlp.max(1),
             loads_since_wait: 0,
             alu_left: 0,
@@ -127,7 +124,7 @@ impl SyntheticProgram {
 
     fn random_line(&mut self) -> Addr {
         let lines = self.footprint / LINE_SIZE;
-        self.rng.gen_range(0..lines) * LINE_SIZE
+        self.rng.gen_range(lines) * LINE_SIZE
     }
 
     fn next_stream_access(&mut self) -> Access {
@@ -152,7 +149,7 @@ impl SyntheticProgram {
                     self.random_line()
                 } else {
                     self.scatter_pos = self.scatter_pos.wrapping_add(1);
-                    (self.scatter_pos * SCATTER_STRIDE) % self.footprint & !(LINE_SIZE - 1)
+                    ((self.scatter_pos * SCATTER_STRIDE) % self.footprint) & !(LINE_SIZE - 1)
                 };
                 Access { line_addr: line, sectors: SectorMask::single((line / 32 % 4) as u32 & 3) }
             })
@@ -161,7 +158,7 @@ impl SyntheticProgram {
 
     fn mem_inst(&mut self) -> Inst {
         self.mem_count += 1;
-        let is_store = self.store_every > 0 && self.mem_count % self.store_every as u64 == 0;
+        let is_store = self.store_every > 0 && self.mem_count.is_multiple_of(self.store_every as u64);
         match self.pattern {
             AccessPattern::Stream { .. } => {
                 if is_store {

@@ -119,12 +119,8 @@ impl BenchSpec {
             AccessPattern::Scatter { lanes, .. } if lanes == 0 || lanes > 32 => {
                 Err(format!("{}: scatter lanes must be 1..=32", self.name))
             }
-            AccessPattern::Stream { arrays } if arrays == 0 => {
-                Err(format!("{}: need at least one array", self.name))
-            }
-            AccessPattern::Chase { depth } if depth == 0 => {
-                Err(format!("{}: chase depth must be >= 1", self.name))
-            }
+            AccessPattern::Stream { arrays: 0 } => Err(format!("{}: need at least one array", self.name)),
+            AccessPattern::Chase { depth: 0 } => Err(format!("{}: chase depth must be >= 1", self.name)),
             _ => Ok(()),
         }
     }

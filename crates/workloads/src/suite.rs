@@ -29,10 +29,7 @@ pub fn table4_suite_seeded(seed: u64) -> Vec<SyntheticKernel> {
 
 /// Looks a benchmark up by name.
 pub fn by_name(name: &str) -> Option<SyntheticKernel> {
-    all_specs()
-        .into_iter()
-        .find(|s| s.name == name)
-        .map(|s| SyntheticKernel::new(s, DEFAULT_SEED))
+    all_specs().into_iter().find(|s| s.name == name).map(|s| SyntheticKernel::new(s, DEFAULT_SEED))
 }
 
 /// All 14 benchmark specifications in Table IV order.

@@ -43,12 +43,8 @@ fn main() {
     for scheme in schemes {
         print!("{:<14}", scheme.label());
         for kb in sizes_kb {
-            let cfg = SecureMemConfig {
-                mdcache_bytes: kb * 1024,
-                ..SecureMemConfig::with_scheme(scheme)
-            };
-            let mut sim =
-                Simulator::new(gpu.clone(), &kernel, |_, g| SecureBackend::new(cfg.clone(), g));
+            let cfg = SecureMemConfig { mdcache_bytes: kb * 1024, ..SecureMemConfig::with_scheme(scheme) };
+            let mut sim = Simulator::new(gpu.clone(), &kernel, |_, g| SecureBackend::new(cfg.clone(), g));
             let ipc = sim.run(CYCLES).ipc();
             print!("{:>8.3}", ipc / baseline);
         }

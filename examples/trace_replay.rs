@@ -40,16 +40,14 @@ fn main() {
 
     // 2. Replay the file under the secure memory engine.
     let replay = TraceKernel::from_file(std::path::Path::new(&out)).expect("trace loads");
-    let mut sim = Simulator::new(gpu.clone(), &replay, |_, g| {
-        SecureBackend::new(SecureMemConfig::secure_mem(), g)
-    });
+    let mut sim =
+        Simulator::new(gpu.clone(), &replay, |_, g| SecureBackend::new(SecureMemConfig::secure_mem(), g));
     let from_file = sim.run(CYCLES);
 
     // 3. Replay the in-memory recording: must match exactly.
     let replay2 = TraceKernel::new(Trace::from_text(&text).expect("round-trips"), replay.name());
-    let mut sim2 = Simulator::new(gpu.clone(), &replay2, |_, g| {
-        SecureBackend::new(SecureMemConfig::secure_mem(), g)
-    });
+    let mut sim2 =
+        Simulator::new(gpu.clone(), &replay2, |_, g| SecureBackend::new(SecureMemConfig::secure_mem(), g));
     let from_memory = sim2.run(CYCLES);
 
     println!(

@@ -1,9 +1,7 @@
 //! End-to-end integration tests: assert the paper's qualitative results
 //! ("shape criteria" from DESIGN.md §4) hold on the scaled-down GPU.
 
-use gpu_secure_memory::core::{
-    MdcIdealization, SecureBackend, SecureMemConfig, SecurityScheme,
-};
+use gpu_secure_memory::core::{MdcIdealization, SecureBackend, SecureMemConfig, SecurityScheme};
 use gpu_secure_memory::gpusim::backend::PassthroughBackend;
 use gpu_secure_memory::gpusim::config::GpuConfig;
 use gpu_secure_memory::gpusim::sim::Simulator;
@@ -15,15 +13,13 @@ const CYCLES: u64 = 12_000;
 
 fn baseline(bench: &str) -> SimReport {
     let kernel = suite::by_name(bench).expect("benchmark exists");
-    let mut sim =
-        Simulator::new(GpuConfig::small(), &kernel, |_, g| PassthroughBackend::from_config(g));
+    let mut sim = Simulator::new(GpuConfig::small(), &kernel, |_, g| PassthroughBackend::from_config(g));
     sim.run(CYCLES)
 }
 
 fn secure(bench: &str, cfg: &SecureMemConfig) -> SimReport {
     let kernel = suite::by_name(bench).expect("benchmark exists");
-    let mut sim =
-        Simulator::new(GpuConfig::small(), &kernel, |_, g| SecureBackend::new(cfg.clone(), g));
+    let mut sim = Simulator::new(GpuConfig::small(), &kernel, |_, g| SecureBackend::new(cfg.clone(), g));
     sim.run(CYCLES)
 }
 
@@ -32,10 +28,7 @@ fn secure_memory_slows_memory_intensive_workloads() {
     let base = baseline("fdtd2d");
     let sec = secure("fdtd2d", &SecureMemConfig::secure_mem());
     let norm = sec.ipc() / base.ipc();
-    assert!(
-        norm < 0.8,
-        "counter-mode secure memory must cost a memory-bound workload dearly, got {norm:.3}"
-    );
+    assert!(norm < 0.8, "counter-mode secure memory must cost a memory-bound workload dearly, got {norm:.3}");
 }
 
 #[test]
@@ -49,16 +42,10 @@ fn secure_memory_is_free_for_compute_bound_workloads() {
 #[test]
 fn perfect_metadata_caches_recover_baseline() {
     let base = baseline("fdtd2d");
-    let cfg = SecureMemConfig {
-        idealization: MdcIdealization::Perfect,
-        ..SecureMemConfig::secure_mem()
-    };
+    let cfg = SecureMemConfig { idealization: MdcIdealization::Perfect, ..SecureMemConfig::secure_mem() };
     let sec = secure("fdtd2d", &cfg);
     let norm = sec.ipc() / base.ipc();
-    assert!(
-        norm > 0.9,
-        "with perfect metadata caches the overhead must vanish (Fig. 3), got {norm:.3}"
-    );
+    assert!(norm > 0.9, "with perfect metadata caches the overhead must vanish (Fig. 3), got {norm:.3}");
 }
 
 #[test]
@@ -85,12 +72,8 @@ fn direct_encryption_nearly_free_for_streaming() {
 fn direct_beats_counter_mode_without_integrity() {
     let base = baseline("fdtd2d");
     let direct = secure("fdtd2d", &SecureMemConfig::direct(40)).ipc() / base.ipc();
-    let ctr =
-        secure("fdtd2d", &SecureMemConfig::with_scheme(SecurityScheme::CtrOnly)).ipc() / base.ipc();
-    assert!(
-        direct > ctr + 0.03,
-        "Fig. 16: direct ({direct:.3}) must beat counter-mode ({ctr:.3})"
-    );
+    let ctr = secure("fdtd2d", &SecureMemConfig::with_scheme(SecurityScheme::CtrOnly)).ipc() / base.ipc();
+    assert!(direct > ctr + 0.03, "Fig. 16: direct ({direct:.3}) must beat counter-mode ({ctr:.3})");
 }
 
 #[test]
@@ -108,10 +91,7 @@ fn direct_mac_beats_ctr_mac_bmt_at_equal_budget() {
 
 #[test]
 fn mshrs_rescue_metadata_caches() {
-    let without = secure(
-        "srad_v2",
-        &SecureMemConfig { mdcache_mshrs: 0, ..SecureMemConfig::secure_mem() },
-    );
+    let without = secure("srad_v2", &SecureMemConfig { mdcache_mshrs: 0, ..SecureMemConfig::secure_mem() });
     let with = secure("srad_v2", &SecureMemConfig::secure_mem());
     assert!(
         with.ipc() > 1.5 * without.ipc(),

@@ -1,0 +1,144 @@
+//! End-to-end fault-injection tests: seeded DRAM faults driven through
+//! the full simulator (SMs → interconnect → L2 → secure backend → DRAM),
+//! checking the detection matrix, reproducibility, and the watchdog.
+
+use gpu_secure_memory::core::{SecureBackend, SecureMemConfig, SecurityScheme};
+use gpu_secure_memory::gpusim::backend::PassthroughBackend;
+use gpu_secure_memory::gpusim::config::GpuConfig;
+use gpu_secure_memory::gpusim::error::SimError;
+use gpu_secure_memory::gpusim::fault::{FaultKind, FaultPlan, FaultSpec, FaultStats, FaultTrigger};
+use gpu_secure_memory::gpusim::kernel::StreamKernel;
+use gpu_secure_memory::gpusim::sim::Simulator;
+use gpu_secure_memory::gpusim::stats::SimReport;
+use gpu_secure_memory::gpusim::types::TrafficClass;
+
+const CYCLES: u64 = 15_000;
+
+fn kernel() -> StreamKernel {
+    StreamKernel { alu_per_mem: 1, bytes_per_warp: 1 << 18, warps: 8 }
+}
+
+fn data_read_plan(seed: u64, kind: FaultKind) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(FaultSpec::new(kind, FaultTrigger::OneIn(40)).on_class(TrafficClass::Data).limit(16))
+}
+
+fn run_secure(scheme: SecurityScheme, plan: &FaultPlan) -> SimReport {
+    let plan = plan.clone();
+    let mut sim = Simulator::new(GpuConfig::small(), &kernel(), move |p, g| {
+        let mut b = SecureBackend::new(SecureMemConfig::with_scheme(scheme), g);
+        b.install_faults(plan.injector_for(p));
+        b
+    });
+    sim.run(CYCLES)
+}
+
+fn run_baseline(plan: &FaultPlan) -> SimReport {
+    let plan = plan.clone();
+    let mut sim = Simulator::new(GpuConfig::small(), &kernel(), move |p, g| {
+        let mut b = PassthroughBackend::from_config(g);
+        b.install_faults(plan.injector_for(p));
+        b
+    });
+    sim.run(CYCLES)
+}
+
+fn assert_all_detected(f: &FaultStats, what: &str) {
+    assert!(f.total_injected() > 0, "{what}: no fault landed");
+    assert_eq!(f.total_undetected(), 0, "{what}: corruption slipped through");
+    assert_eq!(f.total_detected(), f.total_injected(), "{what}: detection accounting");
+}
+
+fn assert_none_detected(f: &FaultStats, what: &str) {
+    assert!(f.total_injected() > 0, "{what}: no fault landed");
+    assert_eq!(f.total_detected(), 0, "{what}: scheme cannot detect this");
+    assert_eq!(f.total_undetected(), f.total_injected(), "{what}: detection accounting");
+}
+
+#[test]
+fn same_seed_and_plan_reproduce_identical_fault_stats() {
+    let plan = data_read_plan(0xD5_0001, FaultKind::BitFlip);
+    let a = run_secure(SecurityScheme::CtrMacBmt, &plan);
+    let b = run_secure(SecurityScheme::CtrMacBmt, &plan);
+    assert!(a.faults.total_injected() > 0, "faults actually fired");
+    assert_eq!(a.faults, b.faults, "fault streams must be bit-identical");
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.thread_instructions, b.thread_instructions);
+}
+
+#[test]
+fn different_seed_moves_the_injections() {
+    let a = run_secure(SecurityScheme::CtrMacBmt, &data_read_plan(0xD5_0002, FaultKind::BitFlip));
+    let b = run_secure(SecurityScheme::CtrMacBmt, &data_read_plan(0xD5_0003, FaultKind::BitFlip));
+    // Both land faults; the *streams* differ even if the totals can
+    // coincide under the per-spec cap, so compare with the cap removed.
+    assert!(a.faults.total_injected() > 0 && b.faults.total_injected() > 0);
+    let wide = |seed| {
+        FaultPlan::new(seed)
+            .with(FaultSpec::new(FaultKind::BitFlip, FaultTrigger::OneIn(40)).on_class(TrafficClass::Data))
+    };
+    let wa = run_secure(SecurityScheme::CtrMacBmt, &wide(0xD5_0002));
+    let wb = run_secure(SecurityScheme::CtrMacBmt, &wide(0xD5_0003));
+    assert_ne!(wa.faults, wb.faults, "different seeds must perturb the fault stream");
+}
+
+#[test]
+fn bit_flip_is_caught_by_mac_schemes_and_missed_by_the_rest() {
+    let plan = data_read_plan(0xD5_0010, FaultKind::BitFlip);
+    for scheme in [SecurityScheme::CtrMacBmt, SecurityScheme::DirectMac, SecurityScheme::DirectMacMt] {
+        assert_all_detected(&run_secure(scheme, &plan).faults, scheme.label());
+    }
+    for scheme in [SecurityScheme::CtrOnly, SecurityScheme::CtrBmt, SecurityScheme::Direct] {
+        assert_none_detected(&run_secure(scheme, &plan).faults, scheme.label());
+    }
+    assert_none_detected(&run_baseline(&plan).faults, "baseline");
+}
+
+#[test]
+fn replay_fools_direct_mac_but_not_tree_schemes() {
+    let plan = data_read_plan(0xD5_0020, FaultKind::Replay);
+    // Stale-but-authentic data passes MAC verification: only schemes
+    // with an integrity tree pin freshness.
+    assert_none_detected(&run_secure(SecurityScheme::DirectMac, &plan).faults, "direct_mac vs replay");
+    assert_none_detected(&run_baseline(&plan).faults, "baseline vs replay");
+    for scheme in [SecurityScheme::CtrBmt, SecurityScheme::CtrMacBmt, SecurityScheme::DirectMacMt] {
+        assert_all_detected(&run_secure(scheme, &plan).faults, scheme.label());
+    }
+}
+
+#[test]
+fn dropped_completions_trip_the_watchdog() {
+    let mut cfg = GpuConfig::small();
+    cfg.watchdog_cycles = 2_000;
+    let plan = FaultPlan::new(0xD5_0030)
+        .with(FaultSpec::new(FaultKind::Drop, FaultTrigger::Always).on_class(TrafficClass::Data));
+    let mut sim = Simulator::new(cfg, &kernel(), move |p, g| {
+        let mut b = SecureBackend::new(SecureMemConfig::secure_mem(), g);
+        b.install_faults(plan.injector_for(p));
+        b
+    });
+    let err = sim.run_checked(500_000).expect_err("dropping all data must stall");
+    let SimError::Stalled(stall) = *err else { panic!("expected a stall, got {err:?}") };
+    assert!(stall.cycle < 100_000, "watchdog fired early, not at the cycle cap");
+    assert!(stall.unfinished_warps > 0);
+    assert!(!stall.partitions.is_empty(), "per-partition diagnostics present");
+}
+
+#[test]
+fn delayed_completions_slow_the_run_but_finish() {
+    // Delays are timing-only: nothing to detect, no stall, but measurably
+    // fewer instructions retire in the same budget.
+    let delay = FaultPlan::new(0xD5_0040)
+        .with(FaultSpec::new(FaultKind::Delay(400), FaultTrigger::OneIn(4)).on_class(TrafficClass::Data));
+    let faulted = run_secure(SecurityScheme::CtrMacBmt, &delay);
+    let clean = run_secure(SecurityScheme::CtrMacBmt, &FaultPlan::new(0xD5_0040));
+    assert!(faulted.faults.total_injected() == 0, "delays are not corruptions");
+    assert!(faulted.faults.per_class.iter().map(|c| c.delayed).sum::<u64>() > 0);
+    assert!(faulted.stall.is_none(), "delays must not trip the watchdog");
+    assert!(
+        faulted.thread_instructions < clean.thread_instructions,
+        "delayed DRAM must cost throughput: {} vs {}",
+        faulted.thread_instructions,
+        clean.thread_instructions
+    );
+}

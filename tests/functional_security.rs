@@ -1,32 +1,27 @@
-//! Property-based tests of the functional secure memory: confidentiality,
-//! integrity and replay protection hold for arbitrary write sequences and
-//! arbitrary tampering, per scheme.
-
-use proptest::prelude::*;
+//! Randomized tests of the functional secure memory: confidentiality,
+//! integrity and replay protection hold for seeded-random write sequences
+//! and tampering, per scheme (offline replacement for the `proptest` suite).
 
 use gpu_secure_memory::core::functional::FunctionalSecureMemory;
 use gpu_secure_memory::core::SecurityScheme;
+use gpu_secure_memory::gpusim::rng::Rng64;
 
 const REGION: u64 = 1024 * 1024;
 
-fn any_scheme() -> impl Strategy<Value = SecurityScheme> {
-    prop::sample::select(vec![
-        SecurityScheme::CtrOnly,
-        SecurityScheme::CtrBmt,
-        SecurityScheme::CtrMacBmt,
-        SecurityScheme::Direct,
-        SecurityScheme::DirectMac,
-        SecurityScheme::DirectMacMt,
-    ])
-}
+const ALL_SCHEMES: [SecurityScheme; 6] = [
+    SecurityScheme::CtrOnly,
+    SecurityScheme::CtrBmt,
+    SecurityScheme::CtrMacBmt,
+    SecurityScheme::Direct,
+    SecurityScheme::DirectMac,
+    SecurityScheme::DirectMacMt,
+];
 
-fn integrity_scheme() -> impl Strategy<Value = SecurityScheme> {
-    prop::sample::select(vec![
-        SecurityScheme::CtrMacBmt,
-        SecurityScheme::DirectMac,
-        SecurityScheme::DirectMacMt,
-    ])
-}
+const INTEGRITY_SCHEMES: [SecurityScheme; 3] =
+    [SecurityScheme::CtrMacBmt, SecurityScheme::DirectMac, SecurityScheme::DirectMacMt];
+
+const TREE_SCHEMES: [SecurityScheme; 3] =
+    [SecurityScheme::CtrBmt, SecurityScheme::CtrMacBmt, SecurityScheme::DirectMacMt];
 
 fn line(data: u8) -> [u8; 128] {
     let mut out = [0u8; 128];
@@ -36,95 +31,122 @@ fn line(data: u8) -> [u8; 128] {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn write_read_roundtrip(scheme in any_scheme(),
-                            writes in prop::collection::vec((0u64..512, any::<u8>()), 1..40)) {
+#[test]
+fn write_read_roundtrip() {
+    for (case, &scheme) in
+        ALL_SCHEMES.iter().enumerate().flat_map(|(j, s)| (0..4).map(move |k| (j * 4 + k, s)))
+    {
+        let mut rng = Rng64::new(0xF100 + case as u64);
         let mut m = FunctionalSecureMemory::new(scheme, REGION, &[3u8; 16]);
         let mut shadow = std::collections::HashMap::new();
-        for (slot, tag) in writes {
-            let addr = slot * 128;
+        let writes = 1 + rng.gen_range(39);
+        for _ in 0..writes {
+            let addr = rng.gen_range(512) * 128;
+            let tag = rng.next_u64() as u8;
             m.write_line(addr, &line(tag));
             shadow.insert(addr, tag);
         }
         for (addr, tag) in shadow {
-            prop_assert_eq!(m.read_line(addr).expect("untampered"), line(tag));
+            assert_eq!(m.read_line(addr).expect("untampered"), line(tag));
         }
     }
+}
 
-    #[test]
-    fn ciphertext_never_leaks_plaintext(scheme in any_scheme(), tag in any::<u8>(),
-                                        slot in 0u64..512) {
+#[test]
+fn ciphertext_never_leaks_plaintext() {
+    for (case, &scheme) in ALL_SCHEMES.iter().enumerate() {
+        let mut rng = Rng64::new(0xF200 + case as u64);
         let mut m = FunctionalSecureMemory::new(scheme, REGION, &[9u8; 16]);
-        let addr = slot * 128;
-        m.write_line(addr, &line(tag));
-        prop_assert_ne!(m.raw_ciphertext(addr), line(tag));
+        for _ in 0..8 {
+            let addr = rng.gen_range(512) * 128;
+            let tag = rng.next_u64() as u8;
+            m.write_line(addr, &line(tag));
+            assert_ne!(m.raw_ciphertext(addr), line(tag));
+        }
     }
+}
 
-    #[test]
-    fn any_data_tamper_is_detected(scheme in integrity_scheme(),
-                                   slot in 0u64..256,
-                                   byte in 0usize..128,
-                                   xor in 1u8..=255) {
+#[test]
+fn any_data_tamper_is_detected() {
+    for (case, &scheme) in
+        INTEGRITY_SCHEMES.iter().enumerate().flat_map(|(j, s)| (0..8).map(move |k| (j * 8 + k, s)))
+    {
+        let mut rng = Rng64::new(0xF300 + case as u64);
         let mut m = FunctionalSecureMemory::new(scheme, REGION, &[5u8; 16]);
-        let addr = slot * 128;
+        let addr = rng.gen_range(256) * 128;
+        let byte = rng.gen_range(128) as usize;
+        let xor = 1 + rng.gen_range(255) as u8;
         m.write_line(addr, &line(0xAA));
         m.tamper_data(addr, byte, xor);
-        prop_assert!(m.read_line(addr).is_err(), "tamper must be detected by {scheme}");
+        assert!(m.read_line(addr).is_err(), "tamper must be detected by {scheme}");
     }
+}
 
-    #[test]
-    fn any_mac_tamper_is_detected(scheme in integrity_scheme(),
-                                  slot in 0u64..256,
-                                  sector in 0usize..4,
-                                  xor in 1u16..=u16::MAX) {
+#[test]
+fn any_mac_tamper_is_detected() {
+    for (case, &scheme) in
+        INTEGRITY_SCHEMES.iter().enumerate().flat_map(|(j, s)| (0..8).map(move |k| (j * 8 + k, s)))
+    {
+        let mut rng = Rng64::new(0xF400 + case as u64);
         let mut m = FunctionalSecureMemory::new(scheme, REGION, &[5u8; 16]);
-        let addr = slot * 128;
+        let addr = rng.gen_range(256) * 128;
+        let sector = rng.gen_range(4) as usize;
+        let xor = 1 + rng.gen_range(u64::from(u16::MAX) - 1) as u16;
         m.write_line(addr, &line(0x55));
         m.tamper_mac(addr, sector, xor);
-        prop_assert!(m.read_line(addr).is_err());
+        assert!(m.read_line(addr).is_err());
     }
+}
 
-    #[test]
-    fn replay_detected_by_tree_schemes(scheme in prop::sample::select(vec![
-            SecurityScheme::CtrBmt, SecurityScheme::CtrMacBmt, SecurityScheme::DirectMacMt]),
-            slot in 0u64..256, old in any::<u8>(), new in any::<u8>()) {
-        prop_assume!(old != new);
+#[test]
+fn replay_detected_by_tree_schemes() {
+    for (case, &scheme) in
+        TREE_SCHEMES.iter().enumerate().flat_map(|(j, s)| (0..8).map(move |k| (j * 8 + k, s)))
+    {
+        let mut rng = Rng64::new(0xF500 + case as u64);
+        let addr = rng.gen_range(256) * 128;
+        let old = rng.next_u64() as u8;
+        let new = old.wrapping_add(1 + rng.gen_range(254) as u8);
         let mut m = FunctionalSecureMemory::new(scheme, REGION, &[7u8; 16]);
-        let addr = slot * 128;
         m.write_line(addr, &line(old));
         let snapshot = m.snapshot();
         m.write_line(addr, &line(new));
         m.replay(&snapshot);
-        prop_assert!(m.read_line(addr).is_err(), "replay must be detected by {scheme}");
+        assert!(m.read_line(addr).is_err(), "replay must be detected by {scheme}");
     }
+}
 
-    #[test]
-    fn replay_fools_direct_mac(slot in 0u64..256, old in any::<u8>(), new in any::<u8>()) {
-        prop_assume!(old != new);
+#[test]
+fn replay_fools_direct_mac() {
+    for case in 0..16u64 {
+        let mut rng = Rng64::new(0xF600 + case);
+        let addr = rng.gen_range(256) * 128;
+        let old = rng.next_u64() as u8;
+        let new = old.wrapping_add(1 + rng.gen_range(254) as u8);
         let mut m = FunctionalSecureMemory::new(SecurityScheme::DirectMac, REGION, &[7u8; 16]);
-        let addr = slot * 128;
         m.write_line(addr, &line(old));
         let snapshot = m.snapshot();
         m.write_line(addr, &line(new));
         m.replay(&snapshot);
         // A consistent stale snapshot passes MAC verification: the attacker
         // rolled the value back. This is the MT's raison d'etre (Fig. 17).
-        prop_assert_eq!(m.read_line(addr).expect("MAC alone cannot catch replay"), line(old));
+        assert_eq!(m.read_line(addr).expect("MAC alone cannot catch replay"), line(old));
     }
+}
 
-    #[test]
-    fn counter_mode_rewrites_change_ciphertext(slot in 0u64..256, tag in any::<u8>()) {
+#[test]
+fn counter_mode_rewrites_change_ciphertext() {
+    for case in 0..16u64 {
+        let mut rng = Rng64::new(0xF700 + case);
+        let addr = rng.gen_range(256) * 128;
+        let tag = rng.next_u64() as u8;
         let mut m = FunctionalSecureMemory::new(SecurityScheme::CtrMacBmt, REGION, &[1u8; 16]);
-        let addr = slot * 128;
         m.write_line(addr, &line(tag));
         let c1 = m.raw_ciphertext(addr);
         m.write_line(addr, &line(tag));
         let c2 = m.raw_ciphertext(addr);
-        prop_assert_ne!(c1.to_vec(), c2.to_vec(), "counter bump must refresh the pad");
-        prop_assert_eq!(m.read_line(addr).expect("valid"), line(tag));
+        assert_ne!(c1.to_vec(), c2.to_vec(), "counter bump must refresh the pad");
+        assert_eq!(m.read_line(addr).expect("valid"), line(tag));
     }
 }
 
