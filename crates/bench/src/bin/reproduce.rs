@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! reproduce <experiment> [--cycles N] [--threads N] [--csv DIR] [--small]
-//!                        [--seed N] [--warmup N]
+//!                        [--seed N] [--warmup N] [--telemetry]
+//!                        [--sample-interval N] [--trace-out DIR]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table6 table7 area-displacement
@@ -24,6 +25,7 @@ use std::time::Instant;
 use secmem_bench::experiments::{self, Baselines, ExpOpts};
 use secmem_bench::table::ExpTable;
 use secmem_gpusim::config::GpuConfig;
+use secmem_telemetry::TelemetryConfig;
 
 struct Args {
     experiments: Vec<String>,
@@ -66,8 +68,24 @@ fn parse_args() -> Result<Args, String> {
                 let v = iter.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
             }
+            "--telemetry" => {
+                opts.telemetry.get_or_insert_with(TelemetryConfig::default);
+            }
+            "--sample-interval" => {
+                let v = iter.next().ok_or("--sample-interval needs a value")?;
+                let interval: u64 = v.parse().map_err(|_| format!("bad sample interval: {v}"))?;
+                if interval == 0 {
+                    return Err("--sample-interval must be at least 1".into());
+                }
+                opts.telemetry.get_or_insert_with(TelemetryConfig::default).sample_interval = interval;
+            }
+            "--trace-out" => {
+                let v = iter.next().ok_or("--trace-out needs a directory")?;
+                opts.telemetry.get_or_insert_with(TelemetryConfig::default);
+                opts.trace_dir = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                return Err("usage: reproduce <experiment...> [--cycles N] [--threads N] [--csv DIR] [--small] [--seed N] [--warmup N] [--resume]".into());
+                return Err("usage: reproduce <experiment...> [--cycles N] [--threads N] [--csv DIR] [--small] [--seed N] [--warmup N] [--resume] [--telemetry] [--sample-interval N] [--trace-out DIR]".into());
             }
             other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
             exp => experiments.push(exp.to_string()),
@@ -206,6 +224,13 @@ fn main() {
         if todo.is_empty() {
             eprintln!("[reproduce] nothing to do: all requested experiments already have CSVs");
             return;
+        }
+    }
+
+    if let Some(dir) = &args.opts.trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[reproduce] cannot create trace dir {}: {e}", dir.display());
+            std::process::exit(2);
         }
     }
 

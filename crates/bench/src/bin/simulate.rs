@@ -19,7 +19,12 @@
 //!   --blocking            blocking (non-speculative) verification
 //!   --protected-mb N      selective encryption: protect only the first N MB
 //!   --json                emit JSON instead of text
+//!   --telemetry           sample per-component time series during the run
+//!   --sample-interval N   telemetry sampling interval in cycles (default 512)
+//!   --trace-out FILE      write a Chrome trace_event JSON (implies --telemetry)
 //! ```
+
+use std::path::PathBuf;
 
 use secmem_bench::json::report_to_json;
 use secmem_bench::{run_job, BackendChoice, Job};
@@ -27,6 +32,7 @@ use secmem_core::{MetadataCacheKind, SecureMemConfig, SecurityScheme};
 use secmem_gpusim::cache::ReplacementPolicy;
 use secmem_gpusim::config::GpuConfig;
 use secmem_gpusim::types::TrafficClass;
+use secmem_telemetry::{chrome, TelemetryConfig};
 use secmem_workloads::{ml, suite, SyntheticKernel};
 
 struct Options {
@@ -37,6 +43,9 @@ struct Options {
     gpu: GpuConfig,
     cfg: SecureMemConfig,
     json: bool,
+    telemetry: bool,
+    sample_interval: u64,
+    trace_out: Option<PathBuf>,
 }
 
 fn find_kernel(name: &str) -> Option<SyntheticKernel> {
@@ -55,6 +64,9 @@ fn parse() -> Result<Options, String> {
         gpu: GpuConfig::volta(),
         cfg: SecureMemConfig::secure_mem(),
         json: false,
+        telemetry: false,
+        sample_interval: TelemetryConfig::default().sample_interval,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -98,6 +110,19 @@ fn parse() -> Result<Options, String> {
                 o.cfg.protected_limit = Some(mb * 1024 * 1024);
             }
             "--json" => o.json = true,
+            "--telemetry" => o.telemetry = true,
+            "--sample-interval" => {
+                o.sample_interval = need(&mut it, "--sample-interval")?
+                    .parse()
+                    .map_err(|e| format!("--sample-interval: {e}"))?;
+                if o.sample_interval == 0 {
+                    return Err("--sample-interval must be at least 1".into());
+                }
+            }
+            "--trace-out" => {
+                o.trace_out = Some(PathBuf::from(need(&mut it, "--trace-out")?));
+                o.telemetry = true;
+            }
             "--help" | "-h" => return Err("see the doc comment at the top of simulate.rs".into()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -138,6 +163,9 @@ fn main() {
         None => BackendChoice::Baseline,
         Some(s) => BackendChoice::Secure(SecureMemConfig { scheme: s, ..o.cfg.clone() }),
     };
+    let telemetry = o
+        .telemetry
+        .then(|| TelemetryConfig { sample_interval: o.sample_interval, ..TelemetryConfig::default() });
     let job = Job {
         kernel,
         gpu: o.gpu.clone(),
@@ -145,9 +173,23 @@ fn main() {
         cycles: o.cycles,
         warmup: o.warmup,
         label: o.scheme.clone(),
+        telemetry,
+        telemetry_out: None, // single run: the trace is written below
     };
     let result = run_job(&job);
     let r = &result.report;
+    if let (Some(path), Some(snap)) = (&o.trace_out, &result.telemetry) {
+        let text = chrome::chrome_trace(snap);
+        if let Err(e) = chrome::validate_json(&text) {
+            eprintln!("internal error: emitted trace is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote Chrome trace to {}", path.display());
+    }
     if o.json {
         println!("{}", report_to_json(r, &o.gpu));
         return;
@@ -172,6 +214,12 @@ fn main() {
                 m.mshr.secondary_ratio() * 100.0,
                 m.writebacks
             );
+        }
+    }
+    if let Some(summary) = &r.telemetry_summary {
+        println!("telemetry:");
+        for line in summary.lines() {
+            println!("  {line}");
         }
     }
 }

@@ -2,12 +2,14 @@
 //! (in parallel), and renders an [`ExpTable`].
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use secmem_core::{global_storage, MdcIdealization, MetadataCacheKind, SecureMemConfig, SecurityScheme};
 use secmem_gpusim::config::GpuConfig;
 use secmem_gpusim::reuse::bucket_labels;
 use secmem_gpusim::stats::SimReport;
 use secmem_gpusim::types::TrafficClass;
+use secmem_telemetry::TelemetryConfig;
 use secmem_workloads::suite::{all_specs, table4_suite_seeded, DEFAULT_SEED};
 
 use crate::runner::{run_jobs, BackendChoice, Job, RunResult};
@@ -28,12 +30,49 @@ pub struct ExpOpts {
     /// Warmup cycles whose statistics are discarded (0 = none; published
     /// numbers use 0 since the synthetic kernels reach steady state fast).
     pub warmup: u64,
+    /// When set, every job of every experiment collects telemetry with
+    /// this configuration.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Directory for per-job Chrome traces, named
+    /// `{bench}_{label}.trace.json` (requires `telemetry`; experiments
+    /// reusing a benchmark/label pair overwrite the earlier trace).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ExpOpts {
     fn default() -> Self {
-        Self { gpu: GpuConfig::volta(), cycles: 120_000, threads: 0, seed: DEFAULT_SEED, warmup: 0 }
+        Self {
+            gpu: GpuConfig::volta(),
+            cycles: 120_000,
+            threads: 0,
+            seed: DEFAULT_SEED,
+            warmup: 0,
+            telemetry: None,
+            trace_dir: None,
+        }
     }
+}
+
+/// Applies the experiment-wide telemetry options to a job batch and runs
+/// it: every job inherits `opts.telemetry`, and when `opts.trace_dir` is
+/// set each job gets a `{bench}_{label}.trace.json` output path (labels
+/// are sanitized so e.g. `protect_50%` stays a portable file name).
+fn run_jobs_t(opts: &ExpOpts, mut jobs: Vec<Job>) -> Vec<RunResult> {
+    use secmem_gpusim::kernel::Kernel;
+    if opts.telemetry.is_some() {
+        for job in &mut jobs {
+            job.telemetry = opts.telemetry.clone();
+            if let Some(dir) = &opts.trace_dir {
+                let label: String = job
+                    .label
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() || "-_.".contains(c) { c } else { '-' })
+                    .collect();
+                job.telemetry_out = Some(dir.join(format!("{}_{label}.trace.json", job.kernel.name())));
+            }
+        }
+    }
+    run_jobs(jobs, opts.threads)
 }
 
 /// Baseline (no secure memory) reports per benchmark, shared by the
@@ -55,10 +94,12 @@ impl Baselines {
                 cycles: opts.cycles,
                 warmup: opts.warmup,
                 label: "baseline".into(),
+                telemetry: None,
+                telemetry_out: None,
             })
             .collect();
         let mut reports = HashMap::new();
-        for r in run_jobs(jobs, opts.threads) {
+        for r in run_jobs_t(opts, jobs) {
             reports.insert(r.bench, r.report);
         }
         Self { reports }
@@ -90,6 +131,8 @@ fn suite_secure_jobs(opts: &ExpOpts, configs: &[(String, SecureMemConfig)]) -> V
                 cycles: opts.cycles,
                 warmup: opts.warmup,
                 label: label.clone(),
+                telemetry: None,
+                telemetry_out: None,
             });
         }
     }
@@ -105,7 +148,7 @@ pub fn normalized_ipc_table(
     baselines: &Baselines,
     configs: &[(String, SecureMemConfig)],
 ) -> ExpTable {
-    let results = run_jobs(suite_secure_jobs(opts, configs), opts.threads);
+    let results = run_jobs_t(opts, suite_secure_jobs(opts, configs));
     render_normalized(title, baselines, configs, &results)
 }
 
@@ -277,7 +320,7 @@ pub fn fig3(opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
 /// Fig. 4: distribution of DRAM request types under `secureMem`.
 pub fn fig4(opts: &ExpOpts) -> ExpTable {
     let configs = vec![("secureMem".to_string(), secure_mem_no_mshr())];
-    let results = run_jobs(suite_secure_jobs(opts, &configs), opts.threads);
+    let results = run_jobs_t(opts, suite_secure_jobs(opts, &configs));
     let mut t = ExpTable::new(
         "Fig. 4 — Distribution of DRAM request types (secureMem)",
         &["benchmark", "data", "ctr", "mac", "bmt", "wb"],
@@ -313,7 +356,7 @@ pub fn fig4(opts: &ExpOpts) -> ExpTable {
 /// Fig. 5: secondary-miss ratio in each metadata cache (default 64 MSHRs).
 pub fn fig5(opts: &ExpOpts) -> ExpTable {
     let configs = vec![("secureMem".to_string(), SecureMemConfig::secure_mem())];
-    let results = run_jobs(suite_secure_jobs(opts, &configs), opts.threads);
+    let results = run_jobs_t(opts, suite_secure_jobs(opts, &configs));
     let mut t = ExpTable::new(
         "Fig. 5 — Secondary-miss ratio of metadata-cache misses",
         &["benchmark", "ctr", "mac", "bmt"],
@@ -382,7 +425,7 @@ pub fn fig8(opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
 pub fn fig9(opts: &ExpOpts) -> ExpTable {
     let configs =
         vec![("separate".to_string(), SecureMemConfig::secure_mem()), ("unified".to_string(), unified_cfg())];
-    let results = run_jobs(suite_secure_jobs(opts, &configs), opts.threads);
+    let results = run_jobs_t(opts, suite_secure_jobs(opts, &configs));
     let mut t = ExpTable::new(
         "Fig. 9 — Metadata miss rates, unified vs. separate",
         &["benchmark", "ctr-sep", "ctr-uni", "mac-sep", "mac-uni", "bmt-sep", "bmt-uni"],
@@ -431,10 +474,12 @@ pub fn fig10_11(opts: &ExpOpts, class_index: usize) -> ExpTable {
         cycles: opts.cycles,
         warmup: opts.warmup,
         label: label.into(),
+        telemetry: None,
+        telemetry_out: None,
     };
-    let results = run_jobs(
+    let results = run_jobs_t(
+        opts,
         vec![mk(MetadataCacheKind::Separate, "separate"), mk(MetadataCacheKind::Unified, "unified")],
-        opts.threads,
     );
     let what = if class_index == 0 { "counters (Fig. 10)" } else { "MACs (Fig. 11)" };
     let mut t = ExpTable::new(
@@ -541,10 +586,12 @@ pub fn fig13(opts: &ExpOpts) -> ExpTable {
                 cycles: opts.cycles,
                 warmup: opts.warmup,
                 label: format!("secureMem_{mb}MB"),
+                telemetry: None,
+                telemetry_out: None,
             });
         }
     }
-    let results = run_jobs(jobs, opts.threads);
+    let results = run_jobs_t(opts, jobs);
     let configs: Vec<(String, SecureMemConfig)> = sizes_mb
         .iter()
         .map(|&(mb, _)| (format!("secureMem_{mb}MB"), SecureMemConfig::secure_mem()))
@@ -693,6 +740,8 @@ pub fn ablation_scheduler(opts: &ExpOpts) -> ExpTable {
                 cycles: opts.cycles,
                 warmup: opts.warmup,
                 label: format!("base_{tag}"),
+                telemetry: None,
+                telemetry_out: None,
             });
             jobs.push(Job {
                 kernel: kernel.clone(),
@@ -701,10 +750,12 @@ pub fn ablation_scheduler(opts: &ExpOpts) -> ExpTable {
                 cycles: opts.cycles,
                 warmup: opts.warmup,
                 label: format!("sec_{tag}"),
+                telemetry: None,
+                telemetry_out: None,
             });
         }
     }
-    let results = run_jobs(jobs, opts.threads);
+    let results = run_jobs_t(opts, jobs);
     let mut by: HashMap<(String, String), f64> = HashMap::new();
     for r in &results {
         by.insert((r.bench.clone(), r.label.clone()), r.report.ipc());
@@ -748,10 +799,12 @@ pub fn selective_encryption(opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
                 cycles: opts.cycles,
                 warmup: opts.warmup,
                 label: format!("protect_{pct}%"),
+                telemetry: None,
+                telemetry_out: None,
             });
         }
     }
-    let results = run_jobs(jobs, opts.threads);
+    let results = run_jobs_t(opts, jobs);
     let configs: Vec<(String, SecureMemConfig)> =
         pcts.iter().map(|p| (format!("protect_{p}%"), SecureMemConfig::secure_mem())).collect();
     let mut t = render_normalized(
@@ -785,6 +838,8 @@ pub fn ablation_dram(opts: &ExpOpts) -> ExpTable {
                 cycles: opts.cycles,
                 warmup: opts.warmup,
                 label: format!("base_{tag}"),
+                telemetry: None,
+                telemetry_out: None,
             });
             jobs.push(Job {
                 kernel: kernel.clone(),
@@ -793,10 +848,12 @@ pub fn ablation_dram(opts: &ExpOpts) -> ExpTable {
                 cycles: opts.cycles,
                 warmup: opts.warmup,
                 label: format!("sec_{tag}"),
+                telemetry: None,
+                telemetry_out: None,
             });
         }
     }
-    let results = run_jobs(jobs, opts.threads);
+    let results = run_jobs_t(opts, jobs);
     let mut by: HashMap<(String, String), f64> = HashMap::new();
     for r in &results {
         by.insert((r.bench.clone(), r.label.clone()), r.report.ipc());
@@ -889,6 +946,8 @@ pub fn ml_suite(opts: &ExpOpts) -> ExpTable {
             cycles: opts.cycles,
             warmup: opts.warmup,
             label: "baseline".into(),
+            telemetry: None,
+            telemetry_out: None,
         });
         for (label, cfg) in &schemes {
             jobs.push(Job {
@@ -898,10 +957,12 @@ pub fn ml_suite(opts: &ExpOpts) -> ExpTable {
                 cycles: opts.cycles,
                 warmup: opts.warmup,
                 label: (*label).to_string(),
+                telemetry: None,
+                telemetry_out: None,
             });
         }
     }
-    let results = run_jobs(jobs, opts.threads);
+    let results = run_jobs_t(opts, jobs);
     let mut by: HashMap<(String, String), SimReport> = HashMap::new();
     for r in results {
         by.insert((r.bench.clone(), r.label.clone()), r.report);

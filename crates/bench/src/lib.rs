@@ -19,5 +19,5 @@ pub mod runner;
 pub mod table;
 
 pub use experiments::{Baselines, ExpOpts};
-pub use runner::{run_job, run_jobs, BackendChoice, Job, RunResult};
+pub use runner::{run_job, run_jobs, run_jobs_with_failures, BackendChoice, Job, JobFailure, RunResult};
 pub use table::ExpTable;

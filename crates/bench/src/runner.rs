@@ -1,6 +1,7 @@
 //! Simulation runner: executes (benchmark, configuration) pairs, in
 //! parallel across OS threads, and returns the reports.
 
+use std::path::PathBuf;
 use std::sync::Mutex;
 
 use secmem_core::{SecureBackend, SecureMemConfig};
@@ -9,6 +10,7 @@ use secmem_gpusim::config::GpuConfig;
 use secmem_gpusim::reuse::NUM_BUCKETS;
 use secmem_gpusim::sim::Simulator;
 use secmem_gpusim::stats::SimReport;
+use secmem_telemetry::{chrome, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use secmem_workloads::SyntheticKernel;
 
 /// Which memory backend to install.
@@ -32,6 +34,10 @@ pub struct RunResult {
     /// Reuse-distance histograms `[counter, mac, tree]` of partition 0,
     /// when profiling was enabled.
     pub reuse: Option<[[u64; NUM_BUCKETS]; 3]>,
+    /// Telemetry recorded during the run, when [`Job::telemetry`] was
+    /// set. Carried back to the coordinating thread, which owns all
+    /// file output (workers never write, so sweeps cannot race).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// One job for the parallel runner.
@@ -49,27 +55,39 @@ pub struct Job {
     pub warmup: u64,
     /// Label attached to the result.
     pub label: String,
+    /// When set, the run collects telemetry with this configuration.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Where the coordinating thread writes this job's Chrome trace
+    /// (ignored unless [`Job::telemetry`] is set).
+    pub telemetry_out: Option<PathBuf>,
 }
 
 /// Runs a single job.
 pub fn run_job(job: &Job) -> RunResult {
     use secmem_gpusim::kernel::Kernel;
     let bench = job.kernel.name().to_string();
+    let telemetry = match &job.telemetry {
+        Some(cfg) => Telemetry::enabled(cfg.clone()),
+        None => Telemetry::disabled(),
+    };
     match &job.backend {
         BackendChoice::Baseline => {
             let mut sim =
                 Simulator::new(job.gpu.clone(), &job.kernel, |_, g| PassthroughBackend::from_config(g));
+            sim.set_telemetry(telemetry);
             let report = if job.warmup > 0 {
                 sim.run_with_warmup(job.warmup, job.cycles)
             } else {
                 sim.run(job.cycles)
             };
-            RunResult { bench, label: job.label.clone(), report, reuse: None }
+            let telemetry = sim.telemetry_snapshot();
+            RunResult { bench, label: job.label.clone(), report, reuse: None, telemetry }
         }
         BackendChoice::Secure(cfg) => {
             let cfg = cfg.clone();
             let mut sim =
                 Simulator::new(job.gpu.clone(), &job.kernel, |_, g| SecureBackend::new(cfg.clone(), g));
+            sim.set_telemetry(telemetry);
             let report = if job.warmup > 0 {
                 sim.run_with_warmup(job.warmup, job.cycles)
             } else {
@@ -80,7 +98,8 @@ pub fn run_job(job: &Job) -> RunResult {
                 .backend()
                 .reuse_profilers()
                 .map(|p| [p[0].histogram(), p[1].histogram(), p[2].histogram()]);
-            RunResult { bench, label: job.label.clone(), report, reuse }
+            let telemetry = sim.telemetry_snapshot();
+            RunResult { bench, label: job.label.clone(), report, reuse, telemetry }
         }
     }
 }
@@ -95,11 +114,18 @@ pub struct JobFailure {
     pub label: String,
     /// The panic payload, stringified.
     pub error: String,
+    /// The telemetry output path the job would have written, so sweep
+    /// tooling can tell an absent trace file from a racing one.
+    pub telemetry_path: Option<PathBuf>,
 }
 
 impl std::fmt::Display for JobFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{}: {}", self.bench, self.label, self.error)
+        write!(f, "{}/{}: {}", self.bench, self.label, self.error)?;
+        if let Some(path) = &self.telemetry_path {
+            write!(f, " (telemetry not written: {})", path.display())?;
+        }
+        Ok(())
     }
 }
 
@@ -130,6 +156,7 @@ fn run_job_isolated(job: &Job) -> Result<RunResult, JobFailure> {
         bench: job.kernel.name().to_string(),
         label: job.label.clone(),
         error: last.unwrap_or_else(|| "unknown panic".to_string()),
+        telemetry_path: job.telemetry_out.clone(),
     })
 }
 
@@ -145,12 +172,16 @@ pub fn run_jobs_with_failures(jobs: Vec<Job>, threads: usize) -> (Vec<RunResult>
         threads
     };
     let n = jobs.len();
+    // Never spawn more workers than there are jobs: each extra thread
+    // would only take the scheduler lock, observe the queue drained,
+    // and exit — pure startup cost on small sweeps.
+    let threads = threads.min(n);
     let mut slots: Vec<Option<Result<RunResult, JobFailure>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let next = Mutex::new(0usize);
     let slots = Mutex::new(slots);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
+        for _ in 0..threads {
             scope.spawn(|| loop {
                 let index = {
                     let mut guard = next.lock().expect("scheduler lock");
@@ -168,9 +199,19 @@ pub fn run_jobs_with_failures(jobs: Vec<Job>, threads: usize) -> (Vec<RunResult>
     });
     let mut results = Vec::with_capacity(n);
     let mut failures = Vec::new();
-    for slot in slots.into_inner().expect("all workers joined") {
+    for (index, slot) in slots.into_inner().expect("all workers joined").into_iter().enumerate() {
         match slot.expect("every job was attempted") {
-            Ok(r) => results.push(r),
+            Ok(r) => {
+                // Trace files are written here, after the scoped join:
+                // only this thread touches the filesystem, so jobs with
+                // overlapping output paths cannot interleave writes.
+                if let (Some(path), Some(snap)) = (&jobs[index].telemetry_out, &r.telemetry) {
+                    if let Err(err) = std::fs::write(path, chrome::chrome_trace(snap)) {
+                        eprintln!("[runner] failed to write trace {}: {err}", path.display());
+                    }
+                }
+                results.push(r);
+            }
             Err(f) => failures.push(f),
         }
     }
@@ -213,6 +254,8 @@ mod tests {
             cycles: 2_000,
             warmup: 0,
             label: "baseline".into(),
+            telemetry: None,
+            telemetry_out: None,
         };
         let r = run_job(&job);
         assert!(r.report.thread_instructions > 0);
@@ -231,6 +274,8 @@ mod tests {
             cycles: 2_000,
             warmup: 0,
             label: "secure".into(),
+            telemetry: None,
+            telemetry_out: None,
         };
         let r = run_job(&job);
         assert!(r.report.thread_instructions > 0);
@@ -249,6 +294,8 @@ mod tests {
                 cycles: 1_000,
                 warmup: 0,
                 label: (*n).into(),
+                telemetry: None,
+                telemetry_out: None,
             })
             .collect();
         let results = run_jobs(jobs, 3);
@@ -269,6 +316,8 @@ mod tests {
             cycles: 1_000,
             warmup: 0,
             label: label.into(),
+            telemetry: None,
+            telemetry_out: None,
         };
         let jobs = vec![
             job("fdtd2d", tiny_gpu(), "ok-1"),
@@ -287,5 +336,40 @@ mod tests {
             "failure carries the panic message: {}",
             failures[0].error
         );
+    }
+
+    #[test]
+    fn telemetry_written_per_job_after_join() {
+        let dir = std::env::temp_dir().join(format!("secmem-runner-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let trace = |name: &str| dir.join(format!("{name}.trace.json"));
+        let job = |name: &str, gpu: GpuConfig| Job {
+            kernel: suite::by_name(name).expect("exists"),
+            gpu,
+            backend: BackendChoice::Baseline,
+            cycles: 2_000,
+            warmup: 0,
+            label: name.into(),
+            telemetry: Some(TelemetryConfig { sample_interval: 128, ..TelemetryConfig::default() }),
+            telemetry_out: Some(trace(name)),
+        };
+        let mut bad_gpu = tiny_gpu();
+        bad_gpu.issue_width = 0;
+        let jobs = vec![job("fdtd2d", tiny_gpu()), job("kmeans", tiny_gpu()), job("nw", bad_gpu)];
+        // More threads than jobs: exercises the worker-count clamp.
+        let (results, failures) = run_jobs_with_failures(jobs, 8);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            let snap = r.telemetry.as_ref().expect("telemetry collected");
+            assert!(snap.series("dram.data_bytes").is_some(), "sampled series present");
+            let text = std::fs::read_to_string(trace(&r.bench)).expect("trace written");
+            chrome::validate_json(&text).expect("trace is valid JSON");
+            assert!(!text.is_empty());
+        }
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].telemetry_path, Some(trace("nw")), "failure carries the path");
+        assert!(!trace("nw").exists(), "failed job writes no trace");
+        assert!(format!("{}", failures[0]).contains("telemetry not written"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

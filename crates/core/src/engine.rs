@@ -31,6 +31,7 @@ use secmem_gpusim::fault::{FaultEvent, FaultInjector, FaultKind, FaultStats};
 use secmem_gpusim::reuse::ReuseProfiler;
 use secmem_gpusim::stats::EngineStats;
 use secmem_gpusim::types::{Addr, BackendReq, Cycle, TrafficClass, LINE_SIZE};
+use secmem_telemetry::{EventKind, Telemetry, TelemetryEvent, ThrashDetector, ThrashTransition};
 
 use crate::config::{SecureMemConfig, TreeCoverage};
 use crate::engines::{AesEngineBank, MacUnit};
@@ -125,6 +126,17 @@ pub struct SecureBackend {
     /// Integrity events for injected faults (empty without an injector).
     fault_events: Vec<FaultEvent>,
     now: Cycle,
+    /// Telemetry sink (disabled by default).
+    telemetry: Telemetry,
+    /// Partition id stamped on telemetry events.
+    partition: u32,
+    /// Per-metadata-class thrash detectors `[counter, mac, tree]`,
+    /// driven by windowed miss rates each sampling interval.
+    thrash: [ThrashDetector; 3],
+    /// Metadata-cache (hits, misses) at the previous thrash check.
+    thrash_prev: [(u64, u64); 3],
+    /// Next cycle at which the thrash detectors run.
+    next_thrash_check: Cycle,
 }
 
 impl SecureBackend {
@@ -191,6 +203,11 @@ impl SecureBackend {
             tree_verifications: 0,
             fault_events: Vec::new(),
             now: 0,
+            telemetry: Telemetry::disabled(),
+            partition: 0,
+            thrash: Default::default(),
+            thrash_prev: [(0, 0); 3],
+            next_thrash_check: 0,
             cfg,
         })
     }
@@ -245,6 +262,31 @@ impl SecureBackend {
     fn profile(&mut self, class: TrafficClass, line: Addr) {
         if let Some(p) = self.profilers.as_deref_mut() {
             p[secmem_gpusim::stats::meta_index(class)].access(line);
+        }
+    }
+
+    /// Feeds each metadata class's windowed miss rate to its hysteresis
+    /// detector, emitting thrash begin/end events on transitions.
+    fn check_thrash(&mut self, now: Cycle) {
+        const CLASSES: [TrafficClass; 3] = [TrafficClass::Counter, TrafficClass::Mac, TrafficClass::Tree];
+        let stats = self.mdcache.stats();
+        for (i, m) in stats.iter().enumerate() {
+            let (prev_hits, prev_misses) = self.thrash_prev[i];
+            let hits = m.cache.hits.saturating_sub(prev_hits);
+            let misses = m.cache.misses.saturating_sub(prev_misses);
+            self.thrash_prev[i] = (m.cache.hits, m.cache.misses);
+            if hits + misses == 0 {
+                continue;
+            }
+            let miss_rate = misses as f64 / (hits + misses) as f64;
+            if let Some(transition) = self.thrash[i].update(miss_rate) {
+                let class = CLASSES[i].label().to_string();
+                let kind = match transition {
+                    ThrashTransition::Entered => EventKind::ThrashBegin { partition: self.partition, class },
+                    ThrashTransition::Exited => EventKind::ThrashEnd { partition: self.partition, class },
+                };
+                self.telemetry.record_event(TelemetryEvent { cycle: now, kind });
+            }
         }
     }
 
@@ -643,9 +685,24 @@ impl MemoryBackend for SecureBackend {
                     if let Some(inj) = self.dram.injector_mut() {
                         inj.record_detection(done.class, detected);
                     }
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.record_event(TelemetryEvent {
+                            cycle: now,
+                            kind: EventKind::Fault {
+                                partition: self.partition,
+                                class: done.class.label().to_string(),
+                                kind: format!("{kind:?}"),
+                                detected: Some(detected),
+                            },
+                        });
+                    }
                 }
             }
             self.handle_dram_completion(done);
+        }
+        if self.telemetry.is_enabled() && now >= self.next_thrash_check {
+            self.next_thrash_check = now + self.telemetry.sample_interval().max(1);
+            self.check_thrash(now);
         }
         self.drain_retries();
         while !self.dram.is_full() {
@@ -707,6 +764,18 @@ impl MemoryBackend for SecureBackend {
         self.tree_verifications = 0;
         self.counter_overflows = 0;
         self.fault_events.clear();
+        self.thrash_prev = [(0, 0); 3];
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry, partition: u32) {
+        self.dram.set_telemetry(telemetry.clone(), partition);
+        self.partition = partition;
+        self.next_thrash_check = self.now + telemetry.sample_interval().max(1);
+        self.telemetry = telemetry;
+    }
+
+    fn meta_mshr_occupancy(&self) -> usize {
+        self.mdcache.mshr_occupancy()
     }
 
     fn is_idle(&self) -> bool {

@@ -299,6 +299,14 @@ impl<T> MetadataCaches<T> {
     pub fn is_quiet(&self) -> bool {
         self.mshrs.iter().all(MshrFile::is_empty) && self.private_waiters.is_empty()
     }
+
+    /// Outstanding miss-handling entries: MSHR allocations plus waiters
+    /// parked on in-flight fills when MSHRs are disabled (telemetry
+    /// occupancy probe).
+    pub fn mshr_occupancy(&self) -> usize {
+        self.mshrs.iter().map(MshrFile::len).sum::<usize>()
+            + self.private_waiters.values().map(Vec::len).sum::<usize>()
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //! processing — exactly where the paper places the secure memory hardware
 //! (inside each memory controller, Fig. 1).
 
+use secmem_telemetry::{EventKind, Telemetry, TelemetryEvent};
+
 use crate::dram::{Dram, DramRequest, DramStats};
 use crate::fault::{FaultEvent, FaultInjector, FaultStats};
 use crate::stats::EngineStats;
@@ -56,6 +58,14 @@ pub trait MemoryBackend {
     fn is_idle(&self) -> bool;
     /// Resets statistics (state preserved) — used to discard warmup.
     fn reset_stats(&mut self);
+    /// Attaches a telemetry sink stamped with this backend's partition
+    /// id. Default: ignore (backends without instrumentation).
+    fn set_telemetry(&mut self, _telemetry: Telemetry, _partition: u32) {}
+    /// Metadata-cache MSHR occupancy (waiters parked on in-flight
+    /// metadata fills). Zero for backends without metadata caches.
+    fn meta_mshr_occupancy(&self) -> usize {
+        0
+    }
 }
 
 /// Token carried through the baseline DRAM channel.
@@ -71,6 +81,8 @@ pub struct PassthroughBackend {
     dram: Dram<Token>,
     ready: Vec<BackendReq>,
     events: Vec<FaultEvent>,
+    telemetry: Telemetry,
+    partition: u32,
 }
 
 impl PassthroughBackend {
@@ -81,6 +93,8 @@ impl PassthroughBackend {
             dram: Dram::new(bytes_per_cycle_fp, latency, queue_cap),
             ready: Vec::new(),
             events: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            partition: 0,
         }
     }
 
@@ -98,6 +112,8 @@ impl PassthroughBackend {
             ),
             ready: Vec::new(),
             events: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            partition: 0,
         }
     }
 
@@ -161,6 +177,17 @@ impl MemoryBackend for PassthroughBackend {
                     if let Some(inj) = self.dram.injector_mut() {
                         inj.record_detection(done.class, false);
                     }
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.record_event(TelemetryEvent {
+                            cycle: now,
+                            kind: EventKind::Fault {
+                                partition: self.partition,
+                                class: done.class.label().to_string(),
+                                kind: format!("{kind:?}"),
+                                detected: Some(false),
+                            },
+                        });
+                    }
                 }
             }
             if let Token::Read(req) = done.token {
@@ -196,6 +223,12 @@ impl MemoryBackend for PassthroughBackend {
     fn reset_stats(&mut self) {
         self.dram.reset_stats();
         self.events.clear();
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry, partition: u32) {
+        self.dram.set_telemetry(telemetry.clone(), partition);
+        self.telemetry = telemetry;
+        self.partition = partition;
     }
 }
 

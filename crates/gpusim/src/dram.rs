@@ -11,6 +11,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use secmem_telemetry::{EventKind, Telemetry, TelemetryEvent};
+
 use crate::fault::{FaultInjector, FaultKind, FaultStats};
 use crate::types::{Addr, Cycle, TrafficClass};
 
@@ -124,6 +126,11 @@ pub struct Dram<T> {
     /// Slots whose completion was already fault-delayed once (a delayed
     /// request must not be re-decided when it retires again).
     no_refault: Vec<bool>,
+    /// Telemetry sink (disabled by default); fault injections are
+    /// recorded here as instants at retire time.
+    telemetry: Telemetry,
+    /// Partition id stamped on telemetry events.
+    partition: u32,
 }
 
 impl<T> Dram<T> {
@@ -168,7 +175,16 @@ impl<T> Dram<T> {
             stats: DramStats::default(),
             injector: None,
             no_refault: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            partition: 0,
         }
+    }
+
+    /// Attaches a telemetry sink; fault injections at this channel are
+    /// recorded as instants stamped with `partition`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, partition: u32) {
+        self.telemetry = telemetry;
+        self.partition = partition;
     }
 
     /// Installs a fault injector. Subsequent completions are candidates
@@ -279,6 +295,20 @@ impl<T> Dram<T> {
                 }
                 _ => None,
             };
+            if let Some(kind) = fault {
+                if self.telemetry.is_enabled() {
+                    let class = self.inflight_store[slot].as_ref().expect("slot occupied").req.class;
+                    self.telemetry.record_event(TelemetryEvent {
+                        cycle: now,
+                        kind: EventKind::Fault {
+                            partition: self.partition,
+                            class: class.label().to_string(),
+                            kind: format!("{kind:?}"),
+                            detected: None,
+                        },
+                    });
+                }
+            }
             match fault {
                 Some(FaultKind::Drop) => {
                     self.inflight_store[slot] = None;

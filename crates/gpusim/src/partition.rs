@@ -80,6 +80,23 @@ impl<B: MemoryBackend> MemPartition<B> {
         &self.backend
     }
 
+    /// Attaches a telemetry sink, forwarded to the backend (and its DRAM
+    /// channel) stamped with this partition's id.
+    pub fn set_telemetry(&mut self, telemetry: secmem_telemetry::Telemetry) {
+        self.backend.set_telemetry(telemetry, self.id);
+    }
+
+    /// Metadata-cache MSHR occupancy reported by the backend (zero for
+    /// backends without metadata caches).
+    pub fn meta_mshr_occupancy(&self) -> usize {
+        self.backend.meta_mshr_occupancy()
+    }
+
+    /// Requests staged from the interconnect (sampling probe).
+    pub fn input_occupancy(&self) -> usize {
+        self.input.len()
+    }
+
     /// Aggregated L2 cache statistics across banks.
     pub fn l2_stats(&self) -> CacheStats {
         let mut total = CacheStats::default();

@@ -3,6 +3,8 @@
 
 use std::collections::VecDeque;
 
+use secmem_telemetry::{EventKind, Telemetry, TelemetryEvent, TelemetrySnapshot};
+
 use crate::backend::MemoryBackend;
 use crate::config::{AddressMap, GpuConfig};
 use crate::error::{PartitionStall, SimError, StallReport};
@@ -29,6 +31,38 @@ pub struct Simulator<B> {
     now: Cycle,
     /// Set when the forward-progress watchdog fired.
     stall: Option<StallReport>,
+    /// Telemetry sink shared with every partition (disabled by default).
+    telemetry: Telemetry,
+    /// Periodic sampling state; present only when telemetry is enabled,
+    /// so the per-step cost of disabled telemetry is one `Option` check.
+    sampler: Option<SimSampler>,
+}
+
+/// Metric names for the per-class DRAM byte series, in
+/// [`crate::types::TrafficClass::ALL`] order.
+const CLASS_SERIES: [&str; 4] = ["dram.data_bytes", "dram.ctr_bytes", "dram.mac_bytes", "dram.bmt_bytes"];
+
+/// Counter values at the previous sample, for windowed deltas and rates.
+#[derive(Debug, Clone, Copy, Default)]
+struct PrevCounters {
+    class_bytes: [u64; 4],
+    row_hits: u64,
+    row_misses: u64,
+    l1_hits: u64,
+    l1_accesses: u64,
+    l2_hits: u64,
+    l2_accesses: u64,
+    mdc_hits: u64,
+    mdc_accesses: u64,
+}
+
+/// Periodic sampling state driven by [`Simulator::step`].
+#[derive(Debug)]
+struct SimSampler {
+    interval: Cycle,
+    next_at: Cycle,
+    last_at: Cycle,
+    prev: PrevCounters,
 }
 
 impl<B: MemoryBackend> Simulator<B> {
@@ -81,7 +115,38 @@ impl<B: MemoryBackend> Simulator<B> {
             cfg,
             now: 0,
             stall: None,
+            telemetry: Telemetry::disabled(),
+            sampler: None,
         })
+    }
+
+    /// Attaches a telemetry sink, cloned into every partition (and from
+    /// there into each backend and DRAM channel). An enabled sink arms
+    /// the periodic sampler; a disabled one detaches everything.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for p in &mut self.partitions {
+            p.set_telemetry(telemetry.clone());
+        }
+        let prev = self.gather_counters();
+        let interval = telemetry.sample_interval().max(1);
+        self.sampler = telemetry.is_enabled().then_some(SimSampler {
+            interval,
+            next_at: self.now + interval,
+            last_at: self.now,
+            prev,
+        });
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`Simulator::set_telemetry`] installed an enabled one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Everything telemetry recorded so far; `None` when disabled.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.snapshot()
     }
 
     /// Current simulation time.
@@ -152,6 +217,129 @@ impl<B: MemoryBackend> Simulator<B> {
         }
 
         self.now += 1;
+        self.maybe_sample();
+    }
+
+    /// Takes a periodic sample when one is due. Disabled telemetry costs
+    /// one `Option` discriminant check here.
+    fn maybe_sample(&mut self) {
+        let due = matches!(&self.sampler, Some(s) if self.now >= s.next_at);
+        if due {
+            self.take_sample();
+        }
+    }
+
+    /// Closes the final (possibly partial) sampling window so series
+    /// totals cover the whole run.
+    fn final_sample(&mut self) {
+        let due = matches!(&self.sampler, Some(s) if self.now > s.last_at);
+        if due {
+            self.take_sample();
+        }
+    }
+
+    /// Reads every counter the sampler windows over.
+    fn gather_counters(&self) -> PrevCounters {
+        let mut c = PrevCounters::default();
+        for sm in &self.sms {
+            let l1 = sm.l1_stats();
+            c.l1_hits += l1.hits;
+            c.l1_accesses += l1.hits + l1.misses;
+        }
+        for p in &self.partitions {
+            let d = p.backend().dram_stats();
+            for (i, cs) in d.per_class.iter().enumerate() {
+                c.class_bytes[i] += cs.bytes_read + cs.bytes_written;
+            }
+            c.row_hits += d.row_hits;
+            c.row_misses += d.row_misses;
+            let l2 = p.l2_stats();
+            c.l2_hits += l2.hits;
+            c.l2_accesses += l2.hits + l2.misses;
+            let engine = p.backend().engine_stats();
+            for m in &engine.meta {
+                c.mdc_hits += m.cache.hits;
+                c.mdc_accesses += m.cache.hits + m.cache.misses;
+            }
+        }
+        c
+    }
+
+    /// Records one sample: per-class DRAM byte deltas, windowed hit
+    /// rates, occupancy gauges and active warps.
+    fn take_sample(&mut self) {
+        let Some(mut sampler) = self.sampler.take() else { return };
+        let now = self.now;
+        let cur = self.gather_counters();
+        let prev = sampler.prev;
+        for (i, name) in CLASS_SERIES.iter().enumerate() {
+            let delta = cur.class_bytes[i].saturating_sub(prev.class_bytes[i]);
+            self.telemetry.record_delta(name, now, delta as f64);
+        }
+        self.record_rate(
+            "dram.row_hit_rate",
+            now,
+            cur.row_hits.saturating_sub(prev.row_hits),
+            (cur.row_hits + cur.row_misses).saturating_sub(prev.row_hits + prev.row_misses),
+        );
+        self.record_rate(
+            "l1.hit_rate",
+            now,
+            cur.l1_hits.saturating_sub(prev.l1_hits),
+            cur.l1_accesses.saturating_sub(prev.l1_accesses),
+        );
+        self.record_rate(
+            "l2.hit_rate",
+            now,
+            cur.l2_hits.saturating_sub(prev.l2_hits),
+            cur.l2_accesses.saturating_sub(prev.l2_accesses),
+        );
+        self.record_rate(
+            "mdc.hit_rate",
+            now,
+            cur.mdc_hits.saturating_sub(prev.mdc_hits),
+            cur.mdc_accesses.saturating_sub(prev.mdc_accesses),
+        );
+        let mut mdc_occupancy = 0usize;
+        for p in &self.partitions {
+            let i = p.id();
+            self.telemetry.record_gauge(&format!("part{i}.input_q"), now, p.input_occupancy() as f64);
+            self.telemetry.record_gauge(&format!("part{i}.wb_q"), now, p.wb_occupancy() as f64);
+            self.telemetry.record_gauge(&format!("part{i}.l2_mshr"), now, p.mshr_occupancy() as f64);
+            self.telemetry.record_gauge(
+                &format!("part{i}.backend_pending"),
+                now,
+                p.backend().pending_work() as f64,
+            );
+            mdc_occupancy += p.meta_mshr_occupancy();
+        }
+        self.telemetry.record_gauge("mdc.mshr_occupancy", now, mdc_occupancy as f64);
+        let warps: u64 = self.sms.iter().map(|sm| sm.unfinished_warps() as u64).sum();
+        self.telemetry.record_gauge("active_warps", now, warps as f64);
+        sampler.prev = cur;
+        sampler.last_at = now;
+        sampler.next_at = now + sampler.interval;
+        self.sampler = Some(sampler);
+    }
+
+    /// Records a windowed rate gauge, skipping empty windows (no
+    /// accesses means no meaningful rate).
+    fn record_rate(&self, name: &str, cycle: Cycle, hits: u64, accesses: u64) {
+        if accesses > 0 {
+            self.telemetry.record_gauge(name, cycle, hits as f64 / accesses as f64);
+        }
+    }
+
+    /// Records a phase begin/end event when telemetry is enabled.
+    fn phase_event(&self, begin: bool, name: &str) {
+        if self.telemetry.is_enabled() {
+            let kind = if begin {
+                EventKind::PhaseBegin { name: name.to_string() }
+            } else {
+                EventKind::PhaseEnd { name: name.to_string() }
+            };
+            self.telemetry.record_event(TelemetryEvent { cycle: self.now, kind });
+        }
     }
 
     /// Runs until `max_cycles` have elapsed or every warp has retired and
@@ -183,6 +371,7 @@ impl<B: MemoryBackend> Simulator<B> {
         let window = self.cfg.watchdog_cycles;
         let mut last_sig = self.progress_signature();
         let mut last_progress = self.now;
+        self.phase_event(true, "run");
         while self.now < max_cycles {
             self.step();
             if self.finished() {
@@ -196,10 +385,20 @@ impl<B: MemoryBackend> Simulator<B> {
                 } else if self.now - last_progress >= window {
                     let stall = self.stall_report(self.now - last_progress);
                     self.stall = Some(stall.clone());
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.record_event(TelemetryEvent {
+                            cycle: self.now,
+                            kind: EventKind::Stall { detail: stall.to_string() },
+                        });
+                    }
+                    self.final_sample();
+                    self.phase_event(false, "run");
                     return Err(Box::new(SimError::Stalled(stall)));
                 }
             }
         }
+        self.final_sample();
+        self.phase_event(false, "run");
         Ok(self.report())
     }
 
@@ -211,6 +410,7 @@ impl<B: MemoryBackend> Simulator<B> {
     /// [`SimReport::warmup_truncated`] and its statistics must not be
     /// interpreted.
     pub fn run_with_warmup(&mut self, warmup: Cycle, max_cycles: Cycle) -> SimReport {
+        self.phase_event(true, "warmup");
         while self.now < warmup {
             self.step();
             if self.finished() {
@@ -218,6 +418,7 @@ impl<B: MemoryBackend> Simulator<B> {
             }
         }
         let truncated = self.now < warmup || self.finished();
+        self.phase_event(false, "warmup");
         self.reset_stats();
         let mut report = self.run(max_cycles);
         report.cycles = self.now.saturating_sub(warmup);
@@ -279,6 +480,15 @@ impl<B: MemoryBackend> Simulator<B> {
         for p in &mut self.partitions {
             p.reset_stats();
         }
+        // Rebaseline the sampler and drop pre-reset samples (events are
+        // kept) so series totals keep reconciling with the measured
+        // window's aggregates.
+        if let Some(s) = &mut self.sampler {
+            s.prev = PrevCounters::default();
+            s.last_at = self.now;
+            s.next_at = self.now + s.interval;
+        }
+        self.telemetry.clear_series();
     }
 
     /// True when all warps retired and all queues drained.
@@ -326,6 +536,12 @@ impl<B: MemoryBackend> Simulator<B> {
             report.faults.merge(&part.backend().fault_stats());
         }
         report.stall = self.stall.clone();
+        if let Some(snap) = self.telemetry.snapshot() {
+            let summary = secmem_telemetry::spark::summary(&snap);
+            if !summary.is_empty() {
+                report.telemetry_summary = Some(summary);
+            }
+        }
         report
     }
 }
@@ -470,6 +686,100 @@ mod tests {
         let mut sim2 = Simulator::new(GpuConfig::small(), &busy, |_, c| PassthroughBackend::from_config(c));
         let ok = sim2.run_with_warmup(4_000, 8_000);
         assert!(!ok.warmup_truncated);
+    }
+
+    mod telemetry {
+        use super::*;
+        use secmem_telemetry::{EventKind, Telemetry, TelemetryConfig};
+
+        fn sim_with_telemetry(interval: u64) -> Simulator<PassthroughBackend> {
+            let cfg = GpuConfig::small();
+            let kernel = StreamKernel { alu_per_mem: 0, bytes_per_warp: 1 << 20, warps: 16 };
+            let mut sim = Simulator::new(cfg, &kernel, |_, c| PassthroughBackend::from_config(c));
+            sim.set_telemetry(Telemetry::enabled(TelemetryConfig {
+                sample_interval: interval,
+                ..TelemetryConfig::default()
+            }));
+            sim
+        }
+
+        #[test]
+        fn byte_series_reconcile_with_report_aggregates() {
+            let mut sim = sim_with_telemetry(256);
+            let report = sim.run(10_000);
+            let snap = sim.telemetry_snapshot().expect("enabled");
+            let series = snap.series("dram.data_bytes").expect("data bytes sampled");
+            let agg = report.dram.class(TrafficClass::Data);
+            let expected = (agg.bytes_read + agg.bytes_written) as f64;
+            assert!(
+                (series.total() - expected).abs() < 1e-6,
+                "series total {} vs aggregate {expected}",
+                series.total()
+            );
+            assert!(report.telemetry_summary.is_some(), "summary attached to report");
+        }
+
+        #[test]
+        fn run_phase_span_recorded() {
+            let mut sim = sim_with_telemetry(512);
+            let _ = sim.run(5_000);
+            let snap = sim.telemetry_snapshot().expect("enabled");
+            let labels: Vec<&str> = snap.events.iter().map(|e| e.kind.label()).collect();
+            assert!(labels.contains(&"phase_begin"));
+            assert!(labels.contains(&"phase_end"));
+        }
+
+        #[test]
+        fn warmup_reset_keeps_series_reconciled() {
+            let mut sim = sim_with_telemetry(256);
+            let report = sim.run_with_warmup(4_000, 8_000);
+            let snap = sim.telemetry_snapshot().expect("enabled");
+            let series = snap.series("dram.data_bytes").expect("sampled");
+            let agg = report.dram.class(TrafficClass::Data);
+            let expected = (agg.bytes_read + agg.bytes_written) as f64;
+            assert!(
+                (series.total() - expected).abs() < 1e-6,
+                "measured-window series total {} vs aggregate {expected}",
+                series.total()
+            );
+            // The warmup span survives the statistics reset.
+            assert!(snap
+                .events
+                .iter()
+                .any(|e| matches!(&e.kind, EventKind::PhaseBegin { name } if name == "warmup")));
+        }
+
+        #[test]
+        fn disabled_telemetry_changes_nothing() {
+            let baseline = run_stream(2, 5_000);
+            let mut sim = {
+                let cfg = GpuConfig::small();
+                let kernel = StreamKernel { alu_per_mem: 2, bytes_per_warp: 1 << 20, warps: 16 };
+                Simulator::new(cfg, &kernel, |_, c| PassthroughBackend::from_config(c))
+            };
+            sim.set_telemetry(Telemetry::disabled());
+            let report = sim.run(5_000);
+            assert_eq!(report.warp_instructions, baseline.warp_instructions);
+            assert_eq!(report.dram.total_bytes(), baseline.dram.total_bytes());
+            assert!(report.telemetry_summary.is_none());
+            assert!(sim.telemetry_snapshot().is_none());
+        }
+
+        #[test]
+        fn enabled_telemetry_does_not_perturb_timing() {
+            let plain = run_stream(2, 5_000);
+            // Same kernel parameters as run_stream(2, _), plus sampling.
+            let cfg = GpuConfig::small();
+            let kernel = StreamKernel { alu_per_mem: 2, bytes_per_warp: 1 << 20, warps: 16 };
+            let mut sim = Simulator::new(cfg, &kernel, |_, c| PassthroughBackend::from_config(c));
+            sim.set_telemetry(Telemetry::enabled(TelemetryConfig {
+                sample_interval: 128,
+                ..TelemetryConfig::default()
+            }));
+            let sampled = sim.run(5_000);
+            assert_eq!(sampled.warp_instructions, plain.warp_instructions);
+            assert_eq!(sampled.dram.total_requests(), plain.dram.total_requests());
+        }
     }
 
     mod watchdog {

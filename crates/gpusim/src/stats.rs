@@ -111,6 +111,9 @@ pub struct SimReport {
     /// statistics in this report are not meaningful (see
     /// [`Simulator::run_with_warmup`](crate::sim::Simulator::run_with_warmup)).
     pub warmup_truncated: bool,
+    /// Rendered sparkline summary of the run's telemetry (present only
+    /// when a telemetry sink was attached and recorded samples).
+    pub telemetry_summary: Option<String>,
 }
 
 impl SimReport {

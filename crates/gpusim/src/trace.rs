@@ -103,7 +103,16 @@ pub fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseTraceError> {
             Ok(Inst::Load { accesses: parse_accesses(&rest[1..], line)?, dependent: dep != 0 })
         }
         "S" => Ok(Inst::Store { accesses: parse_accesses(&rest, line)? }),
-        "X" => Ok(Inst::Exit),
+        "X" => {
+            if rest.is_empty() {
+                Ok(Inst::Exit)
+            } else {
+                Err(ParseTraceError {
+                    line,
+                    message: format!("trailing tokens after 'X': '{}'", rest.join(" ")),
+                })
+            }
+        }
         other => Err(ParseTraceError { line, message: format!("unknown opcode '{other}'") }),
     }
 }
@@ -200,8 +209,16 @@ impl Trace {
                 let warp = it.next().and_then(|s| s.parse().ok());
                 match (sm, warp) {
                     (Some(sm), Some(warp)) => {
+                        if streams.contains_key(&(sm, warp)) {
+                            // Silently merging (or last-wins replacing) a
+                            // repeated stream would corrupt the replay.
+                            return Err(ParseTraceError {
+                                line: line_no,
+                                message: format!("duplicate stream 'warp {sm} {warp}'"),
+                            });
+                        }
                         current = Some((sm, warp));
-                        streams.entry((sm, warp)).or_default();
+                        streams.insert((sm, warp), Vec::new());
                     }
                     _ => {
                         return Err(ParseTraceError {
@@ -341,6 +358,41 @@ mod tests {
         assert!(Trace::from_text(&bad_mask).is_err());
         let orphan = format!("{TRACE_HEADER}\nA 1\n");
         assert!(Trace::from_text(&orphan).is_err());
+    }
+
+    #[test]
+    fn duplicate_warp_header_rejected() {
+        let text = format!("{TRACE_HEADER}\nwarp 0 0\nA 1\nwarp 0 0\nA 2\nX\n");
+        let err = Trace::from_text(&text).expect_err("duplicate stream");
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("duplicate"), "message: {}", err.message);
+        // Distinct warps on the same SM are of course still fine.
+        let ok = format!("{TRACE_HEADER}\nwarp 0 0\nX\nwarp 0 1\nX\n");
+        assert_eq!(Trace::from_text(&ok).expect("parses").warp_count(), 2);
+    }
+
+    #[test]
+    fn trailing_tokens_after_exit_rejected() {
+        let text = format!("{TRACE_HEADER}\nwarp 0 0\nX 1\n");
+        let err = Trace::from_text(&text).expect_err("garbage after X");
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("trailing"), "message: {}", err.message);
+        assert!(parse_inst("X junk", 1).is_err());
+        // A trailing comment is stripped before parsing and stays legal.
+        let commented = format!("{TRACE_HEADER}\nwarp 0 0\nX # done\n");
+        assert!(Trace::from_text(&commented).is_ok());
+    }
+
+    #[test]
+    fn rejection_roundtrip_of_valid_traces_unaffected() {
+        // Round-trip through text twice: rejects nothing valid, and the
+        // second pass reproduces the first exactly.
+        let kernel = StreamKernel { alu_per_mem: 1, bytes_per_warp: 4096, warps: 3 };
+        let trace = Trace::record(&kernel, 2, 32);
+        let text = trace.to_text();
+        let back = Trace::from_text(&text).expect("valid text parses");
+        assert_eq!(back, trace);
+        assert_eq!(back.to_text(), text);
     }
 
     #[test]

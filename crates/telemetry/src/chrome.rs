@@ -1,0 +1,365 @@
+//! Chrome `trace_event` export.
+//!
+//! Renders a [`TelemetrySnapshot`] as the JSON object format understood
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! `{"traceEvents": [...]}` where each sampled series becomes a stream
+//! of counter events (`ph:"C"`), phase events become duration pairs
+//! (`ph:"B"`/`"E"`), and everything else becomes global instants
+//! (`ph:"i"`, `s:"g"`). Timestamps (`ts`) are simulation cycles — the
+//! viewer labels them microseconds, which is harmless: relative spacing
+//! is what matters.
+//!
+//! The workspace has no JSON dependency by design, so emission is
+//! hand-rolled and [`validate_json`] provides a minimal recursive-descent
+//! checker the CLI and CI use to prove the emitted trace parses.
+
+use crate::event::EventKind;
+use crate::sink::TelemetrySnapshot;
+
+/// Renders the snapshot as Chrome `trace_event` JSON.
+pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
+    let mut events: Vec<String> = Vec::new();
+    // Counter events: one per sample. pid/tid 0 keeps every counter in
+    // one process group; the counter name is the metric name.
+    for (name, series) in &snap.series {
+        for (cycle, value) in &series.points {
+            events.push(format!(
+                r#"{{"name":{},"ph":"C","ts":{},"pid":0,"tid":0,"args":{{"value":{}}}}}"#,
+                json_string(name),
+                cycle,
+                json_number(*value)
+            ));
+        }
+    }
+    for event in &snap.events {
+        let ts = event.cycle;
+        match &event.kind {
+            EventKind::PhaseBegin { name } => {
+                events
+                    .push(format!(r#"{{"name":{},"ph":"B","ts":{ts},"pid":0,"tid":0}}"#, json_string(name)));
+            }
+            EventKind::PhaseEnd { name } => {
+                events
+                    .push(format!(r#"{{"name":{},"ph":"E","ts":{ts},"pid":0,"tid":0}}"#, json_string(name)));
+            }
+            EventKind::Stall { detail } => {
+                events.push(format!(
+                    r#"{{"name":"stall","ph":"i","ts":{ts},"pid":0,"tid":0,"s":"g","args":{{"detail":{}}}}}"#,
+                    json_string(detail)
+                ));
+            }
+            EventKind::Fault { partition, class, kind, detected } => {
+                let detected = match detected {
+                    None => "null".to_string(),
+                    Some(d) => d.to_string(),
+                };
+                events.push(format!(
+                    r#"{{"name":"fault","ph":"i","ts":{ts},"pid":0,"tid":0,"s":"g","args":{{"partition":{partition},"class":{},"kind":{},"detected":{detected}}}}}"#,
+                    json_string(class),
+                    json_string(kind)
+                ));
+            }
+            EventKind::ThrashBegin { partition, class } => {
+                events.push(format!(
+                    r#"{{"name":{},"ph":"B","ts":{ts},"pid":0,"tid":{}}}"#,
+                    json_string(&format!("thrash:{class}")),
+                    partition + 1
+                ));
+            }
+            EventKind::ThrashEnd { partition, class } => {
+                events.push(format!(
+                    r#"{{"name":{},"ph":"E","ts":{ts},"pid":0,"tid":{}}}"#,
+                    json_string(&format!("thrash:{class}")),
+                    partition + 1
+                ));
+            }
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&events.join(","));
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Escapes and quotes a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values render as 0.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Minimal JSON well-formedness check (recursive descent over the full
+/// grammar). Returns `Err` with a byte offset and message on the first
+/// syntax error. This is a validator, not a parser — it builds nothing.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}", pos = *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {pos}", pos = *pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(format!("expected digits at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("expected fraction digits at byte {pos}", pos = *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("expected exponent digits at byte {pos}", pos = *pos));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TelemetryEvent;
+    use crate::sink::{Telemetry, TelemetryConfig};
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let t = Telemetry::enabled(TelemetryConfig::default());
+        t.record_delta("dram.ctr_bytes", 512, 96.0);
+        t.record_gauge("l2.hit_rate", 512, 0.875);
+        t.record_event(TelemetryEvent { cycle: 0, kind: EventKind::PhaseBegin { name: "run".into() } });
+        t.record_event(TelemetryEvent {
+            cycle: 300,
+            kind: EventKind::Fault {
+                partition: 7,
+                class: "ctr".into(),
+                kind: "BitFlip".into(),
+                detected: Some(true),
+            },
+        });
+        t.record_event(TelemetryEvent {
+            cycle: 400,
+            kind: EventKind::ThrashBegin { partition: 2, class: "bmt".into() },
+        });
+        t.record_event(TelemetryEvent {
+            cycle: 600,
+            kind: EventKind::ThrashEnd { partition: 2, class: "bmt".into() },
+        });
+        t.record_event(TelemetryEvent {
+            cycle: 900,
+            kind: EventKind::Stall { detail: "no progress".into() },
+        });
+        t.record_event(TelemetryEvent { cycle: 1000, kind: EventKind::PhaseEnd { name: "run".into() } });
+        t.snapshot().expect("enabled")
+    }
+
+    #[test]
+    fn trace_is_valid_json_and_nonempty() {
+        let trace = chrome_trace(&sample_snapshot());
+        validate_json(&trace).expect("emitted trace must parse");
+        assert!(trace.contains(r#""traceEvents""#));
+        assert!(trace.contains(r#""ph":"C""#), "counter events present");
+        assert!(trace.contains(r#""ph":"B""#), "span begin present");
+        assert!(trace.contains(r#""ph":"i""#), "instant present");
+        assert!(trace.contains("thrash:bmt"));
+    }
+
+    #[test]
+    fn empty_snapshot_still_valid() {
+        let t = Telemetry::enabled(TelemetryConfig::default());
+        let trace = chrome_trace(&t.snapshot().expect("enabled"));
+        validate_json(&trace).expect("empty trace parses");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        let t = Telemetry::enabled(TelemetryConfig::default());
+        t.record_event(TelemetryEvent {
+            cycle: 1,
+            kind: EventKind::Stall { detail: "line1\nline2 \"quoted\"".into() },
+        });
+        let trace = chrome_trace(&t.snapshot().expect("enabled"));
+        validate_json(&trace).expect("escaped trace parses");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_zero() {
+        assert_eq!(json_number(f64::NAN), "0");
+        assert_eq!(json_number(f64::INFINITY), "0");
+        assert_eq!(json_number(1.5), "1.5");
+    }
+
+    #[test]
+    fn validator_accepts_json_grammar() {
+        for ok in ["null", "true", "[1,2.5,-3e4,\"s\"]", r#"{"a":{"b":[]},"c":"é"}"#, "  [ ]  "] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        for bad in ["", "{", "[1,]", "{\"a\"}", "01x", "\"unterminated", "{} extra", "[1 2]"] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! CSV export: long-format per-metric time series.
+//!
+//! One row per sample, `metric,cycle,value`, metrics in sorted order —
+//! the shape pandas/gnuplot pivot trivially. Values render with enough
+//! precision to round-trip `f64` aggregates.
+
+use crate::sink::TelemetrySnapshot;
+
+/// Renders every series in the snapshot as long-format CSV with a
+/// `metric,cycle,value` header row.
+pub fn to_csv(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::from("metric,cycle,value\n");
+    for (name, series) in &snap.series {
+        for (cycle, value) in &series.points {
+            // Metric names are internal identifiers (no commas/quotes),
+            // so no CSV escaping is needed.
+            out.push_str(&format!("{name},{cycle},{value}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{Telemetry, TelemetryConfig};
+
+    #[test]
+    fn long_format_rows_in_metric_order() {
+        let t = Telemetry::enabled(TelemetryConfig::default());
+        t.record_delta("dram.data_bytes", 512, 128.0);
+        t.record_delta("dram.data_bytes", 1024, 256.0);
+        t.record_gauge("active_warps", 512, 32.0);
+        let csv = to_csv(&t.snapshot().expect("enabled"));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "metric,cycle,value",
+                "active_warps,512,32",
+                "dram.data_bytes,512,128",
+                "dram.data_bytes,1024,256",
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_header_only() {
+        let t = Telemetry::enabled(TelemetryConfig::default());
+        let csv = to_csv(&t.snapshot().expect("enabled"));
+        assert_eq!(csv, "metric,cycle,value\n");
+    }
+}

@@ -1,0 +1,101 @@
+//! Structured events: typed spans and instants recorded alongside the
+//! sampled series.
+//!
+//! Events capture the things a sampled gauge cannot: *when* the warmup
+//! window ended, *which* fault was injected at cycle N, *how long* a
+//! metadata-cache thrash episode lasted. Spans come in begin/end pairs
+//! ([`EventKind::PhaseBegin`]/[`EventKind::PhaseEnd`],
+//! [`EventKind::ThrashBegin`]/[`EventKind::ThrashEnd`]); the rest are
+//! instants.
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryEvent {
+    /// Simulation cycle at which the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A named execution phase opened (e.g. `warmup`, `run`).
+    PhaseBegin {
+        /// Phase name.
+        name: String,
+    },
+    /// The matching phase closed.
+    PhaseEnd {
+        /// Phase name.
+        name: String,
+    },
+    /// The forward-progress watchdog stopped the run.
+    Stall {
+        /// The stall diagnostic, pre-rendered.
+        detail: String,
+    },
+    /// A fault was injected (at DRAM retire) or classified (by a
+    /// backend's integrity machinery).
+    Fault {
+        /// Partition the fault occurred in.
+        partition: u32,
+        /// Traffic-class label (`data`, `ctr`, `mac`, `bmt`).
+        class: String,
+        /// Fault kind, rendered (`BitFlip`, `Drop`, `Delay(25)`, ...).
+        kind: String,
+        /// `None` at injection time; `Some(detected)` once a backend
+        /// classified the corruption.
+        detected: Option<bool>,
+    },
+    /// A metadata cache entered a thrash episode (hysteresis rule, see
+    /// [`ThrashDetector`](crate::ThrashDetector)).
+    ThrashBegin {
+        /// Partition whose metadata cache is thrashing.
+        partition: u32,
+        /// Metadata class label (`ctr`, `mac`, `bmt`).
+        class: String,
+    },
+    /// The thrash episode ended.
+    ThrashEnd {
+        /// Partition whose metadata cache recovered.
+        partition: u32,
+        /// Metadata class label.
+        class: String,
+    },
+}
+
+impl EventKind {
+    /// Short label used by the exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::PhaseBegin { .. } => "phase_begin",
+            EventKind::PhaseEnd { .. } => "phase_end",
+            EventKind::Stall { .. } => "stall",
+            EventKind::Fault { .. } => "fault",
+            EventKind::ThrashBegin { .. } => "thrash_begin",
+            EventKind::ThrashEnd { .. } => "thrash_end",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_all_variants() {
+        let kinds = [
+            EventKind::PhaseBegin { name: "x".into() },
+            EventKind::PhaseEnd { name: "x".into() },
+            EventKind::Stall { detail: "d".into() },
+            EventKind::Fault { partition: 0, class: "data".into(), kind: "BitFlip".into(), detected: None },
+            EventKind::ThrashBegin { partition: 1, class: "ctr".into() },
+            EventKind::ThrashEnd { partition: 1, class: "ctr".into() },
+        ];
+        let labels: Vec<&str> = kinds.iter().map(EventKind::label).collect();
+        let mut unique = labels.clone();
+        unique.dedup();
+        assert_eq!(labels.len(), unique.len(), "labels are distinct");
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed-capacity time series that decimate instead of dropping.
+//!
+//! A naive ring buffer forgets the oldest samples once full, so a series
+//! recorded over a long run would only cover its tail. [`RingSeries`]
+//! instead halves its resolution when full by merging adjacent sample
+//! pairs — the series always spans the whole run, at whatever granularity
+//! the capacity affords. The merge rule depends on the series kind:
+//! per-window deltas merge by **sum** (so the series total still equals
+//! the run aggregate — the invariant the end-to-end reconciliation test
+//! pins), gauges merge by **mean**.
+
+/// How successive samples combine when the ring decimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// An instantaneous level (queue depth, hit rate, occupancy).
+    /// Adjacent samples merge by arithmetic mean.
+    Gauge,
+    /// An amount accumulated since the previous sample (bytes moved,
+    /// requests retired). Adjacent samples merge by sum, preserving the
+    /// series total exactly.
+    Delta,
+}
+
+/// One sample: the cycle the sampling window *ended* at, and the value.
+pub type Sample = (u64, f64);
+
+/// A bounded time series with sum/mean-preserving decimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSeries {
+    kind: SeriesKind,
+    capacity: usize,
+    points: Vec<Sample>,
+}
+
+impl RingSeries {
+    /// Creates an empty series holding at most `capacity` samples
+    /// (rounded up to an even number, minimum 2, so pair-merging always
+    /// frees space).
+    pub fn new(kind: SeriesKind, capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_multiple_of(2);
+        Self { kind, capacity, points: Vec::new() }
+    }
+
+    /// The merge rule in force.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// Appends a sample taken at `cycle`, decimating first if full.
+    pub fn push(&mut self, cycle: u64, value: f64) {
+        if self.points.len() >= self.capacity {
+            self.decimate();
+        }
+        self.points.push((cycle, value));
+    }
+
+    /// Merges adjacent pairs in place, halving the occupancy. A trailing
+    /// odd sample is kept as-is. The merged sample carries the *end*
+    /// cycle of the pair, so the timeline stays monotonic.
+    fn decimate(&mut self) {
+        let merged: Vec<Sample> = self
+            .points
+            .chunks(2)
+            .map(|pair| match pair {
+                [(_, v1), (c2, v2)] => {
+                    let v = match self.kind {
+                        SeriesKind::Delta => v1 + v2,
+                        SeriesKind::Gauge => (v1 + v2) / 2.0,
+                    };
+                    (*c2, v)
+                }
+                [only] => *only,
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            })
+            .collect();
+        self.points = merged;
+    }
+
+    /// The samples, oldest first.
+    pub fn points(&self) -> &[Sample] {
+        &self.points
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sum of all sample values. For a [`SeriesKind::Delta`] series this
+    /// equals the total accumulated over the run, regardless of how many
+    /// decimation rounds occurred.
+    pub fn total(&self) -> f64 {
+        self.points.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Discards all samples (capacity and kind preserved).
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_within_capacity() {
+        let mut s = RingSeries::new(SeriesKind::Gauge, 8);
+        for i in 0..1000u64 {
+            s.push(i, i as f64);
+            assert!(s.len() <= 8, "len {} exceeded capacity", s.len());
+        }
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn delta_decimation_preserves_total() {
+        let mut s = RingSeries::new(SeriesKind::Delta, 16);
+        let mut expected = 0.0;
+        for i in 0..10_000u64 {
+            let v = (i % 37) as f64;
+            expected += v;
+            s.push(i, v);
+        }
+        assert!((s.total() - expected).abs() < 1e-6, "total {} vs {}", s.total(), expected);
+        assert!(s.len() <= 16);
+    }
+
+    #[test]
+    fn gauge_decimation_averages() {
+        let mut s = RingSeries::new(SeriesKind::Gauge, 4);
+        for i in 0..8u64 {
+            s.push(i, 10.0);
+        }
+        // A constant gauge survives any number of mean-merges unchanged.
+        assert!(s.points().iter().all(|(_, v)| (*v - 10.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn timeline_stays_monotonic_across_decimation() {
+        let mut s = RingSeries::new(SeriesKind::Delta, 8);
+        for i in 0..500u64 {
+            s.push(i * 512, 1.0);
+        }
+        let cycles: Vec<u64> = s.points().iter().map(|(c, _)| *c).collect();
+        let mut sorted = cycles.clone();
+        sorted.sort_unstable();
+        assert_eq!(cycles, sorted, "cycles must stay ordered");
+        assert_eq!(*cycles.last().expect("non-empty"), 499 * 512, "last sample kept");
+    }
+
+    #[test]
+    fn tiny_capacities_are_rounded_up() {
+        let mut s = RingSeries::new(SeriesKind::Delta, 0);
+        s.push(0, 1.0);
+        s.push(1, 2.0);
+        s.push(2, 4.0);
+        assert!((s.total() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_occupancy_keeps_trailing_sample() {
+        let mut s = RingSeries::new(SeriesKind::Delta, 4);
+        for i in 0..5u64 {
+            s.push(i, 1.0);
+        }
+        // Capacity 4, fifth push decimates [1,1,1,1] -> [2,2] then appends.
+        assert_eq!(s.len(), 3);
+        assert!((s.total() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_kind() {
+        let mut s = RingSeries::new(SeriesKind::Gauge, 4);
+        s.push(0, 1.0);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.kind(), SeriesKind::Gauge);
+    }
+}

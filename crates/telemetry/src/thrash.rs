@@ -1,0 +1,101 @@
+//! Hysteresis detection of metadata-cache thrash episodes.
+//!
+//! A cache "thrashes" when its windowed miss rate stays high — the
+//! working set no longer fits, every access streams through DRAM. A
+//! single threshold would chatter around the boundary, so the detector
+//! uses two: an episode opens when the miss rate *exceeds* the enter
+//! threshold and closes only when it *falls below* the lower exit
+//! threshold.
+
+/// A state change reported by [`ThrashDetector::update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThrashTransition {
+    /// The miss rate crossed the enter threshold: an episode began.
+    Entered,
+    /// The miss rate fell below the exit threshold: the episode ended.
+    Exited,
+}
+
+/// Hysteresis rule over a windowed miss rate.
+#[derive(Debug, Clone)]
+pub struct ThrashDetector {
+    enter_above: f64,
+    exit_below: f64,
+    active: bool,
+}
+
+impl Default for ThrashDetector {
+    /// The thresholds used for the metadata caches: enter above 70%
+    /// misses, exit below 50%.
+    fn default() -> Self {
+        Self::new(0.7, 0.5)
+    }
+}
+
+impl ThrashDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exit_below > enter_above` (the hysteresis band would
+    /// be inverted and the detector would oscillate).
+    pub fn new(enter_above: f64, exit_below: f64) -> Self {
+        assert!(
+            exit_below <= enter_above,
+            "hysteresis band inverted: exit {exit_below} > enter {enter_above}"
+        );
+        Self { enter_above, exit_below, active: false }
+    }
+
+    /// True while inside an episode.
+    pub fn is_thrashing(&self) -> bool {
+        self.active
+    }
+
+    /// Feeds one windowed miss rate; returns the transition, if any.
+    pub fn update(&mut self, miss_rate: f64) -> Option<ThrashTransition> {
+        if !self.active && miss_rate > self.enter_above {
+            self.active = true;
+            Some(ThrashTransition::Entered)
+        } else if self.active && miss_rate < self.exit_below {
+            self.active = false;
+            Some(ThrashTransition::Exited)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enters_and_exits_with_hysteresis() {
+        let mut d = ThrashDetector::new(0.7, 0.5);
+        assert_eq!(d.update(0.6), None, "below enter threshold");
+        assert_eq!(d.update(0.8), Some(ThrashTransition::Entered));
+        assert!(d.is_thrashing());
+        assert_eq!(d.update(0.6), None, "inside the hysteresis band");
+        assert_eq!(d.update(0.4), Some(ThrashTransition::Exited));
+        assert!(!d.is_thrashing());
+    }
+
+    #[test]
+    fn no_chatter_at_a_single_boundary() {
+        let mut d = ThrashDetector::new(0.7, 0.5);
+        let mut transitions = 0;
+        for rate in [0.71, 0.69, 0.71, 0.69, 0.71] {
+            if d.update(rate).is_some() {
+                transitions += 1;
+            }
+        }
+        assert_eq!(transitions, 1, "oscillation around 0.7 must not re-trigger");
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis band inverted")]
+    fn inverted_band_rejected() {
+        let _ = ThrashDetector::new(0.5, 0.7);
+    }
+}

@@ -9,6 +9,8 @@
 //!   MT), metadata caches, AES/MAC timing models, functional secure
 //!   memory, and the die-area model.
 //! * [`workloads`] — the 14 synthetic Table-IV benchmarks.
+//! * [`telemetry`] — low-overhead sampling, structured events, and
+//!   Chrome-trace/CSV/sparkline exporters for profiling runs.
 //!
 //! # Quickstart
 //!
@@ -37,4 +39,5 @@
 pub use secmem_core as core;
 pub use secmem_crypto as crypto;
 pub use secmem_gpusim as gpusim;
+pub use secmem_telemetry as telemetry;
 pub use secmem_workloads as workloads;
