@@ -1,0 +1,200 @@
+//! Simulator-throughput benchmark: how many simulated cycles per wall
+//! second does the hot loop sustain?
+//!
+//! Runs a pinned workload × scheme matrix (fixed [`DEFAULT_SEED`], fixed
+//! GPU config, fixed cycle budgets) single-threaded, so numbers are
+//! comparable run-to-run and PR-to-PR, and writes `BENCH_simperf.json`.
+//! Each run also carries an FNV-1a fingerprint of the full `SimReport`
+//! debug rendering: two builds that claim to simulate the same thing must
+//! produce identical fingerprints, which is how the determinism invariant
+//! of the ISSUE 3 performance overhaul is checked across code changes.
+//!
+//! ```text
+//! cargo run -p secmem-bench --release --bin perf              # full matrix
+//! cargo run -p secmem-bench --release --bin perf -- --smoke   # tiny CI matrix
+//! cargo run -p secmem-bench --release --bin perf -- --out target/simperf.json
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use secmem_bench::{run_job, BackendChoice, Job};
+use secmem_core::{SecureMemConfig, SecurityScheme};
+use secmem_gpusim::config::GpuConfig;
+use secmem_workloads::suite::{self, DEFAULT_SEED};
+
+/// The pinned full matrix: a latency-bound chase (`nw`), a deep chase
+/// (`b+tree`), a scatter workload (`kmeans`), and a streaming
+/// bandwidth-bound stencil (`fdtd2d`) — the corners of the simulator's
+/// performance envelope.
+const FULL_BENCHES: [&str; 4] = ["nw", "b+tree", "kmeans", "fdtd2d"];
+/// The smoke matrix for CI: one latency-bound, one bandwidth-bound.
+const SMOKE_BENCHES: [&str; 2] = ["nw", "fdtd2d"];
+
+const FULL_CYCLES: u64 = 60_000;
+const SMOKE_CYCLES: u64 = 8_000;
+
+fn schemes(smoke: bool) -> Vec<SecurityScheme> {
+    if smoke {
+        vec![SecurityScheme::Baseline, SecurityScheme::CtrMacBmt]
+    } else {
+        vec![
+            SecurityScheme::Baseline,
+            SecurityScheme::CtrOnly,
+            SecurityScheme::CtrBmt,
+            SecurityScheme::CtrMacBmt,
+            SecurityScheme::Direct,
+            SecurityScheme::DirectMac,
+            SecurityScheme::DirectMacMt,
+        ]
+    }
+}
+
+/// FNV-1a over the report's debug rendering: covers every statistic,
+/// fault event, and stall field, so any behavioral divergence between two
+/// builds changes the fingerprint.
+fn fingerprint(text: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in text.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+struct RunRow {
+    bench: String,
+    scheme: &'static str,
+    sim_cycles: u64,
+    wall_ms: f64,
+    cycles_per_sec: f64,
+    report_fp: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_simperf.json");
+    let mut cycles_override: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--cycles" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage("--cycles needs a number"));
+                cycles_override = Some(v.parse().unwrap_or_else(|_| usage("--cycles needs a number")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let benches: Vec<&str> = if smoke { SMOKE_BENCHES.to_vec() } else { FULL_BENCHES.to_vec() };
+    let cycles = cycles_override.unwrap_or(if smoke { SMOKE_CYCLES } else { FULL_CYCLES });
+    let gpu = GpuConfig::small();
+
+    eprintln!(
+        "[perf] {} matrix: {} workloads x {} schemes, {} cycles each, seed {:#x}",
+        if smoke { "smoke" } else { "full" },
+        benches.len(),
+        schemes(smoke).len(),
+        cycles,
+        DEFAULT_SEED,
+    );
+
+    let mut rows: Vec<RunRow> = Vec::new();
+    let total_start = Instant::now();
+    for bench in &benches {
+        for scheme in schemes(smoke) {
+            let kernel = suite::by_name(bench).unwrap_or_else(|| {
+                eprintln!("[perf] unknown benchmark {bench}");
+                std::process::exit(2);
+            });
+            let backend = match scheme {
+                SecurityScheme::Baseline => BackendChoice::Baseline,
+                s => BackendChoice::Secure(SecureMemConfig::with_scheme(s)),
+            };
+            let job = Job {
+                kernel,
+                gpu: gpu.clone(),
+                backend,
+                cycles,
+                warmup: 0,
+                label: scheme.label().to_string(),
+                telemetry: None,
+                telemetry_out: None,
+            };
+            let start = Instant::now();
+            let result = run_job(&job);
+            let wall = start.elapsed();
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            let sim_cycles = result.report.cycles;
+            let cycles_per_sec =
+                if wall.as_secs_f64() > 0.0 { sim_cycles as f64 / wall.as_secs_f64() } else { 0.0 };
+            let report_fp = fingerprint(&format!("{:?}", result.report));
+            eprintln!(
+                "[perf] {bench:>14} {:>13}  {sim_cycles:>7} cyc  {wall_ms:>9.2} ms  {:>11.0} cyc/s  fp {report_fp:016x}",
+                scheme.label(),
+                cycles_per_sec,
+            );
+            rows.push(RunRow {
+                bench: (*bench).to_string(),
+                scheme: scheme.label(),
+                sim_cycles,
+                wall_ms,
+                cycles_per_sec,
+                report_fp,
+            });
+        }
+    }
+    let total_wall = total_start.elapsed().as_secs_f64();
+    let total_cycles: u64 = rows.iter().map(|r| r.sim_cycles).sum();
+    let aggregate = if total_wall > 0.0 { total_cycles as f64 / total_wall } else { 0.0 };
+    eprintln!(
+        "[perf] total: {total_cycles} simulated cycles in {:.2} s = {aggregate:.0} cycles/sec",
+        total_wall,
+    );
+
+    let json = to_json(&rows, smoke, cycles, total_wall, aggregate);
+    if let Err(err) = std::fs::write(&out_path, &json) {
+        eprintln!("[perf] failed to write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("[perf] wrote {out_path}");
+}
+
+fn to_json(rows: &[RunRow], smoke: bool, cycles: u64, total_wall_s: f64, aggregate: f64) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"simperf-v1\",");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(out, "  \"gpu\": \"small\",");
+    let _ = writeln!(out, "  \"seed\": {DEFAULT_SEED},");
+    let _ = writeln!(out, "  \"cycles_per_run\": {cycles},");
+    let _ = writeln!(out, "  \"total_wall_seconds\": {total_wall_s:.6},");
+    let _ = writeln!(out, "  \"aggregate_cycles_per_sec\": {aggregate:.1},");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"sim_cycles\": {}, \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}, \"report_fp\": \"{:016x}\"}}",
+            r.bench, r.scheme, r.sim_cycles, r.wall_ms, r.cycles_per_sec, r.report_fp
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: perf [--smoke] [--cycles N] [--out PATH]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -190,6 +190,56 @@ fn run_experiment(exp: &str, opts: &ExpOpts, baselines: Option<&Baselines>) -> R
     })
 }
 
+/// Applies `--resume`: experiments whose CSV already exists are dropped
+/// from `todo`.
+///
+/// When the current invocation also requests trace files (`--trace-out`),
+/// a CSV alone does not prove the traces are current: the prior
+/// (interrupted) run may have produced them under different telemetry
+/// options, or not at all. An experiment with a CSV but an empty trace
+/// directory is rerun so its traces get regenerated; one whose trace
+/// directory already holds `.trace.json` files is still skipped, but with
+/// a warning that those files are carried over from the prior run rather
+/// than silently passing them off as this run's output.
+fn apply_resume(todo: &mut Vec<String>, csv_dir: &std::path::Path, trace_dir: Option<&std::path::Path>) {
+    let has_traces = trace_dir.map(|tdir| {
+        std::fs::read_dir(tdir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .any(|e| e.file_name().to_string_lossy().ends_with(".trace.json"))
+            })
+            .unwrap_or(false)
+    });
+    todo.retain(|exp| {
+        if !csv_dir.join(format!("{exp}.csv")).exists() {
+            return true;
+        }
+        match (trace_dir, has_traces) {
+            (Some(tdir), Some(false)) => {
+                eprintln!(
+                    "[reproduce] {exp}: CSV present but no trace files in {}; \
+                     rerunning to regenerate them (--resume)",
+                    tdir.display()
+                );
+                true
+            }
+            (Some(tdir), _) => {
+                eprintln!(
+                    "[reproduce] {exp}: CSV already present, skipping (--resume); \
+                     warning: trace files in {} are from the prior run",
+                    tdir.display()
+                );
+                false
+            }
+            _ => {
+                eprintln!("[reproduce] {exp}: CSV already present, skipping (--resume)");
+                false
+            }
+        }
+    });
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -214,13 +264,7 @@ fn main() {
     // one per experiment, as each finishes).
     if args.resume {
         let dir = args.csv_dir.as_ref().expect("checked in parse_args");
-        todo.retain(|exp| {
-            let done = dir.join(format!("{exp}.csv")).exists();
-            if done {
-                eprintln!("[reproduce] {exp}: CSV already present, skipping (--resume)");
-            }
-            !done
-        });
+        apply_resume(&mut todo, dir, args.opts.trace_dir.as_deref());
         if todo.is_empty() {
             eprintln!("[reproduce] nothing to do: all requested experiments already have CSVs");
             return;
@@ -274,5 +318,56 @@ fn main() {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::apply_resume;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("reproduce_resume_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn resume_skips_only_experiments_with_csv() {
+        let dir = scratch("csv_only");
+        fs::write(dir.join("fig3.csv"), "x").expect("write csv");
+        let mut todo = vec!["fig3".to_string(), "fig4".to_string()];
+        apply_resume(&mut todo, &dir, None);
+        assert_eq!(todo, vec!["fig4".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_reruns_when_traces_requested_but_absent() {
+        let dir = scratch("no_traces");
+        let tdir = dir.join("traces");
+        fs::create_dir_all(&tdir).expect("create trace dir");
+        fs::write(dir.join("fig3.csv"), "x").expect("write csv");
+        let mut todo = vec!["fig3".to_string()];
+        // The CSV exists but the prior run left no trace files: the
+        // experiment must rerun so the traces get regenerated.
+        apply_resume(&mut todo, &dir, Some(&tdir));
+        assert_eq!(todo, vec!["fig3".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_when_prior_traces_exist() {
+        let dir = scratch("with_traces");
+        let tdir = dir.join("traces");
+        fs::create_dir_all(&tdir).expect("create trace dir");
+        fs::write(dir.join("fig3.csv"), "x").expect("write csv");
+        fs::write(tdir.join("nw_baseline.trace.json"), "{}").expect("write trace");
+        let mut todo = vec!["fig3".to_string()];
+        apply_resume(&mut todo, &dir, Some(&tdir));
+        assert!(todo.is_empty(), "carried-over traces still allow the skip (with a warning)");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,82 @@
+//! The determinism guard for the hot-loop performance overhaul
+//! (ISSUE 3): for a fixed seed and configuration, two simulations must
+//! produce byte-identical `SimReport`s — across every security scheme.
+//!
+//! Any optimization that reorders events, drops a stall cycle, or skips a
+//! sample point shows up here as a diff of the serialized report. The
+//! comparison covers both the stable JSON rendering (what experiment
+//! tooling consumes) and the full `Debug` rendering (every field,
+//! including fault statistics and the stall report).
+
+use secmem_bench::json::report_to_json;
+use secmem_bench::{run_job, BackendChoice, Job};
+use secmem_core::{SecureMemConfig, SecurityScheme};
+use secmem_gpusim::config::GpuConfig;
+use secmem_telemetry::TelemetryConfig;
+use secmem_workloads::suite;
+
+const ALL_SCHEMES: [SecurityScheme; 7] = [
+    SecurityScheme::Baseline,
+    SecurityScheme::CtrOnly,
+    SecurityScheme::CtrBmt,
+    SecurityScheme::CtrMacBmt,
+    SecurityScheme::Direct,
+    SecurityScheme::DirectMac,
+    SecurityScheme::DirectMacMt,
+];
+
+fn job_for(scheme: SecurityScheme, warmup: u64, telemetry: bool) -> Job {
+    let backend = match scheme {
+        SecurityScheme::Baseline => BackendChoice::Baseline,
+        s => BackendChoice::Secure(SecureMemConfig::with_scheme(s)),
+    };
+    Job {
+        kernel: suite::by_name("fdtd2d").expect("suite workload"),
+        gpu: GpuConfig::small(),
+        backend,
+        cycles: 6_000,
+        warmup,
+        label: scheme.label().to_string(),
+        telemetry: telemetry.then(|| TelemetryConfig { sample_interval: 512, ..TelemetryConfig::default() }),
+        telemetry_out: None,
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs_for_all_schemes() {
+    let gpu = GpuConfig::small();
+    for scheme in ALL_SCHEMES {
+        let a = run_job(&job_for(scheme, 0, false));
+        let b = run_job(&job_for(scheme, 0, false));
+        assert!(a.report.cycles > 0, "{scheme:?}: run must simulate");
+        assert_eq!(
+            report_to_json(&a.report, &gpu),
+            report_to_json(&b.report, &gpu),
+            "{scheme:?}: JSON report differs between identical runs"
+        );
+        assert_eq!(
+            format!("{:?}", a.report),
+            format!("{:?}", b.report),
+            "{scheme:?}: Debug report differs between identical runs"
+        );
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_with_warmup_and_telemetry() {
+    // Warmup exercises the reset path; telemetry exercises the sampler.
+    // Both must stay deterministic too (enabled telemetry must not
+    // perturb timing, and the sampler must fire at identical cycles).
+    for scheme in [SecurityScheme::Baseline, SecurityScheme::CtrMacBmt] {
+        let a = run_job(&job_for(scheme, 1_000, true));
+        let b = run_job(&job_for(scheme, 1_000, true));
+        assert_eq!(
+            format!("{:?}", a.report),
+            format!("{:?}", b.report),
+            "{scheme:?}: report differs with warmup+telemetry"
+        );
+        let sa = a.telemetry.expect("telemetry enabled");
+        let sb = b.telemetry.expect("telemetry enabled");
+        assert_eq!(sa, sb, "{scheme:?}: telemetry snapshot differs between identical runs");
+    }
+}

@@ -22,12 +22,13 @@
 //!   exposed only when the counter itself missed.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use secmem_gpusim::backend::MemoryBackend;
 use secmem_gpusim::config::AddressMap;
 use secmem_gpusim::dram::{Dram, DramRequest, DramStats};
 use secmem_gpusim::fault::{FaultEvent, FaultInjector, FaultKind, FaultStats};
+use secmem_gpusim::hash::FastHashMap;
 use secmem_gpusim::reuse::ReuseProfiler;
 use secmem_gpusim::stats::EngineStats;
 use secmem_gpusim::types::{Addr, BackendReq, Cycle, TrafficClass, LINE_SIZE};
@@ -109,8 +110,8 @@ pub struct SecureBackend {
     mdcache: MetadataCaches<MdWaiter>,
     aes: AesEngineBank,
     mac_unit: MacUnit,
-    read_txns: HashMap<u32, ReadTxn>,
-    write_txns: HashMap<u32, WriteTxn>,
+    read_txns: FastHashMap<u32, ReadTxn>,
+    write_txns: FastHashMap<u32, WriteTxn>,
     next_txn: u32,
     completing: BinaryHeap<Reverse<(Cycle, u32)>>,
     ready_responses: VecDeque<BackendReq>,
@@ -118,7 +119,7 @@ pub struct SecureBackend {
     retries: VecDeque<RetryOp>,
     profilers: Option<Box<[ReuseProfiler; 3]>>,
     /// Minor-counter write counts per protected local line (overflow model).
-    minor_writes: HashMap<Addr, u8>,
+    minor_writes: FastHashMap<Addr, u8>,
     /// Major-counter overflows observed (chunk re-encryptions).
     pub counter_overflows: u64,
     decrypt_waited_on_counter: u64,
@@ -189,15 +190,15 @@ impl SecureBackend {
             mdcache: MetadataCaches::new(&cfg),
             aes,
             mac_unit: MacUnit::new(cfg.effective_mac_latency()),
-            read_txns: HashMap::new(),
-            write_txns: HashMap::new(),
+            read_txns: FastHashMap::default(),
+            write_txns: FastHashMap::default(),
             next_txn: 0,
             completing: BinaryHeap::new(),
             ready_responses: VecDeque::new(),
             pending_dram: VecDeque::new(),
             retries: VecDeque::new(),
             profilers: cfg.profile_reuse.then(Default::default),
-            minor_writes: HashMap::new(),
+            minor_writes: FastHashMap::default(),
             counter_overflows: 0,
             decrypt_waited_on_counter: 0,
             tree_verifications: 0,
@@ -785,6 +786,38 @@ impl MemoryBackend for SecureBackend {
             && self.retries.is_empty()
             && self.ready_responses.is_empty()
             && self.dram.is_idle()
+    }
+
+    fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        // Every merge below clamps to `now`, so any immediate event
+        // short-circuits: nothing can beat `now`.
+        if !self.ready_responses.is_empty() || !self.retries.is_empty() {
+            return Some(now);
+        }
+        // Staged DRAM pushes flush on the next `cycle` call once the
+        // channel has room; when the channel is full, its own service
+        // event covers the slot freeing up.
+        if !self.pending_dram.is_empty() && !self.dram.is_full() {
+            return Some(now);
+        }
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        if let Some(Reverse((ready, _))) = self.completing.peek() {
+            merge((*ready).max(now));
+        }
+        if let Some(c) = self.dram.next_event_cycle(now) {
+            merge(c);
+        }
+        if self.telemetry.is_enabled() {
+            merge(self.next_thrash_check.max(now));
+        }
+        // Anything else still in flight (e.g. transactions parked on
+        // metadata fills) conservatively counts as active now rather
+        // than being skipped over.
+        if next.is_none() && !self.is_idle() {
+            next = Some(now);
+        }
+        next
     }
 }
 

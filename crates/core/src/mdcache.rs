@@ -3,9 +3,8 @@
 //! unified cache (the CPU-style organization), with MSHRs and the
 //! idealization knobs of Table V.
 
-use std::collections::{HashMap, HashSet};
-
 use secmem_gpusim::cache::{Eviction, SectoredCache};
+use secmem_gpusim::hash::{FastHashMap, FastHashSet};
 use secmem_gpusim::mshr::{MshrFile, MshrOutcome};
 use secmem_gpusim::stats::{meta_index, MetadataTypeStats};
 use secmem_gpusim::types::{Addr, TrafficClass, FULL_SECTOR_MASK};
@@ -30,7 +29,7 @@ pub enum MdOutcome {
 #[derive(Debug)]
 enum Store {
     Real(Vec<SectoredCache>),
-    Infinite(HashSet<Addr>),
+    Infinite(FastHashSet<Addr>),
     Perfect,
 }
 
@@ -46,7 +45,7 @@ pub struct MetadataCaches<T> {
     mshrs: Vec<MshrFile<T>>,
     mshr_enabled: bool,
     /// Waiter lists for the no-MSHR mode: one DRAM fetch per waiter.
-    private_waiters: HashMap<Addr, Vec<T>>,
+    private_waiters: FastHashMap<Addr, Vec<T>>,
     stats: [MetadataTypeStats; 3],
 }
 
@@ -55,7 +54,7 @@ impl<T> MetadataCaches<T> {
     pub fn new(cfg: &SecureMemConfig) -> Self {
         let (store, num_mshr_files) = match cfg.idealization {
             MdcIdealization::Perfect => (Store::Perfect, 0),
-            MdcIdealization::Infinite => (Store::Infinite(HashSet::new()), 0),
+            MdcIdealization::Infinite => (Store::Infinite(FastHashSet::default()), 0),
             MdcIdealization::Real => match cfg.cache_kind {
                 MetadataCacheKind::Separate => {
                     let sizes = cfg.mdcache_bytes_by_type.unwrap_or([cfg.mdcache_bytes; 3]);
@@ -104,7 +103,7 @@ impl<T> MetadataCaches<T> {
             store,
             mshrs,
             mshr_enabled,
-            private_waiters: HashMap::new(),
+            private_waiters: FastHashMap::default(),
             stats: Default::default(),
         }
     }
@@ -143,7 +142,7 @@ impl<T> MetadataCaches<T> {
                         s.mshr.secondary += 1;
                         MdOutcome::Merged
                     }
-                    MshrOutcome::Full => {
+                    MshrOutcome::Full(_) => {
                         s.mshr.stalls += 1;
                         MdOutcome::Stall
                     }
@@ -173,7 +172,7 @@ impl<T> MetadataCaches<T> {
                                     s.mshr.secondary += 1;
                                     MdOutcome::Merged
                                 }
-                                MshrOutcome::Full => {
+                                MshrOutcome::Full(_) => {
                                     s.mshr.stalls += 1;
                                     MdOutcome::Stall
                                 }

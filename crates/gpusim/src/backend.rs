@@ -56,6 +56,18 @@ pub trait MemoryBackend {
     }
     /// True when no work is pending anywhere in the backend.
     fn is_idle(&self) -> bool;
+    /// Earliest cycle at or after `now` at which this backend can make
+    /// progress, or `None` when idle. The conservative default ("active
+    /// now whenever not idle") is always correct; backends with precise
+    /// event knowledge override it so the idle-skip scheduler can
+    /// fast-forward quiescent gaps.
+    fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_idle() {
+            None
+        } else {
+            Some(now)
+        }
+    }
     /// Resets statistics (state preserved) — used to discard warmup.
     fn reset_stats(&mut self);
     /// Attaches a telemetry sink stamped with this backend's partition
@@ -218,6 +230,13 @@ impl MemoryBackend for PassthroughBackend {
 
     fn is_idle(&self) -> bool {
         self.dram.is_idle() && self.ready.is_empty()
+    }
+
+    fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        if !self.ready.is_empty() {
+            return Some(now);
+        }
+        self.dram.next_event_cycle(now)
     }
 
     fn reset_stats(&mut self) {

@@ -88,6 +88,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Sector-granularity accesses that missed (line or sector).
     pub misses: u64,
+    /// Fill operations (allocations and merges into resident lines).
+    pub fills: u64,
     /// Evictions with at least one dirty sector.
     pub dirty_evictions: u64,
     /// Total evictions of valid lines.
@@ -255,6 +257,7 @@ impl SectoredCache {
     pub fn fill(&mut self, line_addr: Addr, sectors: SectorMask, dirty: SectorMask) -> Option<Eviction> {
         assert!(sectors.contains(dirty), "dirty sectors must be filled");
         self.tick += 1;
+        self.stats.fills += 1;
         let tick = self.tick;
         let ways = self.ways(line_addr);
 

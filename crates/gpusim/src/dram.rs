@@ -345,6 +345,28 @@ impl<T> Dram<T> {
         self.queue.is_empty() && self.inflight.is_empty() && self.ready.is_empty()
     }
 
+    /// Earliest cycle at or after `now` at which this channel can make
+    /// progress: hand over a ready completion, start servicing the queue
+    /// head (the first cycle `c` with `next_free_fp < (c+1)*FP`), or
+    /// retire an in-flight request. `None` when idle. Used by the
+    /// idle-skip scheduler.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        // Every merge below clamps to `now`, so a ready completion
+        // short-circuits: nothing can beat `now`.
+        if !self.ready.is_empty() {
+            return Some(now);
+        }
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| next = Some(next.map_or(c, |n| n.min(c)));
+        if !self.queue.is_empty() {
+            merge((self.next_free_fp / FP).max(now));
+        }
+        if let Some(Reverse((done_at, _))) = self.inflight.peek() {
+            merge((*done_at).max(now));
+        }
+        next
+    }
+
     /// Number of queued (not yet serviced) requests.
     pub fn queue_len(&self) -> usize {
         self.queue.len()

@@ -1,0 +1,117 @@
+//! A fast, deterministic hasher for simulator-internal maps keyed by
+//! small integers (line addresses, transaction ids).
+//!
+//! `std`'s default SipHash is DoS-resistant but costs tens of cycles per
+//! lookup, which shows up in the hot transaction-tracking maps of the
+//! secure-memory engine. Simulator state is never keyed by untrusted
+//! input, so the Fx-style multiply hash (as used by rustc) is safe here
+//! and keeps iteration order deterministic for a given insertion order —
+//! unlike `RandomState`, it has no per-process seed, which also removes a
+//! source of run-to-run variation for anything that iterates a map.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Fx-style multiply hasher. Not DoS-resistant; use only for internal
+/// keys (integers, small tuples of integers).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 128, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 128)), Some(&(i as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FxHasher> = Default::default();
+        let h1 = b.hash_one(0xdead_beefu64);
+        let h2 = b.hash_one(0xdead_beefu64);
+        assert_eq!(h1, h2);
+        assert_ne!(b.hash_one(1u64), b.hash_one(2u64));
+    }
+
+    #[test]
+    fn byte_writes_cover_tail() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -84,6 +84,12 @@ impl<T> DelayQueue<T> {
         }
     }
 
+    /// The cycle at which the front element becomes visible, if any.
+    /// Used by the idle-skip scheduler to find the next delivery event.
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.q.front().map(|(ready, _)| *ready)
+    }
+
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.q.len()
@@ -155,6 +161,20 @@ impl Interconnect {
     /// True when no messages are anywhere in the network.
     pub fn is_idle(&self) -> bool {
         self.to_partition.iter().all(DelayQueue::is_empty) && self.to_sm.iter().all(DelayQueue::is_empty)
+    }
+
+    /// Earliest cycle at or after `now` at which any queued message can be
+    /// delivered; `None` when the network is empty. Used by the idle-skip
+    /// scheduler.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        for q in self.to_partition.iter().chain(self.to_sm.iter()) {
+            if let Some(r) = q.next_ready_at() {
+                let c = r.max(now);
+                next = Some(next.map_or(c, |n| n.min(c)));
+            }
+        }
+        next
     }
 
     /// Per-partition request-queue occupancy (stall diagnostics).

@@ -51,6 +51,7 @@ pub mod config;
 pub mod dram;
 pub mod error;
 pub mod fault;
+pub mod hash;
 pub mod icnt;
 pub mod kernel;
 pub mod mshr;

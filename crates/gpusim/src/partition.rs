@@ -8,7 +8,7 @@
 //! backend as four separate accesses — the effect that makes metadata-cache
 //! MSHRs essential (§V-B of the paper).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::backend::MemoryBackend;
 use crate::cache::{CacheStats, Probe, SectoredCache, WriteOutcome};
@@ -21,7 +21,6 @@ use crate::types::{AccessKind, Addr, BackendReq, Cycle, MemRequest, SectorMask};
 struct L2Bank {
     cache: SectoredCache,
     mshrs: MshrFile<MemRequest>,
-    filled: HashMap<Addr, SectorMask>,
     hit_delay: DelayQueue<MemRequest>,
 }
 
@@ -30,7 +29,6 @@ impl L2Bank {
         Self {
             cache: SectoredCache::new(cfg.l2_bytes_per_bank, cfg.l2_assoc),
             mshrs: MshrFile::new(cfg.l2_mshrs as usize, cfg.l2_mshr_merge as usize),
-            filled: HashMap::new(),
             hit_delay: DelayQueue::new(cfg.l2_latency, 4, usize::MAX),
         }
     }
@@ -104,6 +102,7 @@ impl<B: MemoryBackend> MemPartition<B> {
             let s = b.cache.stats();
             total.hits += s.hits;
             total.misses += s.misses;
+            total.fills += s.fills;
             total.evictions += s.evictions;
             total.dirty_evictions += s.dirty_evictions;
         }
@@ -126,9 +125,10 @@ impl<B: MemoryBackend> MemPartition<B> {
         self.map.bank_of(addr, self.banks.len() as u32) as usize
     }
 
-    /// Attempts to consume one incoming request. Returns `false` when the
-    /// request must stay queued (resource stall).
-    fn try_accept(&mut self, now: Cycle, req: &MemRequest) -> bool {
+    /// Attempts to consume one incoming request, taking ownership so the
+    /// accept path never clones. On a resource stall the request is handed
+    /// back in `Err` and must stay queued.
+    fn try_accept(&mut self, now: Cycle, req: MemRequest) -> Result<(), MemRequest> {
         let bank_idx = self.bank_index(req.line_addr);
         match req.kind {
             AccessKind::Load => {
@@ -138,25 +138,39 @@ impl<B: MemoryBackend> MemPartition<B> {
                         let bank = &mut self.banks[bank_idx];
                         let _ = bank.cache.probe(req.line_addr, req.sectors);
                         bank.hit_delay
-                            .try_push(now, req.clone())
+                            .try_push(now, req)
                             .unwrap_or_else(|_| unreachable!("hit queue unbounded"));
-                        return true;
+                        return Ok(());
                     }
                     Probe::PartialMiss(m) => m,
                     Probe::Miss => req.sectors,
                 };
                 if !self.backend.can_accept_read() {
-                    return false;
+                    return Err(req);
                 }
                 let bank = &mut self.banks[bank_idx];
-                let outcome = bank.mshrs.access(req.line_addr, missing, req.clone());
-                match outcome {
-                    MshrOutcome::Allocated | MshrOutcome::MergedNewSectors(_) => {
+                #[cfg(debug_assertions)]
+                if let Some(targets) = bank.mshrs.targets(req.line_addr) {
+                    debug_assert!(
+                        targets.iter().all(|t| t.id != req.id),
+                        "request id {} is already in flight in an L2 MSHR entry",
+                        req.id
+                    );
+                }
+                let line_addr = req.line_addr;
+                let sectors = req.sectors;
+                match bank.mshrs.access(line_addr, missing, req) {
+                    MshrOutcome::Full(req) => Err(req),
+                    MshrOutcome::Merged => {
+                        let _ = bank.cache.probe(line_addr, sectors);
+                        Ok(())
+                    }
+                    outcome => {
                         let to_fetch = match outcome {
                             MshrOutcome::MergedNewSectors(m) => m,
                             _ => missing,
                         };
-                        let _ = bank.cache.probe(req.line_addr, req.sectors);
+                        let _ = bank.cache.probe(line_addr, sectors);
                         // The L2 is sectored: each missing 32 B sector goes
                         // to the memory side as its own request (this is
                         // what produces the 1-primary + N-secondary
@@ -167,31 +181,26 @@ impl<B: MemoryBackend> MemPartition<B> {
                                 now,
                                 BackendReq {
                                     id,
-                                    line_addr: req.line_addr,
+                                    line_addr,
                                     sectors: SectorMask::single(sector),
                                     bank: bank_idx as u32,
                                 },
                             );
                         }
-                        true
+                        Ok(())
                     }
-                    MshrOutcome::Merged => {
-                        let _ = bank.cache.probe(req.line_addr, req.sectors);
-                        true
-                    }
-                    MshrOutcome::Full => false,
                 }
             }
             AccessKind::Store => {
                 let bank = &mut self.banks[bank_idx];
                 match bank.cache.write(req.line_addr, req.sectors) {
-                    WriteOutcome::Hit => true,
+                    WriteOutcome::Hit => Ok(()),
                     WriteOutcome::Miss => {
                         // Write-validate: install the sectors dirty without
                         // fetching, possibly evicting a dirty victim into
                         // the writeback buffer.
                         if self.wb_buffer.len() >= self.wb_cap {
-                            return false;
+                            return Err(req);
                         }
                         let evicted =
                             self.banks[bank_idx].cache.fill(req.line_addr, req.sectors, req.sectors);
@@ -206,7 +215,7 @@ impl<B: MemoryBackend> MemPartition<B> {
                                 });
                             }
                         }
-                        true
+                        Ok(())
                     }
                 }
             }
@@ -241,12 +250,8 @@ impl<B: MemoryBackend> MemPartition<B> {
         self.backend.cycle(now);
 
         // 2. Writebacks get first claim on backend write slots.
-        while let Some(wb) = self.wb_buffer.front() {
-            if !self.backend.can_accept_write() {
-                break;
-            }
-            let wb = wb.clone();
-            self.wb_buffer.pop_front();
+        while self.backend.can_accept_write() {
+            let Some(wb) = self.wb_buffer.pop_front() else { break };
             self.backend.submit_write(now, wb);
         }
 
@@ -257,12 +262,12 @@ impl<B: MemoryBackend> MemPartition<B> {
             self.apply_fill(&fill);
         }
 
-        // 4. Accept as many incoming requests as resources allow.
+        // 4. Accept as many incoming requests as resources allow; a
+        //    rejected request goes back to the queue head untouched.
         for _ in 0..self.accept_per_cycle {
-            let Some(req) = self.input.front().cloned() else { break };
-            if self.try_accept(now, &req) {
-                self.input.pop_front();
-            } else {
+            let Some(req) = self.input.pop_front() else { break };
+            if let Err(req) = self.try_accept(now, req) {
+                self.input.push_front(req);
                 break;
             }
         }
@@ -292,18 +297,40 @@ impl<B: MemoryBackend> MemPartition<B> {
                 });
             }
         }
+        // Fill progress is tracked inside the MSHR entry itself; a
+        // completed entry drains its merged targets straight into the
+        // response list without any intermediate allocation.
         let bank = &mut self.banks[bank_idx];
-        let entry = bank.filled.entry(fill.line_addr).or_insert(SectorMask::EMPTY);
-        *entry = entry.union(fill.sectors);
-        if let Some(requested) = bank.mshrs.requested(fill.line_addr) {
-            if bank.filled[&fill.line_addr].contains(requested) {
-                let (_, targets) = bank.mshrs.complete(fill.line_addr).expect("entry exists");
-                bank.filled.remove(&fill.line_addr);
-                self.responses.extend(targets);
-            }
-        } else {
-            bank.filled.remove(&fill.line_addr);
+        let _ = bank.mshrs.note_fill(fill.line_addr, fill.sectors, &mut self.responses);
+    }
+
+    /// Earliest cycle at or after `now` at which this partition can make
+    /// progress: staged input or pending responses (immediate), a
+    /// writeback the backend can take, an L2 hit completing its latency,
+    /// or any backend/DRAM event. `None` when fully drained. Used by the
+    /// idle-skip scheduler. A writeback stalled on a full backend is
+    /// covered by the backend's own next event (the cycle a queue slot
+    /// frees).
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        // Every merge below clamps to `now`, so any immediate event
+        // short-circuits: nothing can beat `now`.
+        if !self.input.is_empty() || !self.responses.is_empty() {
+            return Some(now);
         }
+        if !self.wb_buffer.is_empty() && self.backend.can_accept_write() {
+            return Some(now);
+        }
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        for bank in &self.banks {
+            if let Some(r) = bank.hit_delay.next_ready_at() {
+                merge(r.max(now));
+            }
+        }
+        if let Some(c) = self.backend.next_event_cycle(now) {
+            merge(c);
+        }
+        next
     }
 
     /// True when no work remains anywhere in the partition.

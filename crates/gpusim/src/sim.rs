@@ -179,15 +179,14 @@ impl<B: MemoryBackend> Simulator<B> {
         // 2. SMs issue and dispatch; requests go onto the interconnect.
         let mut out = SmOutput::default();
         for (i, sm) in self.sms.iter_mut().enumerate() {
-            // Retry requests that could not be placed last cycle.
+            // Retry requests that could not be placed last cycle; a
+            // rejected request goes back to the queue head untouched.
             let overflow = &mut self.overflow[i];
-            while let Some(req) = overflow.front().cloned() {
+            while let Some(req) = overflow.pop_front() {
                 let p = self.map.partition_of(req.line_addr);
-                match self.icnt.push_request(now, p, req) {
-                    Ok(()) => {
-                        overflow.pop_front();
-                    }
-                    Err(_) => break,
+                if let Err(req) = self.icnt.push_request(now, p, req) {
+                    overflow.push_front(req);
+                    break;
                 }
             }
             let room = if overflow.is_empty() { self.cfg.l1_ports as usize } else { 0 };
@@ -208,6 +207,12 @@ impl<B: MemoryBackend> Simulator<B> {
                 let Some(req) = self.icnt.pop_request(now, id) else { break };
                 part.input.push_back(req);
             }
+            // A partition with no event due this cycle would run a no-op
+            // `cycle` (same event model `advance_idle` skips whole steps
+            // on); responses only ever appear as a result of `cycle`.
+            if part.next_event_cycle(now) != Some(now) {
+                continue;
+            }
             part.cycle(now);
             for resp in part.responses.drain(..) {
                 if let Some(warp) = resp.warp {
@@ -217,6 +222,62 @@ impl<B: MemoryBackend> Simulator<B> {
         }
 
         self.now += 1;
+        self.maybe_sample();
+    }
+
+    /// Earliest cycle at or after `now` at which any component can make
+    /// progress, or `None` when every component is event-less (drained,
+    /// or deadlocked waiting on responses that will never come).
+    fn next_activity_cycle(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        if self.overflow.iter().any(|q| !q.is_empty()) {
+            merge(now);
+        }
+        for sm in &self.sms {
+            if let Some(c) = sm.next_event_cycle(now) {
+                merge(c);
+            }
+        }
+        if let Some(c) = self.icnt.next_event_cycle(now) {
+            merge(c);
+        }
+        for p in &self.partitions {
+            if let Some(c) = p.next_event_cycle(now) {
+                merge(c);
+            }
+        }
+        next
+    }
+
+    /// Fast-forwards over a quiescent gap: jumps `now` to the next cycle
+    /// at which any component has an event, capped at `limit` (and at the
+    /// sampler's next due cycle, so time series keep their cadence).
+    ///
+    /// Correctness contract: every skipped cycle is one where [`Simulator::step`]
+    /// would have changed no state other than memory-stall accounting,
+    /// which [`Sm::account_idle_stall`] replays exactly. When no component
+    /// reports an event while work is still outstanding (a true deadlock,
+    /// e.g. under fault injection), the jump proceeds to `limit` so the
+    /// watchdog observes the identical stall window.
+    fn advance_idle(&mut self, limit: Cycle) {
+        let mut target = match self.next_activity_cycle() {
+            Some(c) => c.min(limit),
+            None => limit,
+        };
+        if let Some(s) = &self.sampler {
+            target = target.min(s.next_at);
+        }
+        if target <= self.now {
+            return;
+        }
+        let gap = target - self.now;
+        let now = self.now;
+        for sm in &mut self.sms {
+            sm.account_idle_stall(now, gap);
+        }
+        self.now = target;
         self.maybe_sample();
     }
 
@@ -377,25 +438,34 @@ impl<B: MemoryBackend> Simulator<B> {
             if self.finished() {
                 break;
             }
-            if window > 0 {
-                let sig = self.progress_signature();
-                if sig != last_sig {
-                    last_sig = sig;
-                    last_progress = self.now;
-                } else if self.now - last_progress >= window {
-                    let stall = self.stall_report(self.now - last_progress);
-                    self.stall = Some(stall.clone());
-                    if self.telemetry.is_enabled() {
-                        self.telemetry.record_event(TelemetryEvent {
-                            cycle: self.now,
-                            kind: EventKind::Stall { detail: stall.to_string() },
-                        });
-                    }
-                    self.final_sample();
-                    self.phase_event(false, "run");
-                    return Err(Box::new(SimError::Stalled(stall)));
-                }
+            let sig = self.progress_signature();
+            if sig != last_sig {
+                last_sig = sig;
+                last_progress = self.now;
+                continue;
             }
+            if window > 0 && self.now - last_progress >= window {
+                let stall = self.stall_report(self.now - last_progress);
+                self.stall = Some(stall.clone());
+                if self.telemetry.is_enabled() {
+                    self.telemetry.record_event(TelemetryEvent {
+                        cycle: self.now,
+                        kind: EventKind::Stall { detail: stall.to_string() },
+                    });
+                }
+                self.final_sample();
+                self.phase_event(false, "run");
+                return Err(Box::new(SimError::Stalled(stall)));
+            }
+            // Idle-skip: the cycle made no externally visible progress, so
+            // fast-forward to the next component event. The cap keeps the
+            // watchdog honest — the next real step still lands exactly on
+            // the cycle where `now - last_progress == window`.
+            let mut limit = max_cycles;
+            if window > 0 {
+                limit = limit.min(last_progress + window - 1);
+            }
+            self.advance_idle(limit);
         }
         self.final_sample();
         self.phase_event(false, "run");
@@ -411,11 +481,18 @@ impl<B: MemoryBackend> Simulator<B> {
     /// interpreted.
     pub fn run_with_warmup(&mut self, warmup: Cycle, max_cycles: Cycle) -> SimReport {
         self.phase_event(true, "warmup");
+        let mut last_sig = self.progress_signature();
         while self.now < warmup {
             self.step();
             if self.finished() {
                 break;
             }
+            let sig = self.progress_signature();
+            if sig != last_sig {
+                last_sig = sig;
+                continue;
+            }
+            self.advance_idle(warmup);
         }
         let truncated = self.now < warmup || self.finished();
         self.phase_event(false, "warmup");
@@ -510,6 +587,7 @@ impl<B: MemoryBackend> Simulator<B> {
             let l1 = sm.l1_stats();
             report.l1.hits += l1.hits;
             report.l1.misses += l1.misses;
+            report.l1.fills += l1.fills;
             report.l1.evictions += l1.evictions;
             report.l1.dirty_evictions += l1.dirty_evictions;
         }
@@ -517,6 +595,7 @@ impl<B: MemoryBackend> Simulator<B> {
             let l2 = part.l2_stats();
             report.l2.hits += l2.hits;
             report.l2.misses += l2.misses;
+            report.l2.fills += l2.fills;
             report.l2.evictions += l2.evictions;
             report.l2.dirty_evictions += l2.dirty_evictions;
             let m = part.l2_mshr_stats();

@@ -14,7 +14,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::cache::{Probe, SectoredCache};
 use crate::config::{GpuConfig, SchedulerPolicy};
 use crate::kernel::WarpProgram;
-use crate::mshr::{MshrFile, MshrOutcome};
+use crate::mshr::{FillOutcome, MshrFile, MshrOutcome};
 use crate::types::{Access, AccessKind, Cycle, Inst, MemRequest, SectorMask, WarpRef};
 
 /// Maximum occupancy of the access dispatch queue before instruction
@@ -75,9 +75,18 @@ pub struct Sm {
     warps: Vec<WarpSlot>,
     l1: SectoredCache,
     l1_mshrs: MshrFile<u32>,
-    filled: std::collections::HashMap<u64, SectorMask>,
+    /// Scratch for draining completed MSHR targets (reused every fill).
+    fill_targets: Vec<u32>,
     dispatch: VecDeque<PendingAccess>,
     hit_returns: BinaryHeap<Reverse<(Cycle, u32)>>,
+    /// Scratch issue bitmap (reused every cycle).
+    issued_scratch: Vec<bool>,
+    /// Cached no-issue verdict: while `now < issue_idle_until` the issue
+    /// scan is guaranteed to pick nothing, so it is skipped (with the
+    /// memory-stall counter still advancing when `issue_idle_blocked`).
+    /// Any event that could unblock a warp resets this to 0.
+    issue_idle_until: Cycle,
+    issue_idle_blocked: bool,
     last_issued: u32,
     next_req_id: u64,
     /// Warp instructions issued.
@@ -104,9 +113,12 @@ impl Sm {
             warps,
             l1: SectoredCache::new(cfg.l1_bytes, cfg.l1_assoc),
             l1_mshrs: MshrFile::new(cfg.l1_mshrs as usize, cfg.l1_mshr_merge as usize),
-            filled: std::collections::HashMap::new(),
+            fill_targets: Vec::new(),
             dispatch: VecDeque::new(),
             hit_returns: BinaryHeap::new(),
+            issued_scratch: Vec::new(),
+            issue_idle_until: 0,
+            issue_idle_blocked: false,
             last_issued: 0,
             next_req_id: (id as u64) << 40,
             instructions: 0,
@@ -155,24 +167,95 @@ impl Sm {
 
     /// Delivers a memory response (an L2/engine fill) to this SM.
     pub fn on_response(&mut self, resp: &MemRequest) {
+        self.issue_idle_until = 0;
         let line = resp.line_addr;
-        let filled = self.filled.entry(line).or_insert(SectorMask::EMPTY);
-        *filled = filled.union(resp.sectors);
-        let Some(requested) = self.l1_mshrs.requested(line) else {
-            // No waiter (e.g. the entry was satisfied already).
-            self.l1.fill(line, resp.sectors, SectorMask::EMPTY);
-            self.filled.remove(&line);
-            return;
-        };
-        if self.filled[&line].contains(requested) {
-            let (sectors, targets) = self.l1_mshrs.complete(line).expect("entry exists");
-            self.l1.fill(line, sectors, SectorMask::EMPTY);
-            self.filled.remove(&line);
-            for warp in targets {
-                let slot = &mut self.warps[warp as usize];
-                debug_assert!(slot.outstanding > 0);
-                slot.outstanding = slot.outstanding.saturating_sub(1);
+        self.fill_targets.clear();
+        match self.l1_mshrs.note_fill(line, resp.sectors, &mut self.fill_targets) {
+            FillOutcome::Untracked => {
+                // No waiter (e.g. the entry was satisfied already).
+                self.l1.fill(line, resp.sectors, SectorMask::EMPTY);
             }
+            FillOutcome::Partial => {}
+            FillOutcome::Complete(sectors) => {
+                // Fill exactly the sectors the entry requested, as before.
+                self.l1.fill(line, sectors, SectorMask::EMPTY);
+                for &warp in &self.fill_targets {
+                    let slot = &mut self.warps[warp as usize];
+                    debug_assert!(slot.outstanding > 0);
+                    slot.outstanding = slot.outstanding.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// True when the warp's fetched instruction cannot issue until an
+    /// outstanding memory response returns (the `BlockedOnMem` cases of
+    /// [`Sm::issuable`], evaluated without side effects).
+    fn warp_mem_blocked(&self, w: &WarpSlot) -> bool {
+        match w.next.as_ref() {
+            Some(Inst::Alu { wait_mem, .. }) => *wait_mem && w.outstanding > 0,
+            Some(Inst::Load { accesses, dependent }) => {
+                w.outstanding > 0
+                    && (*dependent || w.outstanding + accesses.len() as u32 > self.max_outstanding)
+            }
+            _ => false,
+        }
+    }
+
+    /// Earliest cycle at or after `now` at which this SM can make
+    /// progress on its own (dispatch queued accesses, retire an L1 hit,
+    /// or issue a warp instruction). `None` when every warp is finished
+    /// or blocked on memory — external responses re-awaken the SM via
+    /// the interconnect's own events. Used by the idle-skip scheduler.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        if !self.dispatch.is_empty() {
+            merge(now);
+        }
+        if let Some(Reverse((at, _))) = self.hit_returns.peek() {
+            merge((*at).max(now));
+        }
+        if now < self.issue_idle_until {
+            // A valid no-issue verdict already knows the answer: every
+            // ready warp is memory-blocked (no self-contained event) and
+            // the earliest sleeper wakes exactly at `issue_idle_until`.
+            if self.issue_idle_until != Cycle::MAX {
+                merge(self.issue_idle_until);
+            }
+            return next;
+        }
+        for w in &self.warps {
+            if w.finished {
+                continue;
+            }
+            // A memory-blocked warp has no self-contained wakeup time; an
+            // unblocked (or not-yet-fetched) warp acts at `ready_at`.
+            if w.next.is_some() && self.warp_mem_blocked(w) {
+                continue;
+            }
+            merge(w.ready_at.max(now));
+        }
+        next
+    }
+
+    /// Accounts `cycles` fast-forwarded quiescent cycles: a gap cycle in
+    /// which at least one warp waits on memory is a memory-stall cycle,
+    /// exactly as the per-cycle issue loop would have counted it.
+    pub fn account_idle_stall(&mut self, now: Cycle, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        // A valid no-issue verdict was computed with an empty dispatch
+        // queue (a gap cannot open otherwise), so its blocked flag equals
+        // the per-warp predicate below.
+        let blocked = if now < self.issue_idle_until {
+            self.issue_idle_blocked
+        } else {
+            self.warps.iter().any(|w| !w.finished && w.ready_at <= now && self.warp_mem_blocked(w))
+        };
+        if blocked {
+            self.mem_stall_cycles += cycles;
         }
     }
 
@@ -181,7 +264,12 @@ impl Sm {
     /// still take (the SM stops dispatching when it reaches zero).
     pub fn cycle(&mut self, now: Cycle, icnt_room: usize, out: &mut SmOutput) {
         self.drain_hit_returns(now);
+        let before = self.dispatch.len();
         self.dispatch_accesses(now, icnt_room, out);
+        if self.dispatch.len() != before {
+            // Draining the dispatch queue can reopen it for blocked warps.
+            self.issue_idle_until = 0;
+        }
         self.issue(now);
     }
 
@@ -193,6 +281,7 @@ impl Sm {
             self.hit_returns.pop();
             let slot = &mut self.warps[warp as usize];
             slot.outstanding = slot.outstanding.saturating_sub(1);
+            self.issue_idle_until = 0;
         }
     }
 
@@ -244,7 +333,7 @@ impl Sm {
                             let _ = self.l1.probe(pa.access.line_addr, pa.access.sectors);
                             self.dispatch.pop_front();
                         }
-                        MshrOutcome::Full => return,
+                        MshrOutcome::Full(_) => return,
                     }
                 }
                 AccessKind::Store => {
@@ -341,10 +430,20 @@ impl Sm {
         if n == 0 {
             return;
         }
+        if now < self.issue_idle_until {
+            // A previous full scan proved nothing can issue before
+            // `issue_idle_until` absent an unblocking event (which would
+            // have reset it); replay its stall accounting and skip.
+            if self.issue_idle_blocked {
+                self.mem_stall_cycles += 1;
+            }
+            return;
+        }
         let dispatch_open = self.dispatch.len() < DISPATCH_HIGH_WATERMARK;
         let mut issued_any = false;
         let mut blocked_on_mem = false;
-        let mut issued_this_cycle = vec![false; n];
+        self.issued_scratch.clear();
+        self.issued_scratch.resize(n, false);
         for _slot in 0..self.issue_width {
             let mut pick = None;
             // GTO: last issued warp first (greedy), then oldest-first.
@@ -364,7 +463,7 @@ impl Sm {
                     }
                     SchedulerPolicy::Lrr => (self.last_issued as usize + 1 + k) % n,
                 };
-                if issued_this_cycle[w] {
+                if self.issued_scratch[w] {
                     continue;
                 }
                 match self.issuable(w, now, dispatch_open) {
@@ -372,12 +471,19 @@ impl Sm {
                         pick = Some(w);
                         break;
                     }
-                    IssueCheck::BlockedOnMem => blocked_on_mem = true,
-                    IssueCheck::No => {}
+                    // A non-issuable verdict cannot change within this
+                    // cycle (`dispatch_open` is frozen and issuing some
+                    // other warp only mutates that warp's slot), so mark
+                    // the warp skipped for the remaining issue slots.
+                    IssueCheck::BlockedOnMem => {
+                        blocked_on_mem = true;
+                        self.issued_scratch[w] = true;
+                    }
+                    IssueCheck::No => self.issued_scratch[w] = true,
                 }
             }
             let Some(w) = pick else { break };
-            issued_this_cycle[w] = true;
+            self.issued_scratch[w] = true;
             self.last_issued = w as u32;
             let inst = self.warps[w].next.take().expect("issuable implies fetched");
             match inst {
@@ -410,8 +516,21 @@ impl Sm {
             self.instructions += 1;
             issued_any = true;
         }
-        if !issued_any && blocked_on_mem {
-            self.mem_stall_cycles += 1;
+        if !issued_any {
+            if blocked_on_mem {
+                self.mem_stall_cycles += 1;
+            }
+            // The slot-0 scan visited (and fetched) every runnable warp,
+            // so the verdict holds until the earliest sleeping warp wakes
+            // or an unblocking event clears the cache.
+            let mut until = Cycle::MAX;
+            for w in &self.warps {
+                if !w.finished && w.ready_at > now && w.ready_at < until {
+                    until = w.ready_at;
+                }
+            }
+            self.issue_idle_until = until;
+            self.issue_idle_blocked = blocked_on_mem;
         }
     }
 }

@@ -57,6 +57,7 @@ impl EngineStats {
             let b = &other.meta[i];
             a.cache.hits += b.cache.hits;
             a.cache.misses += b.cache.misses;
+            a.cache.fills += b.cache.fills;
             a.cache.evictions += b.cache.evictions;
             a.cache.dirty_evictions += b.cache.dirty_evictions;
             a.mshr.primary += b.mshr.primary;
@@ -130,10 +131,13 @@ impl SimReport {
     /// to the nameplate peak, the way the paper's Table IV reports it.
     /// Saturated workloads top out near the DRAM efficiency factor.
     pub fn bandwidth_utilization(&self, cfg: &crate::config::GpuConfig) -> f64 {
-        if self.cycles == 0 {
+        let denom = self.cycles as f64 * cfg.dram_peak_total_bytes_per_cycle();
+        if denom == 0.0 {
+            // Zero-cycle run, or a degenerate config with no DRAM
+            // bandwidth: report 0 rather than NaN/inf.
             0.0
         } else {
-            self.dram.total_bytes() as f64 / (self.cycles as f64 * cfg.dram_peak_total_bytes_per_cycle())
+            self.dram.total_bytes() as f64 / denom
         }
     }
 
@@ -171,6 +175,23 @@ mod tests {
         let report = SimReport { cycles: 1000, thread_instructions: 512_000, ..SimReport::default() };
         assert!((report.ipc() - 512.0).abs() < 1e-9);
         assert_eq!(SimReport::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn zero_cycle_report_fractions_are_finite() {
+        let report = SimReport::default();
+        let cfg = crate::config::GpuConfig::small();
+        assert_eq!(report.ipc(), 0.0);
+        assert_eq!(report.bandwidth_utilization(&cfg), 0.0);
+        assert_eq!(report.read_fraction(TrafficClass::Data), 0.0);
+        assert_eq!(report.metadata_writeback_fraction(), 0.0);
+        // Degenerate config: some DRAM traffic recorded but zero peak
+        // bandwidth must not divide to infinity.
+        let mut nobw = cfg.clone();
+        nobw.dram_total_gbps = 0;
+        let mut r = SimReport { cycles: 100, ..SimReport::default() };
+        r.dram.per_class[0].bytes_read = 4096;
+        assert!(r.bandwidth_utilization(&nobw).is_finite());
     }
 
     #[test]

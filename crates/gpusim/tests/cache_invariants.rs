@@ -1,0 +1,98 @@
+//! Structural invariants of the sectored cache under randomized access
+//! streams (ISSUE 3 satellite).
+//!
+//! Driven by the internal deterministic [`Rng64`] so failures reproduce
+//! exactly. Checked for both replacement policies:
+//!
+//! - `fills >= evictions`: every eviction is caused by a fill that
+//!   allocates a new line, so the fill counter bounds the evictions.
+//! - `dirty_evictions <= evictions`: dirty evictions are a subset of all
+//!   evictions.
+//! - `occupancy <= capacity_lines` throughout.
+
+use secmem_gpusim::cache::{Probe, ReplacementPolicy, SectoredCache, WriteOutcome};
+use secmem_gpusim::rng::Rng64;
+use secmem_gpusim::types::{SectorMask, LINE_SIZE};
+
+/// One randomized operation against the cache, mirroring what the L1/L2
+/// pipelines do: probe, write (write-validate on miss), and plain fill.
+fn random_op(c: &mut SectoredCache, rng: &mut Rng64, lines: u64) {
+    let line_addr = rng.gen_range(lines) * LINE_SIZE;
+    let sectors = SectorMask((rng.gen_range(15) + 1) as u8);
+    match rng.gen_range(3) {
+        0 => {
+            // Read probe; a miss becomes a fill, as the miss path does.
+            match c.probe(line_addr, sectors) {
+                Probe::Hit => {}
+                Probe::PartialMiss(missing) => {
+                    c.fill(line_addr, missing, SectorMask::EMPTY);
+                }
+                Probe::Miss => {
+                    c.fill(line_addr, sectors, SectorMask::EMPTY);
+                }
+            }
+        }
+        1 => {
+            // Store; a miss write-validates (fill with dirty sectors).
+            if c.write(line_addr, sectors) == WriteOutcome::Miss {
+                c.fill(line_addr, sectors, sectors);
+            }
+        }
+        _ => {
+            // Direct fill (a response arriving from the level below).
+            c.fill(line_addr, sectors, SectorMask::EMPTY);
+        }
+    }
+}
+
+fn check_invariants(policy: ReplacementPolicy, seed: u64) {
+    // Small cache (16 lines) and a footprint 8x its capacity so eviction
+    // pressure is constant.
+    let mut c = SectoredCache::with_policy(16 * LINE_SIZE, 4, policy);
+    let mut rng = Rng64::new(seed);
+    for step in 0..20_000u64 {
+        random_op(&mut c, &mut rng, 128);
+        let s = c.stats();
+        assert!(
+            s.fills >= s.evictions,
+            "step {step} ({policy:?}): fills {} < evictions {}",
+            s.fills,
+            s.evictions
+        );
+        assert!(
+            s.dirty_evictions <= s.evictions,
+            "step {step} ({policy:?}): dirty_evictions {} > evictions {}",
+            s.dirty_evictions,
+            s.evictions
+        );
+        assert!(c.occupancy() <= c.capacity_lines());
+    }
+    let s = c.stats();
+    assert!(s.fills > 0 && s.evictions > 0, "stream must exercise the eviction path ({policy:?}): {s:?}");
+}
+
+#[test]
+fn lru_invariants_under_random_stream() {
+    for seed in [1u64, 42, 0xDEAD_BEEF] {
+        check_invariants(ReplacementPolicy::Lru, seed);
+    }
+}
+
+#[test]
+fn srrip_invariants_under_random_stream() {
+    for seed in [1u64, 42, 0xDEAD_BEEF] {
+        check_invariants(ReplacementPolicy::Srrip, seed);
+    }
+}
+
+#[test]
+fn fills_counter_counts_allocations_and_merges() {
+    let mut c = SectoredCache::new(4 * LINE_SIZE, 2);
+    assert_eq!(c.stats().fills, 0);
+    c.fill(0, SectorMask::single(0), SectorMask::EMPTY);
+    c.fill(0, SectorMask::single(1), SectorMask::EMPTY); // merge into resident line
+    assert_eq!(c.stats().fills, 2);
+    assert_eq!(c.stats().evictions, 0);
+    c.reset_stats();
+    assert_eq!(c.stats().fills, 0);
+}

@@ -73,7 +73,7 @@ fn mshr_waiters_conserved() {
         for i in 0..accesses {
             let line = rng.gen_range(16);
             match mshr.access(line * 128, FULL_SECTOR_MASK, i as u32) {
-                MshrOutcome::Full => {}
+                MshrOutcome::Full(_) => {}
                 _ => accepted += 1,
             }
         }

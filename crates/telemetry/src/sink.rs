@@ -83,6 +83,13 @@ impl Telemetry {
 
     fn record(&self, kind: SeriesKind, name: &str, cycle: u64, value: f64) {
         let Some(inner) = &self.inner else { return };
+        // Rates computed over zero-width windows (a sample falling on the
+        // very first cycle, or a run shorter than one interval) arrive as
+        // NaN/inf; storing them would poison decimation sums and JSON
+        // export, so they are dropped at the door.
+        if !value.is_finite() {
+            return;
+        }
         let mut state = inner.state.lock().expect("telemetry store lock");
         match state.series.get_mut(name) {
             Some(series) => series.push(cycle, value),
@@ -250,6 +257,21 @@ mod tests {
         let snap = t.snapshot().expect("enabled");
         assert!(snap.series.is_empty());
         assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let t = Telemetry::enabled(TelemetryConfig::default());
+        // A rate over a zero-width window (0/0) and a ratio against a zero
+        // denominator (1/0) — both must never reach the store.
+        t.record_gauge("rate", 0, f64::NAN);
+        t.record_gauge("rate", 10, f64::INFINITY);
+        t.record_delta("bytes", 10, f64::NEG_INFINITY);
+        t.record_gauge("rate", 20, 0.5);
+        let snap = t.snapshot().expect("enabled");
+        let rate = snap.series("rate").expect("finite point recorded");
+        assert_eq!(rate.points, vec![(20, 0.5)]);
+        assert!(snap.series("bytes").is_none());
     }
 
     #[test]
