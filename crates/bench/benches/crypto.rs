@@ -5,8 +5,8 @@
 //! Plain `std::time` harness (`harness = false`): each case runs a fixed
 //! iteration count and reports ns/iter and MB/s where meaningful.
 
+use secmem_bench::timing::warmed;
 use std::hint::black_box;
-use std::time::Instant;
 
 use secmem_crypto::aes::Aes128;
 use secmem_crypto::cmac::{sector_mac, Cmac};
@@ -23,16 +23,8 @@ fn report(name: &str, iters: u64, bytes_per_iter: u64, elapsed_ns: u128) {
     }
 }
 
-fn bench<F: FnMut()>(name: &str, iters: u64, bytes_per_iter: u64, mut f: F) {
-    // Warm up briefly, then measure.
-    for _ in 0..iters / 10 {
-        f();
-    }
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    report(name, iters, bytes_per_iter, start.elapsed().as_nanos());
+fn bench<F: FnMut()>(name: &str, iters: u64, bytes_per_iter: u64, f: F) {
+    report(name, iters, bytes_per_iter, warmed(iters, f).as_nanos());
 }
 
 fn main() {

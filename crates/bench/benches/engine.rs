@@ -4,8 +4,8 @@
 //!
 //! Plain `std::time` harness (`harness = false`).
 
+use secmem_bench::timing::warmed;
 use std::hint::black_box;
-use std::time::Instant;
 
 use secmem_core::functional::FunctionalSecureMemory;
 use secmem_core::{SecureBackend, SecureMemConfig, SecurityScheme};
@@ -42,15 +42,8 @@ fn drive_engine(backend: &mut SecureBackend, reads: u64) -> u64 {
     done
 }
 
-fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
-    for _ in 0..iters.div_ceil(10) {
-        f();
-    }
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    let us_per = start.elapsed().as_nanos() as f64 / iters as f64 / 1e3;
+fn bench<F: FnMut()>(name: &str, iters: u64, f: F) {
+    let us_per = warmed(iters, f).as_nanos() as f64 / iters as f64 / 1e3;
     println!("{name:<44} {us_per:>10.2} us/iter");
 }
 

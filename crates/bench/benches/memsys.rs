@@ -4,8 +4,8 @@
 //!
 //! Plain `std::time` harness (`harness = false`).
 
+use secmem_bench::timing::warmed;
 use std::hint::black_box;
-use std::time::Instant;
 
 use secmem_gpusim::cache::SectoredCache;
 use secmem_gpusim::dram::{Dram, DramRequest};
@@ -13,15 +13,8 @@ use secmem_gpusim::mshr::MshrFile;
 use secmem_gpusim::reuse::ReuseProfiler;
 use secmem_gpusim::types::{SectorMask, TrafficClass, FULL_SECTOR_MASK};
 
-fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
-    for _ in 0..iters / 10 {
-        f();
-    }
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    let ns_per = start.elapsed().as_nanos() as f64 / iters as f64;
+fn bench<F: FnMut()>(name: &str, iters: u64, f: F) {
+    let ns_per = warmed(iters, f).as_nanos() as f64 / iters as f64;
     println!("{name:<36} {ns_per:>10.1} ns/iter");
 }
 

@@ -5,8 +5,8 @@
 //!
 //! Plain `std::time` harness (`harness = false`).
 
+use secmem_bench::timing::time_iters;
 use std::hint::black_box;
-use std::time::Instant;
 
 use secmem_bench::{run_job, BackendChoice, Job};
 use secmem_core::{MetadataCacheKind, SecureMemConfig};
@@ -29,11 +29,10 @@ fn job(bench: &str, backend: BackendChoice) -> Job {
 
 fn bench(name: &str, j: &Job) {
     run_job(j); // warm-up
-    let start = Instant::now();
-    for _ in 0..ITERS {
+    let total = time_iters(ITERS, || {
         black_box(run_job(black_box(j)));
-    }
-    let elapsed = start.elapsed().as_secs_f64() / ITERS as f64;
+    });
+    let elapsed = total.as_secs_f64() / ITERS as f64;
     let kcps = CYCLES as f64 / elapsed / 1e3;
     println!("{name:<32} {:>8.1} ms/run  {kcps:>8.1} kcycles/s", elapsed * 1e3);
 }

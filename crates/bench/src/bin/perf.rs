@@ -15,8 +15,8 @@
 //! cargo run -p secmem-bench --release --bin perf -- --out target/simperf.json
 //! ```
 
+use secmem_bench::timing::Stopwatch;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use secmem_bench::{run_job, BackendChoice, Job};
 use secmem_core::{SecureMemConfig, SecurityScheme};
@@ -109,7 +109,7 @@ fn main() {
     );
 
     let mut rows: Vec<RunRow> = Vec::new();
-    let total_start = Instant::now();
+    let total_watch = Stopwatch::start();
     for bench in &benches {
         for scheme in schemes(smoke) {
             let kernel = suite::by_name(bench).unwrap_or_else(|| {
@@ -130,9 +130,9 @@ fn main() {
                 telemetry: None,
                 telemetry_out: None,
             };
-            let start = Instant::now();
+            let watch = Stopwatch::start();
             let result = run_job(&job);
-            let wall = start.elapsed();
+            let wall = watch.elapsed();
             let wall_ms = wall.as_secs_f64() * 1e3;
             let sim_cycles = result.report.cycles;
             let cycles_per_sec =
@@ -153,7 +153,7 @@ fn main() {
             });
         }
     }
-    let total_wall = total_start.elapsed().as_secs_f64();
+    let total_wall = total_watch.elapsed_secs();
     let total_cycles: u64 = rows.iter().map(|r| r.sim_cycles).sum();
     let aggregate = if total_wall > 0.0 { total_cycles as f64 / total_wall } else { 0.0 };
     eprintln!(

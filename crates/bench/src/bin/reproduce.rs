@@ -19,8 +19,8 @@
 //! `--small` swaps in the scaled-down 8-SM / 4-partition GPU (for smoke
 //! tests); results are then *not* comparable to the paper.
 
+use secmem_bench::timing::Stopwatch;
 use std::path::PathBuf;
-use std::time::Instant;
 
 use secmem_bench::experiments::{self, Baselines, ExpOpts};
 use secmem_bench::table::ExpTable;
@@ -280,9 +280,9 @@ fn main() {
 
     let baselines = if todo.iter().any(|e| needs_baselines(e)) {
         eprintln!("[reproduce] computing baselines ({} cycles/run)...", args.opts.cycles);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let b = Baselines::compute(&args.opts);
-        eprintln!("[reproduce] baselines done in {:.1}s", t.elapsed().as_secs_f32());
+        eprintln!("[reproduce] baselines done in {:.1}s", t.elapsed_secs());
         Some(b)
     } else {
         None
@@ -290,11 +290,11 @@ fn main() {
 
     let mut failed = false;
     for exp in &todo {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         match run_experiment(exp, &args.opts, baselines.as_ref()) {
             Ok(table) => {
                 println!("{}", table.render());
-                eprintln!("[reproduce] {exp} done in {:.1}s", t.elapsed().as_secs_f32());
+                eprintln!("[reproduce] {exp} done in {:.1}s", t.elapsed_secs());
                 if let Some(dir) = &args.csv_dir {
                     if let Err(e) = table.write_csv(dir, exp) {
                         eprintln!("[reproduce] csv write failed for {exp}: {e}");

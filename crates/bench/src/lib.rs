@@ -17,6 +17,7 @@ pub mod json;
 pub mod plot;
 pub mod runner;
 pub mod table;
+pub mod timing;
 
 pub use experiments::{Baselines, ExpOpts};
 pub use runner::{run_job, run_jobs, run_jobs_with_failures, BackendChoice, Job, JobFailure, RunResult};

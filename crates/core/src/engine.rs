@@ -154,6 +154,7 @@ impl SecureBackend {
     pub fn new(cfg: SecureMemConfig, gpu: &secmem_gpusim::config::GpuConfig) -> Self {
         match Self::try_new(cfg, gpu) {
             Ok(engine) => engine,
+            // lint:allow(H1): documented panicking convenience constructor; try_new is the typed-error form
             Err(e) => panic!("invalid secure memory configuration: {e}"),
         }
     }
@@ -289,6 +290,22 @@ impl SecureBackend {
                 self.telemetry.record_event(TelemetryEvent { cycle: now, kind });
             }
         }
+    }
+
+    /// Records an integrity-fault instant. Outlined from `cycle` so its
+    /// event allocation stays off the steady-state per-cycle path: faults
+    /// are rare and the call is telemetry-gated.
+    #[cold]
+    fn record_fault_event(&mut self, now: Cycle, class: TrafficClass, kind: FaultKind, detected: bool) {
+        self.telemetry.record_event(TelemetryEvent {
+            cycle: now,
+            kind: EventKind::Fault {
+                partition: self.partition,
+                class: class.label().to_string(),
+                kind: format!("{kind:?}"),
+                detected: Some(detected),
+            },
+        });
     }
 
     fn queue_dram(&mut self, bytes: u64, addr: Addr, is_write: bool, class: TrafficClass, token: DramToken) {
@@ -508,14 +525,15 @@ impl SecureBackend {
             None => false,
         };
         if done {
-            let t = self.write_txns.remove(&txn).expect("checked above");
-            self.queue_dram(
-                t.req.sectors.bytes(),
-                t.req.line_addr,
-                true,
-                TrafficClass::Data,
-                DramToken::DataWrite,
-            );
+            if let Some(t) = self.write_txns.remove(&txn) {
+                self.queue_dram(
+                    t.req.sectors.bytes(),
+                    t.req.line_addr,
+                    true,
+                    TrafficClass::Data,
+                    DramToken::DataWrite,
+                );
+            }
         }
     }
 
@@ -687,15 +705,7 @@ impl MemoryBackend for SecureBackend {
                         inj.record_detection(done.class, detected);
                     }
                     if self.telemetry.is_enabled() {
-                        self.telemetry.record_event(TelemetryEvent {
-                            cycle: now,
-                            kind: EventKind::Fault {
-                                partition: self.partition,
-                                class: done.class.label().to_string(),
-                                kind: format!("{kind:?}"),
-                                detected: Some(detected),
-                            },
-                        });
+                        self.record_fault_event(now, done.class, kind, detected);
                     }
                 }
             }
@@ -708,7 +718,11 @@ impl MemoryBackend for SecureBackend {
         self.drain_retries();
         while !self.dram.is_full() {
             let Some(req) = self.pending_dram.pop_front() else { break };
-            self.dram.try_push(req).unwrap_or_else(|_| unreachable!("checked not full"));
+            if let Err(req) = self.dram.try_push(req) {
+                debug_assert!(false, "loop condition checked the queue was not full");
+                self.pending_dram.push_front(req);
+                break;
+            }
         }
         while let Some(Reverse((ready, txn))) = self.completing.peek().copied() {
             if ready > now {

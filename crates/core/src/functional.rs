@@ -10,7 +10,7 @@
 //! classic result that `DirectMac` misses replay attacks while the tree
 //! schemes catch them.
 
-use std::collections::HashMap;
+use secmem_gpusim::hash::FastHashMap;
 
 use secmem_crypto::aes::Aes128;
 use secmem_crypto::cmac::{sector_mac, Cmac};
@@ -57,10 +57,10 @@ impl std::error::Error for SecurityError {}
 /// A snapshot of all attacker-visible (off-chip) state, for replay attacks.
 #[derive(Debug, Clone)]
 pub struct MemorySnapshot {
-    data: HashMap<Addr, [u8; 128]>,
-    counters: HashMap<Addr, CounterBlock>,
-    macs: HashMap<Addr, [u16; 4]>,
-    tree: HashMap<(usize, u64), Vec<u64>>,
+    data: FastHashMap<Addr, [u8; 128]>,
+    counters: FastHashMap<Addr, CounterBlock>,
+    macs: FastHashMap<Addr, [u16; 4]>,
+    tree: FastHashMap<(usize, u64), Vec<u64>>,
 }
 
 /// The functional secure memory.
@@ -73,14 +73,14 @@ pub struct FunctionalSecureMemory {
     cmac: Cmac,
     hash: NodeHash,
     /// Off-chip ciphertext, sparse.
-    data: HashMap<Addr, [u8; 128]>,
+    data: FastHashMap<Addr, [u8; 128]>,
     /// Off-chip counter blocks, keyed by counter-line address.
-    counters: HashMap<Addr, CounterBlock>,
+    counters: FastHashMap<Addr, CounterBlock>,
     /// Off-chip per-line sector MACs, keyed by data-line address.
-    macs: HashMap<Addr, [u16; 4]>,
+    macs: FastHashMap<Addr, [u16; 4]>,
     /// Off-chip tree nodes, keyed by (level, index); level = levels-1 is
     /// NOT here — that is the on-chip root.
-    tree: HashMap<(usize, u64), Vec<u64>>,
+    tree: FastHashMap<(usize, u64), Vec<u64>>,
     /// The on-chip (trusted) root node: child digests of the top level.
     root: Vec<u64>,
 }
@@ -112,10 +112,10 @@ impl FunctionalSecureMemory {
             aes: Aes128::new(key),
             cmac: Cmac::new(&mac_key),
             hash: NodeHash::new(),
-            data: HashMap::new(),
-            counters: HashMap::new(),
-            macs: HashMap::new(),
-            tree: HashMap::new(),
+            data: FastHashMap::default(),
+            counters: FastHashMap::default(),
+            macs: FastHashMap::default(),
+            tree: FastHashMap::default(),
             root: Vec::new(),
         }
     }

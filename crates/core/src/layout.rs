@@ -45,9 +45,10 @@ impl TreeGeometry {
     pub fn new(leaves: u64, base: Addr) -> Self {
         assert!(leaves > 0, "tree needs at least one leaf");
         let mut level_counts = vec![leaves];
-        while *level_counts.last().expect("nonempty") > 1 {
-            let next = level_counts.last().expect("nonempty").div_ceil(TREE_ARITY);
-            level_counts.push(next);
+        let mut last = leaves;
+        while last > 1 {
+            last = last.div_ceil(TREE_ARITY);
+            level_counts.push(last);
         }
         let mut level_base = vec![0; level_counts.len()];
         let mut cursor = base;

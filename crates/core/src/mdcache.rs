@@ -304,6 +304,7 @@ impl<T> MetadataCaches<T> {
     /// occupancy probe).
     pub fn mshr_occupancy(&self) -> usize {
         self.mshrs.iter().map(MshrFile::len).sum::<usize>()
+            // lint:allow(D3): summing lengths is order-independent
             + self.private_waiters.values().map(Vec::len).sum::<usize>()
     }
 }

@@ -149,28 +149,28 @@ impl MemoryBackend for PassthroughBackend {
 
     fn submit_read(&mut self, _now: Cycle, req: BackendReq) {
         let bytes = req.sectors.bytes();
-        self.dram
-            .try_push(DramRequest {
-                bytes,
-                addr: req.line_addr,
-                is_write: false,
-                class: TrafficClass::Data,
-                token: Token::Read(req),
-            })
-            .unwrap_or_else(|_| panic!("submit_read called while full"));
+        let pushed = self.dram.try_push(DramRequest {
+            bytes,
+            addr: req.line_addr,
+            is_write: false,
+            class: TrafficClass::Data,
+            token: Token::Read(req),
+        });
+        // `can_accept_read` gates every caller; a full queue here is a
+        // caller bug, not a runtime condition worth a panic path.
+        debug_assert!(pushed.is_ok(), "submit_read called while full");
     }
 
     fn submit_write(&mut self, _now: Cycle, req: BackendReq) {
         let bytes = req.sectors.bytes();
-        self.dram
-            .try_push(DramRequest {
-                bytes,
-                addr: req.line_addr,
-                is_write: true,
-                class: TrafficClass::Data,
-                token: Token::Write,
-            })
-            .unwrap_or_else(|_| panic!("submit_write called while full"));
+        let pushed = self.dram.try_push(DramRequest {
+            bytes,
+            addr: req.line_addr,
+            is_write: true,
+            class: TrafficClass::Data,
+            token: Token::Write,
+        });
+        debug_assert!(pushed.is_ok(), "submit_write called while full");
     }
 
     fn cycle(&mut self, now: Cycle) {
@@ -190,15 +190,7 @@ impl MemoryBackend for PassthroughBackend {
                         inj.record_detection(done.class, false);
                     }
                     if self.telemetry.is_enabled() {
-                        self.telemetry.record_event(TelemetryEvent {
-                            cycle: now,
-                            kind: EventKind::Fault {
-                                partition: self.partition,
-                                class: done.class.label().to_string(),
-                                kind: format!("{kind:?}"),
-                                detected: Some(false),
-                            },
-                        });
+                        record_fault_event(&self.telemetry, self.partition, now, done.class, kind);
                     }
                 }
             }
@@ -249,6 +241,28 @@ impl MemoryBackend for PassthroughBackend {
         self.telemetry = telemetry;
         self.partition = partition;
     }
+}
+
+/// Records an undetected-corruption instant. Outlined from `cycle` so
+/// its event allocation stays off the steady-state per-cycle path:
+/// faults are rare and the call is telemetry-gated.
+#[cold]
+fn record_fault_event(
+    telemetry: &Telemetry,
+    partition: u32,
+    now: Cycle,
+    class: TrafficClass,
+    kind: crate::fault::FaultKind,
+) {
+    telemetry.record_event(TelemetryEvent {
+        cycle: now,
+        kind: EventKind::Fault {
+            partition,
+            class: class.label().to_string(),
+            kind: format!("{kind:?}"),
+            detected: Some(false),
+        },
+    });
 }
 
 #[cfg(test)]

@@ -68,14 +68,12 @@ pub struct DramStats {
 
 impl DramStats {
     fn class_mut(&mut self, c: TrafficClass) -> &mut DramClassStats {
-        let idx = TrafficClass::ALL.iter().position(|&x| x == c).expect("class in ALL");
-        &mut self.per_class[idx]
+        &mut self.per_class[c.index()]
     }
 
     /// Stats for one class.
     pub fn class(&self, c: TrafficClass) -> DramClassStats {
-        let idx = TrafficClass::ALL.iter().position(|&x| x == c).expect("class in ALL");
-        self.per_class[idx]
+        self.per_class[c.index()]
     }
 
     /// Total requests (reads + writes, all classes).
@@ -214,6 +212,22 @@ impl<T> Dram<T> {
         self.queue.len() >= self.queue_cap
     }
 
+    /// Records a fault instant. Outlined from `cycle` so its event
+    /// allocation stays off the steady-state per-cycle path: faults are
+    /// rare and the call is telemetry-gated.
+    #[cold]
+    fn record_fault_event(&mut self, now: Cycle, class: TrafficClass, kind: FaultKind) {
+        self.telemetry.record_event(TelemetryEvent {
+            cycle: now,
+            kind: EventKind::Fault {
+                partition: self.partition,
+                class: class.label().to_string(),
+                kind: format!("{kind:?}"),
+                detected: None,
+            },
+        });
+    }
+
     /// Submits a request.
     ///
     /// # Errors
@@ -265,7 +279,10 @@ impl<T> Dram<T> {
             self.next_free_fp = end_fp;
             self.stats.busy_fp += service_fp;
             let done_at = end_fp.div_ceil(FP) + self.latency;
-            let req = self.queue.pop_front().expect("front exists");
+            let Some(req) = self.queue.pop_front() else {
+                debug_assert!(false, "loop condition guarantees a front request");
+                break;
+            };
             let slot = if let Some(s) = self.free_slots.pop() {
                 self.inflight_store[s] = Some(InFlight { req });
                 s
@@ -288,25 +305,16 @@ impl<T> Dram<T> {
             self.inflight.pop();
             let slot = slot as usize;
             let already_delayed = std::mem::replace(&mut self.no_refault[slot], false);
-            let fault = match (&mut self.injector, already_delayed) {
-                (Some(inj), false) => {
-                    let req = &self.inflight_store[slot].as_ref().expect("slot occupied").req;
-                    inj.decide(req.class, req.is_write, req.addr)
-                }
+            let fault = match (&mut self.injector, already_delayed, self.inflight_store[slot].as_ref()) {
+                (Some(inj), false, Some(inf)) => inj.decide(inf.req.class, inf.req.is_write, inf.req.addr),
                 _ => None,
             };
             if let Some(kind) = fault {
                 if self.telemetry.is_enabled() {
-                    let class = self.inflight_store[slot].as_ref().expect("slot occupied").req.class;
-                    self.telemetry.record_event(TelemetryEvent {
-                        cycle: now,
-                        kind: EventKind::Fault {
-                            partition: self.partition,
-                            class: class.label().to_string(),
-                            kind: format!("{kind:?}"),
-                            detected: None,
-                        },
-                    });
+                    if let Some(inf) = self.inflight_store[slot].as_ref() {
+                        let class = inf.req.class;
+                        self.record_fault_event(now, class, kind);
+                    }
                 }
             }
             match fault {
@@ -319,7 +327,10 @@ impl<T> Dram<T> {
                     self.inflight.push(Reverse((now + Cycle::from(d.max(1)), slot as u64)));
                 }
                 other => {
-                    let inflight = self.inflight_store[slot].take().expect("slot occupied");
+                    let Some(inflight) = self.inflight_store[slot].take() else {
+                        debug_assert!(false, "retiring heap entry without a stored request");
+                        continue;
+                    };
                     self.free_slots.push(slot);
                     self.ready.push_back((inflight.req, other));
                 }

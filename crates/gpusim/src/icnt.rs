@@ -148,9 +148,8 @@ impl Interconnect {
 
     /// Sends a response toward its SM (responses are never refused).
     pub fn push_response(&mut self, now: Cycle, sm: u32, resp: MemRequest) {
-        self.to_sm[sm as usize]
-            .try_push(now, resp)
-            .unwrap_or_else(|_| unreachable!("response queues are unbounded"));
+        let pushed = self.to_sm[sm as usize].try_push(now, resp);
+        debug_assert!(pushed.is_ok(), "response queues are unbounded");
     }
 
     /// Receives the next response at `sm`, if any is ready.

@@ -143,7 +143,11 @@ impl<T> MshrFile<T> {
                 MshrOutcome::MergedNewSectors(missing)
             }
         } else if self.live < self.slots.len() {
-            let i = self.keys.iter().position(|&k| k == FREE).expect("live < capacity");
+            let Some(i) = self.keys.iter().position(|&k| k == FREE) else {
+                debug_assert!(false, "live < capacity implies a FREE key slot");
+                self.stats.stalls += 1;
+                return MshrOutcome::Full(target);
+            };
             self.keys[i] = line_addr;
             let slot = &mut self.slots[i];
             slot.requested = sectors;

@@ -137,9 +137,8 @@ impl<B: MemoryBackend> MemPartition<B> {
                     Probe::Hit => {
                         let bank = &mut self.banks[bank_idx];
                         let _ = bank.cache.probe(req.line_addr, req.sectors);
-                        bank.hit_delay
-                            .try_push(now, req)
-                            .unwrap_or_else(|_| unreachable!("hit queue unbounded"));
+                        let pushed = bank.hit_delay.try_push(now, req);
+                        debug_assert!(pushed.is_ok(), "hit queue is unbounded");
                         return Ok(());
                     }
                     Probe::PartialMiss(m) => m,

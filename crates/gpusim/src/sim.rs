@@ -80,6 +80,7 @@ impl<B: MemoryBackend> Simulator<B> {
     ) -> Self {
         match Self::try_new(cfg, kernel, backend_factory) {
             Ok(sim) => sim,
+            // lint:allow(H1): documented panicking convenience constructor; try_new is the typed-error form
             Err(e) => panic!("invalid GPU configuration: {e}"),
         }
     }

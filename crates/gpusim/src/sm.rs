@@ -390,7 +390,11 @@ impl Sm {
             }
             slot.next = Some(inst);
         }
-        match slot.next.as_ref().expect("just fetched") {
+        let Some(next) = slot.next.as_ref() else {
+            debug_assert!(false, "fetch above guarantees a pending instruction");
+            return IssueCheck::No;
+        };
+        match next {
             Inst::Alu { wait_mem, .. } => {
                 if *wait_mem && slot.outstanding > 0 {
                     IssueCheck::BlockedOnMem
@@ -421,7 +425,11 @@ impl Sm {
                     IssueCheck::BlockedOnMem
                 }
             }
-            Inst::Exit => unreachable!("handled at fetch"),
+            Inst::Exit => {
+                // Fetch retires `Exit` before it can reach the scoreboard.
+                debug_assert!(false, "Exit is handled at fetch");
+                IssueCheck::No
+            }
         }
     }
 
@@ -485,7 +493,10 @@ impl Sm {
             let Some(w) = pick else { break };
             self.issued_scratch[w] = true;
             self.last_issued = w as u32;
-            let inst = self.warps[w].next.take().expect("issuable implies fetched");
+            let Some(inst) = self.warps[w].next.take() else {
+                debug_assert!(false, "issuable implies fetched");
+                break;
+            };
             match inst {
                 Inst::Alu { stall, .. } => {
                     self.warps[w].ready_at = now + stall.max(1) as Cycle;
@@ -511,7 +522,8 @@ impl Sm {
                         });
                     }
                 }
-                Inst::Exit => unreachable!("exit never stored"),
+                // Fetch retires `Exit`; it never reaches the issue queue.
+                Inst::Exit => debug_assert!(false, "exit never stored"),
             }
             self.instructions += 1;
             issued_any = true;

@@ -18,7 +18,7 @@
 //! X                   # warp exit
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::kernel::{Kernel, WarpProgram};
@@ -43,6 +43,46 @@ impl core::fmt::Display for ParseTraceError {
 }
 
 impl std::error::Error for ParseTraceError {}
+
+/// Why a trace file could not be loaded: the read failed, or the
+/// contents did not parse.
+#[derive(Debug)]
+pub enum TraceLoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file contents are not a valid v1 trace.
+    Parse(ParseTraceError),
+}
+
+impl core::fmt::Display for TraceLoadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceLoadError::Io(e) => write!(f, "cannot read trace file: {e}"),
+            TraceLoadError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TraceLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceLoadError::Io(e) => Some(e),
+            TraceLoadError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceLoadError {
+    fn from(e: std::io::Error) -> Self {
+        TraceLoadError::Io(e)
+    }
+}
+
+impl From<ParseTraceError> for TraceLoadError {
+    fn from(e: ParseTraceError) -> Self {
+        TraceLoadError::Parse(e)
+    }
+}
 
 /// Serializes one instruction to its trace line.
 pub fn serialize_inst(inst: &Inst) -> String {
@@ -120,7 +160,7 @@ pub fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseTraceError> {
 /// A recorded multi-warp trace.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
-    streams: HashMap<(u32, u32), Vec<Inst>>,
+    streams: BTreeMap<(u32, u32), Vec<Inst>>,
 }
 
 impl Trace {
@@ -132,7 +172,7 @@ impl Trace {
     /// Records the first `max_insts` instructions of every warp of
     /// `kernel` (stopping early at `Exit`).
     pub fn record(kernel: &dyn Kernel, sms: u32, max_insts: usize) -> Self {
-        let mut streams = HashMap::new();
+        let mut streams = BTreeMap::new();
         let active = kernel.active_sms(sms);
         for sm in 0..active {
             for warp in 0..kernel.warps_per_sm(sm) {
@@ -167,15 +207,14 @@ impl Trace {
         self.streams.len()
     }
 
-    /// Serializes to the v1 text format (warps in sorted order).
+    /// Serializes to the v1 text format (warps in sorted order — the
+    /// `BTreeMap` iterates keys in ascending `(sm, warp)` order).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{TRACE_HEADER}");
-        let mut keys: Vec<&(u32, u32)> = self.streams.keys().collect();
-        keys.sort();
-        for key in keys {
+        for (key, insts) in &self.streams {
             let _ = writeln!(out, "warp {} {}", key.0, key.1);
-            for inst in &self.streams[key] {
+            for inst in insts {
                 let _ = writeln!(out, "{}", serialize_inst(inst));
             }
         }
@@ -195,7 +234,7 @@ impl Trace {
                 return Err(ParseTraceError { line: 1, message: format!("missing header '{TRACE_HEADER}'") })
             }
         }
-        let mut streams: HashMap<(u32, u32), Vec<Inst>> = HashMap::new();
+        let mut streams: BTreeMap<(u32, u32), Vec<Inst>> = BTreeMap::new();
         let mut current: Option<(u32, u32)> = None;
         for (i, raw) in lines {
             let line_no = i + 1;
@@ -259,8 +298,9 @@ impl TraceKernel {
     ///
     /// # Errors
     ///
-    /// I/O errors and parse failures (boxed).
-    pub fn from_file(path: &std::path::Path) -> Result<Self, Box<dyn std::error::Error>> {
+    /// [`TraceLoadError::Io`] if the file cannot be read,
+    /// [`TraceLoadError::Parse`] if its contents are malformed.
+    pub fn from_file(path: &std::path::Path) -> Result<Self, TraceLoadError> {
         let text = std::fs::read_to_string(path)?;
         let trace = Trace::from_text(&text)?;
         let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace").to_string();

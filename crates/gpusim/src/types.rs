@@ -138,6 +138,18 @@ impl TrafficClass {
     pub const ALL: [TrafficClass; 4] =
         [TrafficClass::Data, TrafficClass::Counter, TrafficClass::Mac, TrafficClass::Tree];
 
+    /// Index of this class in [`TrafficClass::ALL`] (stats arrays are
+    /// laid out in that order). Total by construction — no lookup, no
+    /// panic path.
+    pub const fn index(self) -> usize {
+        match self {
+            TrafficClass::Data => 0,
+            TrafficClass::Counter => 1,
+            TrafficClass::Mac => 2,
+            TrafficClass::Tree => 3,
+        }
+    }
+
     /// Short lowercase label used in reports (matches the paper's figures).
     pub fn label(self) -> &'static str {
         match self {

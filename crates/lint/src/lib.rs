@@ -1,0 +1,36 @@
+//! `secmem-lint` — a dependency-free static-analysis pass for this
+//! workspace.
+//!
+//! PRs 1–3 established invariants that runtime tests can only spot-check:
+//! typed error paths everywhere (PR 1), telemetry that must not perturb
+//! results (PR 2), and a hot-loop overhaul whose correctness rests on
+//! byte-identical `SimReport`s (PR 3). A single stray
+//! `std::collections::HashMap` or `Instant::now()` in a sim crate can
+//! silently reintroduce nondeterminism that the 28 pinned fingerprints
+//! only catch after the fact — if the affected path happens to be
+//! exercised. This crate checks the rules *mechanically*, at the source
+//! level, on every file of every crate.
+//!
+//! The design is a hand-rolled lexer ([`lexer`]) feeding token-pattern
+//! rules ([`lints`]) — no `syn`, matching the workspace's
+//! zero-dependency policy. See DESIGN.md §11 for the lint catalogue
+//! with per-lint origin PRs, and `lint.toml` for the baseline.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p secmem-lint --            # human-readable report
+//! cargo run -p secmem-lint -- --json     # CI artifact
+//! cargo run -p secmem-lint -- --fix-baseline
+//! ```
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod scanner;
+
+pub use config::{Baseline, BaselineEntry, Policy};
+pub use diag::{Diagnostic, Disposition, CATALOGUE};
+pub use engine::{lint_source, scan_workspace, workspace_files, Report};

@@ -1,0 +1,424 @@
+//! The lint rules. Each rule is a token-pattern pass over one file's
+//! [`FileInfo`], scoped by the [`Policy`] (which crates / modules /
+//! functions it applies to). Test code (`#[cfg(test)]` / `#[test]`) is
+//! exempt from every rule: the invariants protect simulation results,
+//! and tests are free to unwrap.
+
+use crate::config::Policy;
+use crate::diag::{Diagnostic, Disposition, CATALOGUE};
+use crate::lexer::{TokKind, Token};
+use crate::scanner::FileInfo;
+
+/// Everything a lint needs to know about the file under scan.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel: &'a str,
+    /// Owning crate name (empty when outside `crates/` and `src/`).
+    pub krate: &'a str,
+    /// Token-level analysis.
+    pub info: &'a FileInfo<'a>,
+    /// Scope policy.
+    pub policy: &'a Policy,
+}
+
+impl FileCtx<'_> {
+    /// Indices of lintable tokens: not comments, not test code.
+    fn code(&self) -> Vec<usize> {
+        (0..self.info.toks.len())
+            .filter(|&i| {
+                !self.info.is_test[i]
+                    && !matches!(self.info.toks[i].kind, TokKind::LineComment | TokKind::BlockComment)
+            })
+            .collect()
+    }
+
+    fn tok(&self, i: usize) -> &Token {
+        &self.info.toks[i]
+    }
+
+    fn ident(&self, i: usize) -> &str {
+        self.info.toks[i].ident_text(self.info.src).unwrap_or("")
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.info.toks[i].is_punct(self.info.src, c)
+    }
+
+    fn diag(&self, id: &'static str, i: usize, message: String) -> Diagnostic {
+        let doc = CATALOGUE.iter().find(|d| d.id == id);
+        let t = self.tok(i);
+        Diagnostic {
+            lint: id,
+            name: doc.map(|d| d.name).unwrap_or(""),
+            file: self.rel.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+            disposition: Disposition::Active,
+        }
+    }
+}
+
+/// Runs every lint over one file.
+pub fn run_all(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let code = ctx.code();
+    d1_no_wallclock(ctx, &code, out);
+    d2_nondeterministic_map(ctx, &code, out);
+    d3_map_order_leak(ctx, &code, out);
+    h1_hot_path_panic(ctx, &code, out);
+    h2_hot_path_alloc(ctx, &code, out);
+    e1_error_hygiene(ctx, &code, out);
+    a0_bad_allow(ctx, out);
+}
+
+/// D1: wall-clock reads are banned wherever results must be a function
+/// of (seed, config) alone. `crates/bench` may time, but only via its
+/// single allowlisted `timing` module.
+fn d1_no_wallclock(ctx: &FileCtx, code: &[usize], out: &mut Vec<Diagnostic>) {
+    let applies = ctx.policy.sim_crates.iter().any(|c| c == ctx.krate)
+        || ctx.policy.extra_d1_crates.iter().any(|c| c == ctx.krate);
+    if !applies {
+        return;
+    }
+    for &i in code {
+        let name = ctx.ident(i);
+        if matches!(name, "Instant" | "SystemTime" | "Date") {
+            out.push(ctx.diag(
+                "D1",
+                i,
+                format!(
+                    "`{name}` reads wall-clock time; simulation results must depend only on \
+                     seed + config (time through `bench::timing` in harness code)"
+                ),
+            ));
+        }
+    }
+}
+
+/// D2: seed-randomized std maps are banned in sim crates; their
+/// iteration order varies run-to-run. Use
+/// `gpusim::hash::{FastHashMap,FastHashSet}` or `BTreeMap`.
+fn d2_nondeterministic_map(ctx: &FileCtx, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !ctx.policy.sim_crates.iter().any(|c| c == ctx.krate) {
+        return;
+    }
+    for &i in code {
+        let name = ctx.ident(i);
+        if matches!(name, "HashMap" | "HashSet") {
+            out.push(ctx.diag(
+                "D2",
+                i,
+                format!(
+                    "`{name}` is seed-randomized (RandomState); use \
+                     `gpusim::hash::Fast{name}` or `BTree{}` so determinism survives \
+                     iteration",
+                    name.strip_prefix("Hash").unwrap_or("Map")
+                ),
+            ));
+        }
+    }
+}
+
+/// D3: iterating an Fx map in report/telemetry-feeding code can leak
+/// insertion order into results; each such loop needs a justified
+/// order-independence allow.
+fn d3_map_order_leak(ctx: &FileCtx, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !ctx.policy.report_files.iter().any(|f| f == ctx.rel) {
+        return;
+    }
+    // Pass 1: names declared (field or let) with an Fx map type.
+    let mut map_names: Vec<String> = Vec::new();
+    for (k, &i) in code.iter().enumerate() {
+        if ctx.tok(i).kind != TokKind::Ident {
+            continue;
+        }
+        let name = ctx.ident(i);
+        let next = code.get(k + 1).copied();
+        let annotated = next.is_some_and(|n| ctx.is_punct(n, ':'))
+            && code.get(k + 2).copied().is_some_and(|n| !ctx.is_punct(n, ':'));
+        let assigned = next.is_some_and(|n| ctx.is_punct(n, '='));
+        if !annotated && !assigned {
+            continue;
+        }
+        // Look a few tokens ahead (the type or initializer path) for an
+        // Fx map, stopping at statement boundaries.
+        for look in 2..10 {
+            let Some(&j) = code.get(k + look) else { break };
+            if ctx.is_punct(j, ';') || ctx.is_punct(j, '{') {
+                break;
+            }
+            if matches!(ctx.ident(j), "FastHashMap" | "FastHashSet") {
+                map_names.push(name.to_string());
+                break;
+            }
+        }
+    }
+    map_names.sort();
+    map_names.dedup();
+    // Pass 2: iteration over a known map name.
+    const ITER_METHODS: &[&str] =
+        &["iter", "iter_mut", "keys", "values", "values_mut", "drain", "into_iter", "retain", "for_each"];
+    for (k, &i) in code.iter().enumerate() {
+        let name = ctx.ident(i);
+        if map_names.iter().any(|m| m == name) {
+            // `name.iter()` and friends.
+            if code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, '.')) {
+                if let Some(&m) = code.get(k + 2) {
+                    let method = ctx.ident(m);
+                    if ITER_METHODS.contains(&method)
+                        && code.get(k + 3).copied().is_some_and(|n| ctx.is_punct(n, '('))
+                    {
+                        out.push(ctx.diag(
+                            "D3",
+                            m,
+                            format!(
+                                "`{name}.{method}()` iterates an Fx map in report-feeding code; \
+                                 map order is insertion-dependent — justify no-order-dependence \
+                                 with an allow or iterate a sorted view"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // `for x in &name {` / `for x in name {`.
+        if name == "in" {
+            let mut j = k + 1;
+            while code.get(j).copied().is_some_and(|n| ctx.is_punct(n, '&'))
+                || code.get(j).copied().is_some_and(|n| ctx.ident(n) == "mut")
+            {
+                j += 1;
+            }
+            if let Some(&target) = code.get(j) {
+                let tname = ctx.ident(target);
+                if map_names.iter().any(|m| m == tname)
+                    && code.get(j + 1).copied().is_some_and(|n| ctx.is_punct(n, '{'))
+                {
+                    out.push(ctx.diag(
+                        "D3",
+                        target,
+                        format!(
+                            "`for … in {tname}` iterates an Fx map in report-feeding code; \
+                             map order is insertion-dependent — justify no-order-dependence \
+                             with an allow or iterate a sorted view"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// H1: no panic paths in the per-cycle call chain. A panic mid-cycle
+/// tears down the whole run a typed `SimError`/`CoreError` (or a
+/// `debug_assert!` for checked invariants) would have survived.
+fn h1_hot_path_panic(ctx: &FileCtx, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !ctx.policy.hot_files.iter().any(|f| f == ctx.rel) {
+        return;
+    }
+    for (k, &i) in code.iter().enumerate() {
+        let name = ctx.ident(i);
+        let followed_by_bang = code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, '!'));
+        let method_call = k > 0
+            && ctx.is_punct(code[k - 1], '.')
+            && code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, '('));
+        if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") && followed_by_bang {
+            out.push(ctx.diag(
+                "H1",
+                i,
+                format!(
+                    "`{name}!` in a per-cycle module; return a typed error or use \
+                     `debug_assert!` for invariants the caller already guarantees"
+                ),
+            ));
+        } else if matches!(name, "unwrap" | "expect") && method_call {
+            out.push(ctx.diag(
+                "H1",
+                i,
+                format!(
+                    "`.{name}()` in a per-cycle module; restructure with let-else / \
+                     `if let` plus `debug_assert!`, or propagate a typed error"
+                ),
+            ));
+        }
+    }
+}
+
+/// H2: the per-cycle functions PR 3 made allocation-free must stay that
+/// way; a stray `clone()` or `format!` regresses cycles/sec silently.
+fn h2_hot_path_alloc(ctx: &FileCtx, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !ctx.policy.hot_files.iter().any(|f| f == ctx.rel) {
+        return;
+    }
+    const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string", "collect"];
+    const ALLOC_MACROS: &[&str] = &["format", "vec"];
+    const ALLOC_TYPES: &[&str] = &["Vec", "Box", "String", "VecDeque", "BinaryHeap"];
+    const ALLOC_CTORS: &[&str] = &["new", "from", "with_capacity"];
+    for (k, &i) in code.iter().enumerate() {
+        let Some(f) = ctx.info.enclosing_fn(i) else { continue };
+        if !ctx.policy.hot_fns.iter().any(|h| h == &f.name) {
+            continue;
+        }
+        let name = ctx.ident(i);
+        let method_call = k > 0
+            && ctx.is_punct(code[k - 1], '.')
+            && code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, '('));
+        if ALLOC_METHODS.contains(&name) && method_call {
+            out.push(ctx.diag(
+                "H2",
+                i,
+                format!(
+                    "`.{name}()` allocates inside per-cycle fn `{}`; move it off the \
+                     steady-state path or reuse a scratch buffer",
+                    f.name
+                ),
+            ));
+            continue;
+        }
+        if ALLOC_MACROS.contains(&name) && code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, '!')) {
+            out.push(ctx.diag("H2", i, format!("`{name}!` allocates inside per-cycle fn `{}`", f.name)));
+            continue;
+        }
+        if ALLOC_TYPES.contains(&name)
+            && code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, ':'))
+            && code.get(k + 2).copied().is_some_and(|n| ctx.is_punct(n, ':'))
+            && code.get(k + 3).copied().is_some_and(|n| ALLOC_CTORS.contains(&ctx.ident(n)))
+        {
+            out.push(ctx.diag(
+                "H2",
+                i,
+                format!("`{name}::{}` allocates inside per-cycle fn `{}`", ctx.ident(code[k + 3]), f.name),
+            ));
+        }
+    }
+}
+
+/// E1: library crates expose typed errors. `Box<dyn Error>` and
+/// `Result<_, String>` erase what failed; panicking `pub fn new`
+/// constructors must offer a `try_new`.
+fn e1_error_hygiene(ctx: &FileCtx, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !ctx.policy.lib_crates.iter().any(|c| c == ctx.krate) {
+        return;
+    }
+    for (k, &i) in code.iter().enumerate() {
+        let name = ctx.ident(i);
+        // Box < dyn … Error … >
+        if name == "Box"
+            && code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, '<'))
+            && code.get(k + 2).copied().is_some_and(|n| ctx.ident(n) == "dyn")
+        {
+            let mut depth = 1i32;
+            let mut j = k + 2;
+            while let Some(&t) = code.get(j) {
+                if ctx.is_punct(t, '<') {
+                    depth += 1;
+                } else if ctx.is_punct(t, '>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if ctx.ident(t) == "Error" {
+                    out.push(
+                        ctx.diag(
+                            "E1",
+                            i,
+                            "`Box<dyn Error>` erases the failure type; define or reuse a typed \
+                         error enum (SimError / CoreError pattern)"
+                                .to_string(),
+                        ),
+                    );
+                    break;
+                }
+                j += 1;
+            }
+        }
+        // Result < _ , String >
+        if name == "Result" && code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, '<')) {
+            let mut depth = 1i32;
+            let mut j = k + 2;
+            while let Some(&t) = code.get(j) {
+                if ctx.is_punct(t, '<') {
+                    depth += 1;
+                } else if ctx.is_punct(t, '>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1 && ctx.is_punct(t, ',') {
+                    if code.get(j + 1).copied().is_some_and(|n| ctx.ident(n) == "String") {
+                        out.push(
+                            ctx.diag(
+                                "E1",
+                                i,
+                                "`Result<_, String>` is a stringly error; define or reuse a typed \
+                             error enum"
+                                    .to_string(),
+                            ),
+                        );
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    // Panicking pub constructors need a try_ form.
+    let has_try_new = ctx.info.fns.iter().any(|f| f.name == "try_new");
+    for f in &ctx.info.fns {
+        if f.name != "new" || !f.is_pub || has_try_new {
+            continue;
+        }
+        let panics = code.iter().enumerate().any(|(k, &i)| {
+            if i < f.body.0 || i > f.body.1 {
+                return false;
+            }
+            let name = ctx.ident(i);
+            (name == "panic" && code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, '!')))
+                || (matches!(name, "unwrap" | "expect")
+                    && k > 0
+                    && ctx.is_punct(code[k - 1], '.')
+                    && code.get(k + 1).copied().is_some_and(|n| ctx.is_punct(n, '(')))
+        });
+        if panics {
+            let idx = ctx.info.toks.iter().position(|t| t.line == f.line).unwrap_or(f.body.0);
+            out.push(
+                ctx.diag(
+                    "E1",
+                    idx,
+                    "panicking `pub fn new` without a fallible `try_new`; expose the typed-error \
+                 form alongside the convenience constructor"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// A0: allow directives must be well-formed — a real lint ID and a
+/// non-empty justification. An unexplained allow is how invariants rot.
+fn a0_bad_allow(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for a in &ctx.info.allows {
+        let unknown_id = !a.id.is_empty() && !CATALOGUE.iter().any(|d| d.id == a.id);
+        if a.malformed || unknown_id {
+            let t = Token { kind: TokKind::LineComment, start: 0, end: 0, line: a.line, col: a.col };
+            let mut d = Diagnostic {
+                lint: "A0",
+                name: "bad-allow",
+                file: ctx.rel.to_string(),
+                line: t.line,
+                col: t.col,
+                message: if unknown_id {
+                    format!("allow names unknown lint `{}`", a.id)
+                } else {
+                    "allow directive needs `lint:allow(<ID>): <justification>` — the \
+                     justification is mandatory"
+                        .to_string()
+                },
+                disposition: Disposition::Active,
+            };
+            d.line = a.line;
+            d.col = a.col;
+            out.push(d);
+        }
+    }
+}

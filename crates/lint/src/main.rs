@@ -1,0 +1,128 @@
+//! The `secmem-lint` CLI. See `lib.rs` and DESIGN.md §11.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use secmem_lint::{diag, engine, Baseline, Policy};
+
+const USAGE: &str = "\
+secmem-lint — workspace static checks (determinism, hot path, error hygiene)
+
+USAGE:
+    cargo run -p secmem-lint -- [OPTIONS]
+
+OPTIONS:
+    --json            emit findings as JSON (CI artifact) instead of text
+    --fix-baseline    rewrite lint.toml so every current finding is baselined
+    --root <path>     workspace root (default: nearest ancestor with crates/)
+    --list            print the lint catalogue and exit
+    --help            this message
+
+EXIT STATUS:
+    0  no active findings (allows and baseline may have suppressed some)
+    1  at least one non-baselined, non-allowed finding
+    2  usage or I/O error
+";
+
+struct Args {
+    json: bool,
+    fix_baseline: bool,
+    list: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { json: false, fix_baseline: false, list: false, root: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--fix-baseline" => args.fix_baseline = true,
+            "--list" => args.list = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// Finds the workspace root: the nearest ancestor of the current
+/// directory containing `crates/` and `Cargo.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("secmem-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for doc in diag::CATALOGUE {
+            println!("{:>3} {:<22} {}", doc.id, doc.name, doc.invariant);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(root) = args.root.or_else(find_root) else {
+        eprintln!("secmem-lint: cannot locate workspace root (looked for crates/ + Cargo.toml)");
+        return ExitCode::from(2);
+    };
+    let baseline = match Baseline::load(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("secmem-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let policy = Policy::default();
+    let report = match engine::scan_workspace(&root, &policy, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("secmem-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.fix_baseline {
+        let next = report.to_baseline(&baseline);
+        let path = root.join("lint.toml");
+        if let Err(e) = std::fs::write(&path, next.render()) {
+            eprintln!("secmem-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "secmem-lint: baselined {} finding(s) into {}",
+            report.diags.iter().filter(|d| d.disposition != diag::Disposition::Allowed).count(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.json {
+        print!("{}", diag::render_json(&report.diags));
+    } else {
+        print!("{}", diag::render_text(&report.diags));
+        eprintln!("secmem-lint: scanned {} files", report.files_scanned);
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

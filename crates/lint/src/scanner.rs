@@ -1,0 +1,316 @@
+//! Per-file token analysis shared by every lint: which tokens are test
+//! code, which function body each token lives in, and which
+//! `// lint:allow(...)` directives the file declares.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// A function discovered in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Whether `pub` appeared in the tokens directly before `fn`.
+    pub is_pub: bool,
+    /// Token-index range of the body, `{` inclusive to `}` inclusive.
+    pub body: (usize, usize),
+    /// Line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// An inline allow directive.
+///
+/// Grammar (inside a line comment):
+/// `// lint:allow(<ID>): <justification>` suppresses findings of `<ID>`
+/// on the same line, or on the next line when the comment stands alone.
+/// `// lint:allow-file(<ID>): <justification>` suppresses the whole file.
+/// The justification is mandatory: an allow without one is itself
+/// reported (lint `A0`).
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The lint ID being allowed (e.g. `D1`).
+    pub id: String,
+    /// Required free-text justification.
+    pub justification: String,
+    /// Line the directive appears on.
+    pub line: u32,
+    /// Column of the directive.
+    pub col: u32,
+    /// True for `lint:allow-file`.
+    pub file_level: bool,
+    /// True when the directive is malformed (empty justification).
+    pub malformed: bool,
+}
+
+/// Lexed file plus the derived structure lints consume.
+pub struct FileInfo<'a> {
+    /// The source text.
+    pub src: &'a str,
+    /// All tokens, comments included.
+    pub toks: Vec<Token>,
+    /// Per-token: true when the token is inside `#[cfg(test)]`-gated
+    /// code or a `#[test]` function.
+    pub is_test: Vec<bool>,
+    /// Every function with a body, in source order.
+    pub fns: Vec<FnSpan>,
+    /// Allow directives declared in the file.
+    pub allows: Vec<Allow>,
+}
+
+impl<'a> FileInfo<'a> {
+    /// Lexes and analyzes one file.
+    pub fn analyze(src: &'a str) -> Self {
+        let toks = lex(src);
+        let is_test = mark_test_regions(src, &toks);
+        let fns = find_fns(src, &toks);
+        let allows = find_allows(src, &toks);
+        Self { src, toks, is_test, fns, allows }
+    }
+
+    /// The innermost function whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        // Functions are in source order; the innermost match is the one
+        // with the largest body start that still contains `i`.
+        self.fns.iter().filter(|f| f.body.0 <= i && i <= f.body.1).max_by_key(|f| f.body.0)
+    }
+
+    /// True when a finding of `id` at `line` is covered by an allow
+    /// directive (same line, preceding line, or file-level).
+    pub fn allowed(&self, id: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| !a.malformed && a.id == id && (a.file_level || a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Finds `#[cfg(test)]`/`#[test]` attributes and marks the item that
+/// follows each one (up to its closing `}` or terminating `;`) as test
+/// code. Nested attributes and `#[cfg(all(test, …))]` are covered by
+/// looking for the `test` identifier anywhere inside the attribute.
+fn mark_test_regions(src: &str, toks: &[Token]) -> Vec<bool> {
+    let mut is_test = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct(src, '#') && i + 1 < toks.len() && toks[i + 1].is_punct(src, '[') {
+            // Scan the attribute's bracket group for a `test` ident.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut has_test = false;
+            let mut is_cfg_or_test_attr = false;
+            while j < toks.len() {
+                let a = &toks[j];
+                if a.is_punct(src, '[') {
+                    depth += 1;
+                } else if a.is_punct(src, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.kind == TokKind::Ident {
+                    let text = a.ident_text(src).unwrap_or("");
+                    if depth == 1 && j == i + 2 && (text == "cfg" || text == "test") {
+                        is_cfg_or_test_attr = true;
+                    }
+                    if text == "test" {
+                        has_test = true;
+                    }
+                }
+                j += 1;
+            }
+            if is_cfg_or_test_attr && has_test {
+                // Mark from the attribute through the gated item: skip any
+                // further attributes, then to the matching `}` of the first
+                // brace group, or the first `;` before one opens.
+                let region_end = item_end(src, toks, j);
+                for flag in is_test.iter_mut().take(region_end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = region_end + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    is_test
+}
+
+/// Token index of the end of the item starting after attribute-close
+/// index `attr_close` — the matching `}` of the first brace group, or a
+/// bare `;` if one appears first (e.g. `#[cfg(test)] use …;`).
+fn item_end(src: &str, toks: &[Token], attr_close: usize) -> usize {
+    let mut i = attr_close + 1;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct(src, ';') {
+            return i;
+        }
+        if t.is_punct(src, '{') {
+            let mut depth = 0i32;
+            while i < toks.len() {
+                if toks[i].is_punct(src, '{') {
+                    depth += 1;
+                } else if toks[i].is_punct(src, '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                i += 1;
+            }
+            return toks.len() - 1;
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Finds every `fn name … { … }` and records its body token range.
+fn find_fns(src: &str, toks: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].ident_text(src) == Some("fn") {
+            let Some(name_tok) = toks.get(i + 1) else { break };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.ident_text(src).unwrap_or("").to_string();
+            // `pub` within the few tokens before `fn` (possibly with a
+            // visibility scope like `pub(crate)`).
+            let is_pub = (1..=4).any(|back| {
+                i.checked_sub(back)
+                    .and_then(|k| toks.get(k))
+                    .and_then(|t| t.ident_text(src))
+                    .is_some_and(|t| t == "pub")
+            });
+            // Find the body `{` — or a `;` (trait method decl, no body).
+            let mut j = i + 2;
+            let mut body = None;
+            while j < toks.len() {
+                if toks[j].is_punct(src, ';') {
+                    break;
+                }
+                if toks[j].is_punct(src, '{') {
+                    let mut depth = 0i32;
+                    let open = j;
+                    while j < toks.len() {
+                        if toks[j].is_punct(src, '{') {
+                            depth += 1;
+                        } else if toks[j].is_punct(src, '}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                body = Some((open, j));
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(body) = body {
+                fns.push(FnSpan { name, is_pub, body, line: toks[i].line });
+                // Continue scanning *inside* the body too (closures,
+                // nested fns): advance past the `fn` keyword only.
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Extracts `lint:allow` directives from comment tokens.
+fn find_allows(src: &str, toks: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment {
+            continue;
+        }
+        // Only a directive when it *starts* the comment content — prose
+        // that merely mentions `lint:allow(...)` (like this line) is not
+        // one.
+        let content =
+            t.text(src).trim_start_matches('/').trim_start_matches('*').trim_start_matches('!').trim_start();
+        let Some(rest) = content.strip_prefix("lint:allow") else { continue };
+        let (file_level, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            allows.push(Allow {
+                id: String::new(),
+                justification: String::new(),
+                line: t.line,
+                col: t.col,
+                file_level,
+                malformed: true,
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            allows.push(Allow {
+                id: String::new(),
+                justification: String::new(),
+                line: t.line,
+                col: t.col,
+                file_level,
+                malformed: true,
+            });
+            continue;
+        };
+        let id = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim_start();
+        let justification = tail.strip_prefix(':').map(|j| j.trim().to_string()).unwrap_or_default();
+        let malformed = id.is_empty() || justification.is_empty();
+        allows.push(Allow { id, justification, line: t.line, col: t.col, file_level, malformed });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn live2() {}";
+        let info = FileInfo::analyze(src);
+        let unwrap_idx =
+            info.toks.iter().position(|t| t.ident_text(src) == Some("unwrap")).expect("unwrap token present");
+        assert!(info.is_test[unwrap_idx]);
+        let live2 = info.toks.iter().position(|t| t.ident_text(src) == Some("live2")).expect("live2");
+        assert!(!info.is_test[live2]);
+    }
+
+    #[test]
+    fn fn_bodies_and_visibility() {
+        let src = "pub fn new() { inner(); }\nfn helper() {}";
+        let info = FileInfo::analyze(src);
+        assert_eq!(info.fns.len(), 2);
+        assert!(info.fns[0].is_pub);
+        assert_eq!(info.fns[0].name, "new");
+        assert!(!info.fns[1].is_pub);
+        let inner = info.toks.iter().position(|t| t.ident_text(src) == Some("inner")).expect("inner");
+        assert_eq!(info.enclosing_fn(inner).map(|f| f.name.as_str()), Some("new"));
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let src = "// lint:allow(D1): benches must time\n// lint:allow-file(D2): wrapper module\n// lint:allow(H1)\n";
+        let info = FileInfo::analyze(src);
+        assert_eq!(info.allows.len(), 3);
+        assert_eq!(info.allows[0].id, "D1");
+        assert!(!info.allows[0].malformed);
+        assert!(info.allows[1].file_level);
+        assert!(info.allows[2].malformed, "missing justification is malformed");
+        assert!(info.allowed("D1", 1), "same line");
+        assert!(info.allowed("D1", 2), "next line");
+        assert!(!info.allowed("D1", 3));
+        assert!(info.allowed("D2", 40), "file-level covers any line");
+        assert!(!info.allowed("H1", 3), "malformed allow suppresses nothing");
+    }
+}

@@ -1,0 +1,28 @@
+// Scanner fixture: test-gated regions are exempt from every lint.
+pub fn hot() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn gated() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let t = Instant::now();
+        assert!(m.is_empty());
+        let _ = t.elapsed();
+        let _ = Some(1).unwrap();
+    }
+}
+
+#[test]
+fn bare_test_fn() {
+    let _ = Some(2).expect("fine in tests");
+}
+
+pub fn also_hot() -> u32 {
+    9
+}

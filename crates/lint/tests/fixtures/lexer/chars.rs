@@ -1,0 +1,18 @@
+// Lexer fixture: lifetimes vs char literals, numbers vs ranges.
+struct Holder<'a, 'b: 'a> {
+    s: &'a str,
+    t: &'b str,
+}
+fn chars<'x>(v: &'x [u8]) -> usize {
+    let a = 'q';
+    let b = '\n';
+    let c = '\'';
+    let d = '\u{41}';
+    let e = b'\0';
+    let lt: &'static str = "static lifetime";
+    let range: Vec<u32> = (0..10).collect();
+    let fp = 1.5e3_f64;
+    let hex = 0xFF_u64;
+    let _ = (a, b, c, d, e, lt, range, fp, hex);
+    v.len()
+}

@@ -1,0 +1,11 @@
+// Lexer fixture: comment forms. Banned names in comments never count.
+// line comment: HashMap Instant unwrap()
+/// doc comment: SystemTime
+//! inner doc: HashSet
+/* block: HashMap */
+/* outer /* nested Instant */ still outer */
+/* unbalanced-looking "quote inside comment */
+fn after_comments() {
+    let x = 1; /* trailing HashMap */
+    let _ = x;
+}

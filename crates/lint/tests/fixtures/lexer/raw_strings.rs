@@ -1,0 +1,13 @@
+// Lexer fixture: every flavour of string literal. None of the banned
+// names inside the literals below may be seen as identifiers.
+fn strings() {
+    let a = "plain HashMap mention";
+    let b = "escaped quote \" and Instant";
+    let c = r"raw, no hashes: SystemTime";
+    let d = r#"one hash: "quoted" HashSet"#;
+    let e = r##"two hashes: r#"inner"# unwrap()"##;
+    let f = b"byte string HashMap";
+    let g = br#"raw byte string Instant"#;
+    let h = c"c string SystemTime";
+    let _ = (a, b, c, d, e, f, g, h);
+}

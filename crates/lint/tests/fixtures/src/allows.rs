@@ -1,0 +1,17 @@
+//! Allow-directive fixture: justified, same-line, malformed, unknown.
+pub fn cycle(v: &[u32]) -> u32 {
+    // lint:allow(H1): fixture justification on the preceding line
+    let a = v.first().unwrap();
+    let b = v.last().unwrap(); // lint:allow(H1): same-line justification
+    *a + *b
+}
+
+pub fn bad_allow(v: &[u32]) -> u32 {
+    // lint:allow(H1)
+    v.first().copied().unwrap()
+}
+
+pub fn unknown_id() -> u32 {
+    // lint:allow(Z9): no such lint exists
+    7
+}

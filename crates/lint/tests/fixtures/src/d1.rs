@@ -1,0 +1,8 @@
+//! D1 fixture: wall-clock reads in simulation code.
+use std::time::Instant;
+
+pub fn timed() -> u64 {
+    let t = Instant::now();
+    let _ = t;
+    0
+}

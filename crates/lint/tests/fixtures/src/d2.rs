@@ -1,0 +1,7 @@
+//! D2 fixture: seed-randomized std maps in a sim crate.
+use std::collections::HashMap;
+
+pub fn build() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}

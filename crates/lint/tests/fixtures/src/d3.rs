@@ -1,0 +1,14 @@
+//! D3 fixture: iterating an Fx map in report-feeding code.
+use secmem_gpusim::hash::FastHashMap;
+
+pub fn summarize(map: &FastHashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in map.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn keys_in_order(set: FastHashMap<u64, u64>) -> Vec<u64> {
+    set.keys().copied().collect()
+}

@@ -1,0 +1,26 @@
+//! E1 fixture: stringly errors and a panicking constructor.
+pub struct Engine {
+    size: usize,
+}
+
+impl Engine {
+    pub fn new(size: usize) -> Self {
+        if size == 0 {
+            panic!("size must be nonzero");
+        }
+        Self { size }
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+pub fn load(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    let _ = path;
+    Ok(Vec::new())
+}
+
+pub fn parse(text: &str) -> Result<u32, String> {
+    text.trim().parse().map_err(|_| "bad".to_string())
+}

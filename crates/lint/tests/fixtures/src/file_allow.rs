@@ -1,0 +1,7 @@
+//! File-level allow fixture.
+// lint:allow-file(D1): fixture-wide justification for timing helpers
+use std::time::Instant;
+
+pub fn start() -> Instant {
+    Instant::now()
+}

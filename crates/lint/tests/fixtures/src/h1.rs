@@ -1,0 +1,16 @@
+//! H1 fixture: panic paths in a per-cycle module.
+pub fn lookup(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    *first
+}
+
+pub fn boom(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        panic!("empty");
+    }
+    v[0]
+}
+
+pub fn checked(v: &[u32]) -> u32 {
+    v.first().copied().expect("nonempty")
+}

@@ -1,0 +1,18 @@
+//! H2 fixture: allocation in a hot per-cycle function.
+pub struct Cache {
+    lines: Vec<u64>,
+}
+
+impl Cache {
+    pub fn access(&mut self, tag: u64) -> bool {
+        let snapshot = self.lines.clone();
+        let label = format!("{tag}");
+        let extra: Vec<u64> = Vec::new();
+        let _ = (snapshot, label, extra);
+        self.lines.contains(&tag)
+    }
+
+    pub fn cold_summary(&self) -> String {
+        format!("{} lines", self.lines.len())
+    }
+}

@@ -1,0 +1,115 @@
+//! Fixture-driven corpus tests for the hand-rolled lexer and the
+//! scanner's test-region marking: the lexer must never see an identifier
+//! inside a string literal or comment, must keep lifetimes distinct from
+//! char literals, and must leave `#[cfg(test)]` code exempt.
+
+use secmem_lint::lexer::{lex, TokKind};
+use secmem_lint::lint_source;
+use secmem_lint::scanner::FileInfo;
+
+const BANNED: &[&str] = &["HashMap", "HashSet", "Instant", "SystemTime", "unwrap"];
+
+/// Identifier texts of every `Ident` token in `src`.
+fn idents(src: &str) -> Vec<&str> {
+    lex(src).iter().filter_map(|t| t.ident_text(src)).collect()
+}
+
+fn kind_count(src: &str, kind: TokKind) -> usize {
+    lex(src).iter().filter(|t| t.kind == kind).count()
+}
+
+#[test]
+fn raw_strings_hide_their_contents() {
+    let src = include_str!("fixtures/lexer/raw_strings.rs");
+    let ids = idents(src);
+    for banned in BANNED {
+        assert!(!ids.contains(banned), "{banned} leaked out of a string literal");
+    }
+    // One string literal per let binding: plain, escaped, r, r#, r##, b, br#, c.
+    assert_eq!(kind_count(src, TokKind::StrLit), 8);
+}
+
+#[test]
+fn comments_hide_their_contents() {
+    let src = include_str!("fixtures/lexer/comments.rs");
+    let ids = idents(src);
+    for banned in BANNED {
+        assert!(!ids.contains(banned), "{banned} leaked out of a comment");
+    }
+    // `/* outer /* nested */ still outer */` must lex as ONE block comment.
+    let blocks: Vec<_> = lex(src).into_iter().filter(|t| t.kind == TokKind::BlockComment).collect();
+    assert_eq!(blocks.len(), 4, "three standalone + one trailing block comment");
+    assert!(
+        blocks.iter().any(|t| t.text(src).contains("nested") && t.text(src).contains("still outer")),
+        "nested block comment split too early"
+    );
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = include_str!("fixtures/lexer/chars.rs");
+    let toks = lex(src);
+    let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::CharLit).collect();
+    assert_eq!(chars.len(), 5, "'q' '\\n' '\\'' '\\u{{41}}' b'\\0'");
+    for c in &chars {
+        assert!(c.text(src).ends_with('\''), "char literal keeps closing quote");
+    }
+    let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+    assert!(lifetimes.len() >= 5, "found {} lifetimes", lifetimes.len());
+    for lt in &lifetimes {
+        let text = lt.text(src);
+        assert!(text.starts_with('\'') && !text.ends_with('\''), "lifetime {text:?} mislexed");
+    }
+    assert!(lifetimes.iter().any(|t| t.text(src) == "'static"));
+}
+
+#[test]
+fn numbers_do_not_swallow_ranges() {
+    let src = include_str!("fixtures/lexer/chars.rs");
+    let toks = lex(src);
+    let nums: Vec<&str> = toks.iter().filter(|t| t.kind == TokKind::NumLit).map(|t| t.text(src)).collect();
+    assert!(nums.contains(&"0") && nums.contains(&"10"), "range endpoints lex separately: {nums:?}");
+    assert!(nums.contains(&"1.5e3_f64"), "float with exponent + suffix is one token: {nums:?}");
+    assert!(nums.contains(&"0xFF_u64"), "hex with suffix is one token: {nums:?}");
+    assert!(nums.iter().all(|n| !n.contains("..")), "a number swallowed `..`: {nums:?}");
+}
+
+#[test]
+fn positions_are_one_based_lines_and_char_columns() {
+    let src = "ab\n  cd\n";
+    let toks = lex(src);
+    assert_eq!((toks[0].line, toks[0].col), (1, 1));
+    assert_eq!((toks[1].line, toks[1].col), (2, 3));
+}
+
+#[test]
+fn cfg_test_regions_are_marked_exempt() {
+    let src = include_str!("fixtures/lexer/cfg_gated.rs");
+    let info = FileInfo::analyze(src);
+    let banned_positions: Vec<usize> = info
+        .toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.ident_text(src).is_some_and(|id| BANNED.contains(&id) || id == "expect"))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!banned_positions.is_empty(), "fixture contains gated banned idents");
+    for i in banned_positions {
+        assert!(info.is_test[i], "token {:?} should be inside a test region", info.toks[i].text(src));
+    }
+    // The two real functions stay lintable.
+    for name in ["hot", "also_hot"] {
+        let f = info.fns.iter().find(|f| f.name == name).unwrap_or_else(|| panic!("{name} found"));
+        assert!(!info.is_test[f.body.0], "{name} must not be test-exempt");
+    }
+}
+
+#[test]
+fn cfg_gated_fixture_produces_no_findings_even_in_a_hot_file() {
+    let src = include_str!("fixtures/lexer/cfg_gated.rs");
+    let policy = secmem_lint::Policy::default();
+    // Pretend the fixture sits at a hot path in a sim crate: every lint
+    // is in scope, yet all banned tokens are inside test regions.
+    let diags = lint_source("crates/gpusim/src/mshr.rs", src, &policy);
+    assert!(diags.is_empty(), "test-gated code must not fire lints: {diags:?}");
+}

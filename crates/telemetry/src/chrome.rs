@@ -110,17 +110,41 @@ fn json_number(v: f64) -> String {
     }
 }
 
+/// A JSON syntax error found by [`validate_json`]: what went wrong and
+/// the byte offset of the first offending position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonSyntaxError {
+    /// Byte offset into the validated string.
+    pub offset: usize,
+    /// What the validator expected or found.
+    pub message: &'static str,
+}
+
+impl JsonSyntaxError {
+    fn at(offset: usize, message: &'static str) -> Self {
+        Self { offset, message }
+    }
+}
+
+impl core::fmt::Display for JsonSyntaxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "json syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonSyntaxError {}
+
 /// Minimal JSON well-formedness check (recursive descent over the full
 /// grammar). Returns `Err` with a byte offset and message on the first
 /// syntax error. This is a validator, not a parser — it builds nothing.
-pub fn validate_json(input: &str) -> Result<(), String> {
+pub fn validate_json(input: &str) -> Result<(), JsonSyntaxError> {
     let bytes = input.as_bytes();
     let mut pos = 0;
     skip_ws(bytes, &mut pos);
     value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+        return Err(JsonSyntaxError::at(pos, "trailing data after top-level value"));
     }
     Ok(())
 }
@@ -131,7 +155,7 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn value(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
     match b.get(*pos) {
         Some(b'{') => object(b, pos),
         Some(b'[') => array(b, pos),
@@ -140,21 +164,21 @@ fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
         Some(b'f') => literal(b, pos, b"false"),
         Some(b'n') => literal(b, pos, b"null"),
         Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
-        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}", pos = *pos)),
-        None => Err("unexpected end of input".to_string()),
+        Some(_) => Err(JsonSyntaxError::at(*pos, "unexpected byte starting a value")),
+        None => Err(JsonSyntaxError::at(b.len(), "unexpected end of input")),
     }
 }
 
-fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), JsonSyntaxError> {
     if b[*pos..].starts_with(lit) {
         *pos += lit.len();
         Ok(())
     } else {
-        Err(format!("bad literal at byte {pos}", pos = *pos))
+        Err(JsonSyntaxError::at(*pos, "bad literal"))
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn object(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
     *pos += 1; // consume '{'
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b'}') {
@@ -164,12 +188,12 @@ fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
     loop {
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected object key at byte {pos}", pos = *pos));
+            return Err(JsonSyntaxError::at(*pos, "expected object key"));
         }
         string(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
-            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+            return Err(JsonSyntaxError::at(*pos, "expected ':'"));
         }
         *pos += 1;
         skip_ws(b, pos);
@@ -181,12 +205,12 @@ fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
                 *pos += 1;
                 return Ok(());
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+            _ => return Err(JsonSyntaxError::at(*pos, "expected ',' or '}'")),
         }
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn array(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
     *pos += 1; // consume '['
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b']') {
@@ -203,12 +227,12 @@ fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
                 *pos += 1;
                 return Ok(());
             }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+            _ => return Err(JsonSyntaxError::at(*pos, "expected ',' or ']'")),
         }
     }
 }
 
-fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn string(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
     *pos += 1; // consume opening quote
     while let Some(&c) = b.get(*pos) {
         match c {
@@ -225,20 +249,20 @@ fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
                         for _ in 0..4 {
                             match b.get(*pos) {
                                 Some(h) if h.is_ascii_hexdigit() => *pos += 1,
-                                _ => return Err(format!("bad \\u escape at byte {pos}", pos = *pos)),
+                                _ => return Err(JsonSyntaxError::at(*pos, "bad \\u escape")),
                             }
                         }
                     }
-                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                    _ => return Err(JsonSyntaxError::at(*pos, "bad escape")),
                 }
             }
             _ => *pos += 1,
         }
     }
-    Err("unterminated string".to_string())
+    Err(JsonSyntaxError::at(b.len(), "unterminated string"))
 }
 
-fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn number(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -248,7 +272,7 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
         *pos += 1;
     }
     if *pos == digits_start {
-        return Err(format!("expected digits at byte {start}"));
+        return Err(JsonSyntaxError::at(start, "expected digits"));
     }
     if b.get(*pos) == Some(&b'.') {
         *pos += 1;
@@ -257,7 +281,7 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             *pos += 1;
         }
         if *pos == frac_start {
-            return Err(format!("expected fraction digits at byte {pos}", pos = *pos));
+            return Err(JsonSyntaxError::at(*pos, "expected fraction digits"));
         }
     }
     if matches!(b.get(*pos), Some(b'e' | b'E')) {
@@ -270,7 +294,7 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             *pos += 1;
         }
         if *pos == exp_start {
-            return Err(format!("expected exponent digits at byte {pos}", pos = *pos));
+            return Err(JsonSyntaxError::at(*pos, "expected exponent digits"));
         }
     }
     Ok(())

@@ -44,6 +44,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Telemetry must never take down a simulation: no unwraps outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod chrome;
 pub mod csvout;

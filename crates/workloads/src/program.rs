@@ -24,10 +24,24 @@ impl SyntheticKernel {
     ///
     /// # Panics
     ///
-    /// Panics if the spec fails validation.
+    /// Panics if the spec fails validation; [`SyntheticKernel::try_new`]
+    /// is the non-panicking form.
     pub fn new(spec: BenchSpec, seed: u64) -> Self {
-        spec.validate().expect("invalid benchmark spec");
-        Self { spec, seed }
+        match Self::try_new(spec, seed) {
+            Ok(kernel) => kernel,
+            Err(e) => panic!("invalid benchmark spec: {e}"),
+        }
+    }
+
+    /// Creates the kernel, surfacing the violated constraint as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SpecError`] from [`BenchSpec::validate`].
+    pub fn try_new(spec: BenchSpec, seed: u64) -> Result<Self, crate::spec::SpecError> {
+        spec.validate()?;
+        Ok(Self { spec, seed })
     }
 
     /// The underlying specification.

@@ -101,30 +101,53 @@ impl BenchSpec {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
         if self.warps_per_sm == 0 || self.active_sms == 0 {
-            return Err(format!("{}: warps and SMs must be nonzero", self.name));
+            return Err(SpecError::new(self.name, "warps and SMs must be nonzero"));
         }
         if self.alu_stall == 0 {
-            return Err(format!("{}: alu_stall must be >= 1", self.name));
+            return Err(SpecError::new(self.name, "alu_stall must be >= 1"));
         }
         if self.mlp == 0 {
-            return Err(format!("{}: mlp must be >= 1", self.name));
+            return Err(SpecError::new(self.name, "mlp must be >= 1"));
         }
         if self.footprint < 1 << 16 {
-            return Err(format!("{}: footprint too small", self.name));
+            return Err(SpecError::new(self.name, "footprint too small"));
         }
         match self.pattern {
             AccessPattern::Scatter { lanes, .. } if lanes == 0 || lanes > 32 => {
-                Err(format!("{}: scatter lanes must be 1..=32", self.name))
+                Err(SpecError::new(self.name, "scatter lanes must be 1..=32"))
             }
-            AccessPattern::Stream { arrays: 0 } => Err(format!("{}: need at least one array", self.name)),
-            AccessPattern::Chase { depth: 0 } => Err(format!("{}: chase depth must be >= 1", self.name)),
+            AccessPattern::Stream { arrays: 0 } => Err(SpecError::new(self.name, "need at least one array")),
+            AccessPattern::Chase { depth: 0 } => Err(SpecError::new(self.name, "chase depth must be >= 1")),
             _ => Ok(()),
         }
     }
 }
+
+/// A [`BenchSpec`] constraint violation: which spec and what rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecError {
+    /// Name of the offending spec.
+    pub spec: &'static str,
+    /// The violated constraint.
+    pub constraint: &'static str,
+}
+
+impl SpecError {
+    fn new(spec: &'static str, constraint: &'static str) -> Self {
+        Self { spec, constraint }
+    }
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid spec '{}': {}", self.spec, self.constraint)
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 #[cfg(test)]
 mod tests {
