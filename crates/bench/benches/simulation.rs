@@ -24,6 +24,8 @@ fn job(bench: &str, backend: BackendChoice) -> Job {
         cycles: CYCLES,
         warmup: 0,
         label: bench.into(),
+        telemetry: None,
+        telemetry_out: None,
     }
 }
 

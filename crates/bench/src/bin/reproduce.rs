@@ -190,8 +190,14 @@ fn run_experiment(exp: &str, opts: &ExpOpts, baselines: Option<&Baselines>) -> R
     })
 }
 
-/// Applies `--resume`: experiments whose CSV already exists are dropped
-/// from `todo`.
+/// Applies `--resume`: experiments whose CSV already exists *and passes
+/// the integrity check* are dropped from `todo`.
+///
+/// Existence alone is not enough: a sweep killed mid-write leaves a
+/// partial CSV behind, and skipping it would silently ship truncated
+/// results. Every CSV ends with a `# report_fp <fnv1a>` line (see
+/// [`secmem_bench::table::csv_is_intact`]); a file whose fingerprint is
+/// missing, unparseable, or stale is rerun.
 ///
 /// When the current invocation also requests trace files (`--trace-out`),
 /// a CSV alone does not prove the traces are current: the prior
@@ -212,8 +218,18 @@ fn apply_resume(todo: &mut Vec<String>, csv_dir: &std::path::Path, trace_dir: Op
             .unwrap_or(false)
     });
     todo.retain(|exp| {
-        if !csv_dir.join(format!("{exp}.csv")).exists() {
-            return true;
+        let path = csv_dir.join(format!("{exp}.csv"));
+        match std::fs::read_to_string(&path) {
+            Err(_) => return true, // absent (or unreadable): run it
+            Ok(text) if !secmem_bench::table::csv_is_intact(&text) => {
+                eprintln!(
+                    "[reproduce] {exp}: {} exists but fails the report_fp integrity check \
+                     (truncated or edited); rerunning (--resume)",
+                    path.display()
+                );
+                return true;
+            }
+            Ok(_) => {}
         }
         match (trace_dir, has_traces) {
             (Some(tdir), Some(false)) => {
@@ -334,13 +350,36 @@ mod tests {
         dir
     }
 
+    /// A complete results file, fingerprint line included.
+    fn intact_csv() -> String {
+        let mut t = secmem_bench::ExpTable::new("T", &["bench", "ipc"]);
+        t.push_row(vec!["nw".into(), "23.9".into()]);
+        t.to_csv()
+    }
+
     #[test]
-    fn resume_skips_only_experiments_with_csv() {
+    fn resume_skips_only_experiments_with_intact_csv() {
         let dir = scratch("csv_only");
-        fs::write(dir.join("fig3.csv"), "x").expect("write csv");
+        fs::write(dir.join("fig3.csv"), intact_csv()).expect("write csv");
         let mut todo = vec!["fig3".to_string(), "fig4".to_string()];
         apply_resume(&mut todo, &dir, None);
         assert_eq!(todo, vec!["fig4".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_reruns_truncated_or_fingerprintless_csv() {
+        let dir = scratch("corrupt_csv");
+        // A pre-fingerprint or hand-edited file: no report_fp line.
+        fs::write(dir.join("fig3.csv"), "bench,ipc\nnw,23.9\n").expect("write csv");
+        // A file truncated mid-write by a crash.
+        let full = intact_csv();
+        fs::write(dir.join("fig4.csv"), &full[..full.len() - 10]).expect("write csv");
+        // An intact one for contrast.
+        fs::write(dir.join("fig5.csv"), intact_csv()).expect("write csv");
+        let mut todo = vec!["fig3".to_string(), "fig4".to_string(), "fig5".to_string()];
+        apply_resume(&mut todo, &dir, None);
+        assert_eq!(todo, vec!["fig3".to_string(), "fig4".to_string()], "only the intact CSV skips");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -349,7 +388,7 @@ mod tests {
         let dir = scratch("no_traces");
         let tdir = dir.join("traces");
         fs::create_dir_all(&tdir).expect("create trace dir");
-        fs::write(dir.join("fig3.csv"), "x").expect("write csv");
+        fs::write(dir.join("fig3.csv"), intact_csv()).expect("write csv");
         let mut todo = vec!["fig3".to_string()];
         // The CSV exists but the prior run left no trace files: the
         // experiment must rerun so the traces get regenerated.
@@ -363,7 +402,7 @@ mod tests {
         let dir = scratch("with_traces");
         let tdir = dir.join("traces");
         fs::create_dir_all(&tdir).expect("create trace dir");
-        fs::write(dir.join("fig3.csv"), "x").expect("write csv");
+        fs::write(dir.join("fig3.csv"), intact_csv()).expect("write csv");
         fs::write(tdir.join("nw_baseline.trace.json"), "{}").expect("write trace");
         let mut todo = vec!["fig3".to_string()];
         apply_resume(&mut todo, &dir, Some(&tdir));

@@ -22,17 +22,30 @@
 //!   --telemetry           sample per-component time series during the run
 //!   --sample-interval N   telemetry sampling interval in cycles (default 512)
 //!   --trace-out FILE      write a Chrome trace_event JSON (implies --telemetry)
+//!   --checkpoint-every N  snapshot full simulator state every N cycles
+//!   --checkpoint-out F    where snapshots go (default simulate.ckpt)
+//!   --resume-from F       restore a snapshot and continue the run from it
 //! ```
+//!
+//! Checkpointing makes paper-scale runs crash-safe: a run killed between
+//! snapshots loses at most `N` cycles, and `--resume-from` continues it
+//! to a report byte-identical to an uninterrupted run (telemetry off).
+//! If the forward-progress watchdog trips, the wounded machine is
+//! captured in `<checkpoint-out>.emergency` for post-mortem debugging.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use secmem_bench::json::report_to_json;
-use secmem_bench::{run_job, BackendChoice, Job};
-use secmem_core::{MetadataCacheKind, SecureMemConfig, SecurityScheme};
+use secmem_bench::{run_job, BackendChoice, Job, RunResult};
+use secmem_checkpoint::Frame;
+use secmem_core::{MetadataCacheKind, SecureBackend, SecureMemConfig, SecurityScheme};
+use secmem_gpusim::backend::{MemoryBackend, PassthroughBackend};
 use secmem_gpusim::cache::ReplacementPolicy;
 use secmem_gpusim::config::GpuConfig;
+use secmem_gpusim::sim::Simulator;
+use secmem_gpusim::stats::SimReport;
 use secmem_gpusim::types::TrafficClass;
-use secmem_telemetry::{chrome, TelemetryConfig};
+use secmem_telemetry::{chrome, Telemetry, TelemetryConfig};
 use secmem_workloads::{ml, suite, SyntheticKernel};
 
 struct Options {
@@ -46,6 +59,9 @@ struct Options {
     telemetry: bool,
     sample_interval: u64,
     trace_out: Option<PathBuf>,
+    checkpoint_every: u64,
+    checkpoint_out: PathBuf,
+    resume_from: Option<PathBuf>,
 }
 
 fn find_kernel(name: &str) -> Option<SyntheticKernel> {
@@ -67,6 +83,9 @@ fn parse() -> Result<Options, String> {
         telemetry: false,
         sample_interval: TelemetryConfig::default().sample_interval,
         trace_out: None,
+        checkpoint_every: 0,
+        checkpoint_out: PathBuf::from("simulate.ckpt"),
+        resume_from: None,
     };
     let mut it = std::env::args().skip(1);
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -123,11 +142,187 @@ fn parse() -> Result<Options, String> {
                 o.trace_out = Some(PathBuf::from(need(&mut it, "--trace-out")?));
                 o.telemetry = true;
             }
+            "--checkpoint-every" => {
+                o.checkpoint_every = need(&mut it, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if o.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+            }
+            "--checkpoint-out" => {
+                o.checkpoint_out = PathBuf::from(need(&mut it, "--checkpoint-out")?);
+            }
+            "--resume-from" => o.resume_from = Some(PathBuf::from(need(&mut it, "--resume-from")?)),
             "--help" | "-h" => return Err("see the doc comment at the top of simulate.rs".into()),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
+    if o.warmup > 0 && (o.checkpoint_every > 0 || o.resume_from.is_some()) {
+        // Warmup resets statistics mid-run; a snapshot cut across that
+        // boundary could not promise resume-equals-uninterrupted.
+        return Err("--warmup cannot be combined with checkpointing flags".into());
+    }
     Ok(o)
+}
+
+/// `<checkpoint-out>.emergency`: where a watchdog-stalled machine is
+/// captured.
+fn emergency_path(out: &Path) -> PathBuf {
+    let mut s = out.as_os_str().to_os_string();
+    s.push(".emergency");
+    PathBuf::from(s)
+}
+
+/// Drives a simulator in `--checkpoint-every` sized chunks, writing a
+/// snapshot after each chunk, and captures an emergency snapshot when
+/// the forward-progress watchdog trips.
+fn drive_checkpointed<B: MemoryBackend>(sim: &mut Simulator<B>, o: &Options) -> Result<SimReport, String> {
+    if let Some(path) = &o.resume_from {
+        let frame = Frame::read_file(path).map_err(|e| format!("--resume-from {}: {e}", path.display()))?;
+        sim.restore_checkpoint(&frame).map_err(|e| format!("--resume-from {}: {e}", path.display()))?;
+        eprintln!("resumed from {} at cycle {}", path.display(), frame.cycle);
+    }
+    loop {
+        let target =
+            if o.checkpoint_every > 0 { (sim.now() + o.checkpoint_every).min(o.cycles) } else { o.cycles };
+        match sim.run_checked(target) {
+            Ok(report) => {
+                if sim.finished() || sim.now() >= o.cycles {
+                    return Ok(report);
+                }
+                if o.checkpoint_every > 0 {
+                    let frame = sim.save_checkpoint();
+                    frame
+                        .write_file(&o.checkpoint_out)
+                        .map_err(|e| format!("writing {}: {e}", o.checkpoint_out.display()))?;
+                    eprintln!("checkpoint at cycle {} -> {}", frame.cycle, o.checkpoint_out.display());
+                }
+            }
+            Err(stall) => {
+                let path = emergency_path(&o.checkpoint_out);
+                let frame = sim.save_checkpoint();
+                match frame.write_file(&path) {
+                    Ok(()) => eprintln!(
+                        "watchdog: {stall}; emergency snapshot at cycle {} -> {}",
+                        frame.cycle,
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("watchdog: {stall}; emergency snapshot failed: {e}"),
+                }
+                // The report carries the stall diagnostics.
+                return Ok(sim.report());
+            }
+        }
+    }
+}
+
+/// Like [`run_job`], but with the simulator exposed to the chunked
+/// checkpoint loop. Mirrors `run_job`'s construction exactly so resumed
+/// runs restore into an identical machine.
+fn run_checkpointed_job(job: &Job, o: &Options) -> Result<RunResult, String> {
+    use secmem_gpusim::kernel::Kernel;
+    let bench = job.kernel.name().to_string();
+    let telemetry = match &job.telemetry {
+        Some(cfg) => Telemetry::enabled(cfg.clone()),
+        None => Telemetry::disabled(),
+    };
+    match &job.backend {
+        BackendChoice::Baseline => {
+            let mut sim =
+                Simulator::new(job.gpu.clone(), &job.kernel, |_, g| PassthroughBackend::from_config(g));
+            sim.set_telemetry(telemetry);
+            let report = drive_checkpointed(&mut sim, o)?;
+            let telemetry = sim.telemetry_snapshot();
+            Ok(RunResult { bench, label: job.label.clone(), report, reuse: None, telemetry })
+        }
+        BackendChoice::Secure(cfg) => {
+            let cfg = cfg.clone();
+            let mut sim =
+                Simulator::new(job.gpu.clone(), &job.kernel, |_, g| SecureBackend::new(cfg.clone(), g));
+            sim.set_telemetry(telemetry);
+            let report = drive_checkpointed(&mut sim, o)?;
+            let reuse = sim
+                .partition(0)
+                .backend()
+                .reuse_profilers()
+                .map(|p| [p[0].histogram(), p[1].histogram(), p[2].histogram()]);
+            let telemetry = sim.telemetry_snapshot();
+            Ok(RunResult { bench, label: job.label.clone(), report, reuse, telemetry })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secmem_gpusim::fault::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
+    use secmem_gpusim::kernel::StreamKernel;
+
+    fn options(dir: &Path) -> Options {
+        Options {
+            bench: "fdtd2d".into(),
+            scheme: "baseline".into(),
+            cycles: 1_000_000,
+            warmup: 0,
+            gpu: GpuConfig::small(),
+            cfg: SecureMemConfig::secure_mem(),
+            json: false,
+            telemetry: false,
+            sample_interval: 512,
+            trace_out: None,
+            checkpoint_every: 0,
+            checkpoint_out: dir.join("run.ckpt"),
+            resume_from: None,
+        }
+    }
+
+    /// Drops every data-read completion: all warps wedge and the
+    /// forward-progress watchdog trips.
+    fn stalling_sim(cfg: &GpuConfig) -> Simulator<PassthroughBackend> {
+        let plan = FaultPlan::new(11)
+            .with(FaultSpec::new(FaultKind::Drop, FaultTrigger::Always).on_class(TrafficClass::Data));
+        let kernel = StreamKernel { alu_per_mem: 0, bytes_per_warp: 1 << 18, warps: 4 };
+        Simulator::new(cfg.clone(), &kernel, move |p, c| {
+            let mut b = PassthroughBackend::from_config(c);
+            b.install_faults(plan.injector_for(p));
+            b
+        })
+    }
+
+    #[test]
+    fn watchdog_trip_leaves_a_loadable_emergency_snapshot() {
+        let dir = std::env::temp_dir().join(format!("simulate_emergency_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut o = options(&dir);
+        let mut gpu = GpuConfig::small();
+        gpu.watchdog_cycles = 2_000;
+        o.gpu = gpu.clone();
+
+        let mut sim = stalling_sim(&gpu);
+        let report = drive_checkpointed(&mut sim, &o).expect("stall is reported, not an error");
+        let stall = report.stall.as_ref().expect("report must carry the stall diagnostics");
+
+        // The wedged machine must be captured, decodable, and restorable
+        // into an identically built simulator — which then stalls at the
+        // exact same cycle, proving the snapshot holds the stuck state.
+        let path = emergency_path(&o.checkpoint_out);
+        let frame = Frame::read_file(&path).expect("emergency snapshot decodes");
+        assert_eq!(frame.cycle, sim.now(), "snapshot taken at the stall cycle");
+        let mut revived = stalling_sim(&gpu);
+        revived.restore_checkpoint(&frame).expect("emergency snapshot restores");
+        let err = revived.run_checked(o.cycles).expect_err("restored machine is still wedged");
+        let secmem_gpusim::error::SimError::Stalled(again) = *err else { panic!("expected stall") };
+        assert!(
+            again.cycle > stall.cycle && again.cycle <= stall.cycle + gpu.watchdog_cycles,
+            "restored machine must re-trip within one watchdog window \
+             (first at {}, again at {})",
+            stall.cycle,
+            again.cycle
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 fn scheme_of(name: &str) -> Option<Option<SecurityScheme>> {
@@ -176,7 +371,18 @@ fn main() {
         telemetry,
         telemetry_out: None, // single run: the trace is written below
     };
-    let result = run_job(&job);
+    let checkpointing = o.checkpoint_every > 0 || o.resume_from.is_some();
+    let result = if checkpointing {
+        match run_checkpointed_job(&job, &o) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        run_job(&job)
+    };
     let r = &result.report;
     if let (Some(path), Some(snap)) = (&o.trace_out, &result.telemetry) {
         let text = chrome::chrome_trace(snap);

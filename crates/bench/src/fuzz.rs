@@ -1,0 +1,353 @@
+//! Seeded mutation fuzzing for the workspace's hand-written parsers.
+//!
+//! The repository accepts four kinds of untrusted byte streams: trace
+//! files ([`secmem_gpusim::trace::Trace::from_text`]), the linter's
+//! `lint.toml` baseline ([`secmem_lint::Baseline::parse`]), Chrome
+//! trace JSON ([`secmem_telemetry::chrome::validate_json`]) and
+//! checkpoint frames ([`secmem_checkpoint::Frame::decode`]). The
+//! contract for all of them is the same as everywhere else in the
+//! workspace: arbitrary input must produce a typed error, never a
+//! panic.
+//!
+//! Everything here is dependency-free and deterministic: mutations come
+//! from the simulator's own SplitMix64 generator, so a failing case is
+//! reproducible from `(corpus, seed, iteration)` alone and can be
+//! turned into a permanent regression fixture.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use secmem_checkpoint::Frame;
+use secmem_gpusim::rng::Rng64;
+use secmem_gpusim::trace::Trace;
+use secmem_lint::Baseline;
+use secmem_telemetry::chrome;
+
+/// A parser under fuzz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corpus {
+    /// The v1 trace text format.
+    Trace,
+    /// The linter's `lint.toml` subset.
+    LintBaseline,
+    /// Chrome `trace_event` JSON syntax validation.
+    ChromeJson,
+    /// Binary checkpoint frames.
+    Checkpoint,
+}
+
+impl Corpus {
+    /// Every corpus, for smoke sweeps.
+    pub const ALL: [Corpus; 4] =
+        [Corpus::Trace, Corpus::LintBaseline, Corpus::ChromeJson, Corpus::Checkpoint];
+
+    /// Short display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Corpus::Trace => "trace",
+            Corpus::LintBaseline => "lint-baseline",
+            Corpus::ChromeJson => "chrome-json",
+            Corpus::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// A deterministic byte-stream mutator (SplitMix64-driven).
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    rng: Rng64,
+}
+
+impl Mutator {
+    /// A mutator whose whole output stream is a function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: Rng64::new(seed) }
+    }
+
+    /// Returns a mutated copy of `base`: 1–8 rounds of byte flips,
+    /// insertions, deletions, duplications, truncations and numeric
+    /// splices.
+    pub fn mutate(&mut self, base: &[u8]) -> Vec<u8> {
+        let mut data = base.to_vec();
+        let rounds = 1 + self.rng.gen_range(8);
+        for _ in 0..rounds {
+            if data.is_empty() {
+                data.push(self.rng.next_u64() as u8);
+                continue;
+            }
+            let len = data.len() as u64;
+            match self.rng.gen_range(6) {
+                0 => {
+                    // Flip one byte.
+                    let at = self.rng.gen_range(len) as usize;
+                    data[at] ^= (1 + self.rng.gen_range(255)) as u8;
+                }
+                1 => {
+                    // Insert a random byte.
+                    let at = self.rng.gen_range(len + 1) as usize;
+                    data.insert(at, self.rng.next_u64() as u8);
+                }
+                2 => {
+                    // Delete a short range.
+                    let at = self.rng.gen_range(len) as usize;
+                    let n = (1 + self.rng.gen_range(8)) as usize;
+                    data.drain(at..(at + n).min(data.len()));
+                }
+                3 => {
+                    // Duplicate a short range in place.
+                    let at = self.rng.gen_range(len) as usize;
+                    let n = (1 + self.rng.gen_range(16)) as usize;
+                    let chunk: Vec<u8> = data[at..(at + n).min(data.len())].to_vec();
+                    let to = self.rng.gen_range(data.len() as u64 + 1) as usize;
+                    data.splice(to..to, chunk);
+                }
+                4 => {
+                    // Truncate.
+                    let at = self.rng.gen_range(len + 1) as usize;
+                    data.truncate(at);
+                }
+                _ => {
+                    // Splice in text-format shrapnel: digits, separators
+                    // and huge numbers reach deeper into the parsers
+                    // than raw bytes do.
+                    const SHRAPNEL: &[&[u8]] = &[
+                        b"0",
+                        b"-1",
+                        b"18446744073709551615",
+                        b"99999999999999999999",
+                        b",",
+                        b" ",
+                        b"\n",
+                        b"\"",
+                        b"warp ",
+                        b"[[baseline]]",
+                        b"{",
+                        b"0x",
+                    ];
+                    let chunk = SHRAPNEL[self.rng.gen_range(SHRAPNEL.len() as u64) as usize];
+                    let at = self.rng.gen_range(len + 1) as usize;
+                    data.splice(at..at, chunk.iter().copied());
+                }
+            }
+        }
+        data
+    }
+}
+
+/// Well-formed exemplar inputs per corpus; mutation starts from these
+/// so most cases exercise deep parser paths rather than dying on the
+/// first header check.
+pub fn seed_inputs(corpus: Corpus) -> Vec<Vec<u8>> {
+    match corpus {
+        Corpus::Trace => vec![
+            b"# gpu-secure-memory trace v1\nwarp 0 0\nA 3\nL 1 100:f 180:3\nS 200:1\nX\n".to_vec(),
+            b"# gpu-secure-memory trace v1\nwarp 1 2\nU 7\nL 0 1000:f\nX\nwarp 1 3\nX\n".to_vec(),
+        ],
+        Corpus::LintBaseline => vec![
+            b"disabled = [\"hot-format\"]\n[[baseline]]\nfile = \"crates/core/src/engine.rs\"\nlint = \"long-fn\"\ncount = 2\n".to_vec(),
+            b"[[baseline]]\nfile = \"a.rs\" # comment\nlint = \"x\"\ncount = 1\n".to_vec(),
+        ],
+        Corpus::ChromeJson => vec![
+            br#"{"traceEvents":[{"name":"dram","ph":"C","ts":12,"pid":1,"args":{"v":3.5}}],"displayTimeUnit":"ns"}"#.to_vec(),
+            br#"[1,2.5e-3,"s",true,false,null,{"k":[{}]}]"#.to_vec(),
+        ],
+        Corpus::Checkpoint => {
+            // A real small frame plus one with a big payload, so length
+            // fields and the checksum both get mutated.
+            let small = Frame { config_fp: 0x5EC, cycle: 42, payload: vec![1, 2, 3, 4] }.encode();
+            let big = Frame {
+                config_fp: u64::MAX,
+                cycle: 0,
+                payload: (0..256u32).flat_map(|x| x.to_le_bytes()).collect(),
+            }
+            .encode();
+            vec![small, big]
+        }
+    }
+}
+
+/// Feeds one input to the corpus parser, discarding the result.
+///
+/// Returning normally means the parser either accepted the input or
+/// rejected it with a typed error — both are fine. A panic propagates
+/// to the caller; [`fuzz_corpus`] catches it and reports the case.
+pub fn parse_one(corpus: Corpus, input: &[u8]) {
+    match corpus {
+        Corpus::Trace => {
+            let _ = Trace::from_text(&String::from_utf8_lossy(input));
+        }
+        Corpus::LintBaseline => {
+            let _ = Baseline::parse(&String::from_utf8_lossy(input));
+        }
+        Corpus::ChromeJson => {
+            let _ = chrome::validate_json(&String::from_utf8_lossy(input));
+        }
+        Corpus::Checkpoint => {
+            if let Ok(frame) = Frame::decode(input) {
+                // A frame that survives the checksum still carries an
+                // arbitrary payload; the reader must stay typed on it.
+                let mut r = secmem_checkpoint::Reader::new(&frame.payload);
+                while r.remaining() > 0 {
+                    if r.get_bytes().is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A fuzz case that crashed a parser.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Which corpus crashed.
+    pub corpus: Corpus,
+    /// The mutator seed for the whole run.
+    pub seed: u64,
+    /// The iteration (mutation index) that produced the input.
+    pub iteration: u64,
+    /// The offending input bytes.
+    pub input: Vec<u8>,
+    /// The panic payload, stringified.
+    pub panic: String,
+}
+
+impl std::fmt::Display for FuzzCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} corpus, seed {:#x}, iteration {}: panic '{}' on {} bytes: {}",
+            self.corpus.label(),
+            self.seed,
+            self.iteration,
+            self.panic,
+            self.input.len(),
+            hex_preview(&self.input),
+        )
+    }
+}
+
+/// First bytes of an input as hex, for reporting.
+fn hex_preview(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for b in bytes.iter().take(48) {
+        let _ = write!(out, "{b:02x}");
+    }
+    if bytes.len() > 48 {
+        out.push_str("..");
+    }
+    out
+}
+
+/// Runs `iterations` mutated inputs (round-robin over the corpus seed
+/// inputs) through the corpus parser.
+///
+/// # Errors
+///
+/// Returns the first case whose parse panicked, with everything needed
+/// to reproduce it.
+pub fn fuzz_corpus(corpus: Corpus, seed: u64, iterations: u64) -> Result<(), Box<FuzzCase>> {
+    let bases = seed_inputs(corpus);
+    let mut mutator = Mutator::new(seed);
+    for iteration in 0..iterations {
+        let base = &bases[(iteration as usize) % bases.len()];
+        let input = mutator.mutate(base);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| parse_one(corpus, &input))) {
+            let panic = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            return Err(Box::new(FuzzCase { corpus, seed, iteration, input, panic }));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutator_is_deterministic() {
+        let base = b"# gpu-secure-memory trace v1\nwarp 0 0\nX\n";
+        let a: Vec<Vec<u8>> = {
+            let mut m = Mutator::new(9);
+            (0..32).map(|_| m.mutate(base)).collect()
+        };
+        let b: Vec<Vec<u8>> = {
+            let mut m = Mutator::new(9);
+            (0..32).map(|_| m.mutate(base)).collect()
+        };
+        assert_eq!(a, b, "same seed, same mutation stream");
+        let mut m = Mutator::new(10);
+        assert_ne!(a[0], m.mutate(base), "different seeds diverge");
+    }
+
+    #[test]
+    fn seed_inputs_parse_cleanly() {
+        for corpus in Corpus::ALL {
+            for (i, input) in seed_inputs(corpus).iter().enumerate() {
+                // The unmutated exemplars must be *valid* — otherwise
+                // mutation only explores the error paths.
+                match corpus {
+                    Corpus::Trace => {
+                        Trace::from_text(&String::from_utf8_lossy(input))
+                            .unwrap_or_else(|e| panic!("trace exemplar {i}: {e}"));
+                    }
+                    Corpus::LintBaseline => {
+                        Baseline::parse(&String::from_utf8_lossy(input))
+                            .unwrap_or_else(|e| panic!("baseline exemplar {i}: {e}"));
+                    }
+                    Corpus::ChromeJson => {
+                        chrome::validate_json(&String::from_utf8_lossy(input))
+                            .unwrap_or_else(|e| panic!("json exemplar {i}: {e}"));
+                    }
+                    Corpus::Checkpoint => {
+                        Frame::decode(input).unwrap_or_else(|e| panic!("frame exemplar {i}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_typed_errors() {
+        for corpus in Corpus::ALL {
+            parse_one(corpus, b"");
+            parse_one(corpus, b"\0");
+            parse_one(corpus, b"\xff\xff\xff\xff\xff\xff\xff\xff");
+        }
+    }
+
+    /// Regression fixtures: inputs that exercise the parser paths the
+    /// fuzzer reaches most often (truncated frames, giant counts,
+    /// malformed numerics). Each must stay a typed rejection.
+    #[test]
+    fn regression_fixtures_stay_typed() {
+        // Checkpoint: header claims a payload far larger than the file.
+        let mut frame = Frame { config_fp: 1, cycle: 1, payload: vec![0; 16] }.encode();
+        frame[24] = 0xff; // payload_len low byte
+        assert!(Frame::decode(&frame).is_err());
+        // Checkpoint: checksum flipped.
+        let mut frame = Frame { config_fp: 1, cycle: 1, payload: vec![7; 16] }.encode();
+        let end = frame.len() - 1;
+        frame[end] ^= 1;
+        assert!(Frame::decode(&frame).is_err());
+        // Trace: u32 overflow in the warp directive.
+        let t = "# gpu-secure-memory trace v1\nwarp 99999999999999999999 0\nX\n";
+        assert!(Trace::from_text(t).is_err());
+        // Trace: address at the top of the u64 range (line-align math
+        // must not overflow).
+        let t = "# gpu-secure-memory trace v1\nwarp 0 0\nL 1 ffffffffffffffff:f\nX\n";
+        let _ = Trace::from_text(t); // accepted or typed error, never a panic
+                                     // Baseline: count too large for usize.
+        let b = "[[baseline]]\nfile = \"a\"\nlint = \"x\"\ncount = 99999999999999999999\n";
+        assert!(Baseline::parse(b).is_err());
+        // JSON: deep nesting is a typed rejection, not a stack overflow.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(chrome::validate_json(&deep).is_err());
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fuzz;
 pub mod json;
 pub mod plot;
 pub mod runner;
@@ -20,5 +21,8 @@ pub mod table;
 pub mod timing;
 
 pub use experiments::{Baselines, ExpOpts};
-pub use runner::{run_job, run_jobs, run_jobs_with_failures, BackendChoice, Job, JobFailure, RunResult};
+pub use runner::{
+    run_job, run_job_cached, run_jobs, run_jobs_with_failures, BackendChoice, Job, JobFailure, RunResult,
+    WarmCache,
+};
 pub use table::ExpTable;

@@ -1,11 +1,13 @@
 //! Simulation runner: executes (benchmark, configuration) pairs, in
 //! parallel across OS threads, and returns the reports.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use secmem_checkpoint::{fnv1a, Frame};
 use secmem_core::{SecureBackend, SecureMemConfig};
-use secmem_gpusim::backend::PassthroughBackend;
+use secmem_gpusim::backend::{MemoryBackend, PassthroughBackend};
 use secmem_gpusim::config::GpuConfig;
 use secmem_gpusim::reuse::NUM_BUCKETS;
 use secmem_gpusim::sim::Simulator;
@@ -104,6 +106,118 @@ pub fn run_job(job: &Job) -> RunResult {
     }
 }
 
+/// A warmed simulator snapshot and whether its warmup window was
+/// truncated by early kernel retirement.
+#[derive(Debug)]
+struct WarmEntry {
+    frame: Frame,
+    truncated: bool,
+}
+
+/// A cache of warmed simulator snapshots shared across the jobs of one
+/// sweep.
+///
+/// Sweeps frequently run many configurations of the same benchmark
+/// under the same warmup; everything before the measured window is
+/// identical work. Keys cover everything that shapes the warmup prefix
+/// — kernel, GPU configuration, backend configuration and warmup
+/// length — so two jobs share a snapshot only when their prefixes are
+/// provably the same simulation. The snapshot-resume guarantee (see
+/// [`Simulator::save_checkpoint`]) makes a forked run byte-identical
+/// to one that warmed from scratch.
+#[derive(Debug, Default)]
+pub struct WarmCache {
+    inner: Mutex<HashMap<u64, Arc<WarmEntry>>>,
+}
+
+impl WarmCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct warmed snapshots held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("warm cache lock").len()
+    }
+
+    /// True when no snapshot has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<WarmEntry>> {
+        self.inner.lock().expect("warm cache lock").get(&key).cloned()
+    }
+
+    fn put(&self, key: u64, entry: WarmEntry) {
+        // Two racing jobs with the same key compute identical frames
+        // (the simulation is deterministic), so last-write-wins is fine.
+        self.inner.lock().expect("warm cache lock").insert(key, Arc::new(entry));
+    }
+}
+
+/// Everything that shapes the warmup prefix, fingerprinted.
+fn warm_key(job: &Job) -> u64 {
+    fnv1a(format!("{:?}|{:?}|{:?}|{}", job.kernel, job.gpu, job.backend, job.warmup).as_bytes())
+}
+
+/// Warms `sim` for `job`, forking from `cache` when a snapshot with the
+/// same prefix exists, then runs the measured window.
+fn warmed_report<B: MemoryBackend>(sim: &mut Simulator<B>, job: &Job, cache: &WarmCache) -> SimReport {
+    let key = warm_key(job);
+    let restored =
+        cache.get(key).and_then(|entry| sim.restore_checkpoint(&entry.frame).ok().map(|()| entry.truncated));
+    let truncated = match restored {
+        Some(truncated) => truncated,
+        None => {
+            let truncated = sim.warm_up(job.warmup);
+            cache.put(key, WarmEntry { frame: sim.save_checkpoint(), truncated });
+            truncated
+        }
+    };
+    let mut report = sim.run(job.cycles);
+    report.cycles = sim.now().saturating_sub(job.warmup);
+    report.warmup_truncated = truncated;
+    report
+}
+
+/// Runs a single job, forking its warmup from `cache` when another job
+/// with an identical (kernel, GPU, backend, warmup) prefix has already
+/// warmed a simulator.
+///
+/// Falls back to [`run_job`] for jobs without warmup (nothing to
+/// share) or with telemetry enabled (sample-window boundaries shift
+/// across a restore, so telemetry runs always warm from scratch to
+/// keep their traces identical to unforked runs).
+pub fn run_job_cached(job: &Job, cache: &WarmCache) -> RunResult {
+    use secmem_gpusim::kernel::Kernel;
+    if job.warmup == 0 || job.telemetry.is_some() {
+        return run_job(job);
+    }
+    let bench = job.kernel.name().to_string();
+    match &job.backend {
+        BackendChoice::Baseline => {
+            let mut sim =
+                Simulator::new(job.gpu.clone(), &job.kernel, |_, g| PassthroughBackend::from_config(g));
+            let report = warmed_report(&mut sim, job, cache);
+            RunResult { bench, label: job.label.clone(), report, reuse: None, telemetry: None }
+        }
+        BackendChoice::Secure(cfg) => {
+            let cfg = cfg.clone();
+            let mut sim =
+                Simulator::new(job.gpu.clone(), &job.kernel, |_, g| SecureBackend::new(cfg.clone(), g));
+            let report = warmed_report(&mut sim, job, cache);
+            let reuse = sim
+                .partition(0)
+                .backend()
+                .reuse_profilers()
+                .map(|p| [p[0].histogram(), p[1].histogram(), p[2].histogram()]);
+            RunResult { bench, label: job.label.clone(), report, reuse, telemetry: None }
+        }
+    }
+}
+
 /// A job that panicked (twice — each job gets one retry before it is
 /// declared failed).
 #[derive(Debug, Clone)]
@@ -142,12 +256,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Runs one job with panic isolation: a panicking job is retried once,
 /// and a second panic becomes a [`JobFailure`] instead of tearing down
 /// the whole sweep.
-fn run_job_isolated(job: &Job) -> Result<RunResult, JobFailure> {
+fn run_job_isolated(job: &Job, cache: &WarmCache) -> Result<RunResult, JobFailure> {
     use secmem_gpusim::kernel::Kernel;
     use std::panic::{catch_unwind, AssertUnwindSafe};
     let mut last = None;
     for _attempt in 0..2 {
-        match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
+        match catch_unwind(AssertUnwindSafe(|| run_job_cached(job, cache))) {
             Ok(result) => return Ok(result),
             Err(payload) => last = Some(panic_message(payload.as_ref())),
         }
@@ -180,6 +294,9 @@ pub fn run_jobs_with_failures(jobs: Vec<Job>, threads: usize) -> (Vec<RunResult>
     slots.resize_with(n, || None);
     let next = Mutex::new(0usize);
     let slots = Mutex::new(slots);
+    // Jobs sharing a (kernel, GPU, backend, warmup) prefix fork their
+    // warmup from one snapshot instead of re-simulating it.
+    let cache = WarmCache::new();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -192,7 +309,7 @@ pub fn run_jobs_with_failures(jobs: Vec<Job>, threads: usize) -> (Vec<RunResult>
                     *guard += 1;
                     i
                 };
-                let outcome = run_job_isolated(&jobs[index]);
+                let outcome = run_job_isolated(&jobs[index], &cache);
                 slots.lock().expect("results lock")[index] = Some(outcome);
             });
         }
@@ -336,6 +453,53 @@ mod tests {
             "failure carries the panic message: {}",
             failures[0].error
         );
+    }
+
+    #[test]
+    fn warm_cache_fork_matches_cold_warmup() {
+        let k = suite::by_name("fdtd2d").expect("exists");
+        let mk = |label: &str| Job {
+            kernel: k.clone(),
+            gpu: tiny_gpu(),
+            backend: BackendChoice::Secure(SecureMemConfig::secure_mem()),
+            cycles: 5_000,
+            warmup: 2_000,
+            label: label.into(),
+            telemetry: None,
+            telemetry_out: None,
+        };
+        let cold = run_job(&mk("cold"));
+        let cache = WarmCache::new();
+        let miss = run_job_cached(&mk("miss"), &cache);
+        assert_eq!(cache.len(), 1, "miss populates the cache");
+        let hit = run_job_cached(&mk("hit"), &cache);
+        assert_eq!(cache.len(), 1, "hit adds nothing");
+        let fp = |r: &RunResult| format!("{:?}", r.report);
+        assert_eq!(fp(&cold), fp(&miss), "cache-miss path matches run_job");
+        assert_eq!(fp(&cold), fp(&hit), "forked warmup matches cold warmup");
+    }
+
+    #[test]
+    fn warm_cache_keys_separate_configurations() {
+        let k = suite::by_name("nw").expect("exists");
+        let mk = |backend: BackendChoice, warmup: u64| Job {
+            kernel: k.clone(),
+            gpu: tiny_gpu(),
+            backend,
+            cycles: 2_000,
+            warmup,
+            label: "x".into(),
+            telemetry: None,
+            telemetry_out: None,
+        };
+        let cache = WarmCache::new();
+        let _ = run_job_cached(&mk(BackendChoice::Baseline, 500), &cache);
+        let _ = run_job_cached(&mk(BackendChoice::Secure(SecureMemConfig::secure_mem()), 500), &cache);
+        let _ = run_job_cached(&mk(BackendChoice::Baseline, 700), &cache);
+        assert_eq!(cache.len(), 3, "backend and warmup both key the cache");
+        // No warmup: nothing to share, the cache is bypassed.
+        let _ = run_job_cached(&mk(BackendChoice::Baseline, 0), &cache);
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

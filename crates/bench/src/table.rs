@@ -4,6 +4,8 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
+use secmem_checkpoint::fnv1a;
+
 /// A rendered experiment: a title, column headers and string rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpTable {
@@ -80,7 +82,11 @@ impl ExpTable {
         out
     }
 
-    /// Renders CSV (headers + rows; notes as trailing comments).
+    /// Renders CSV (headers + rows; notes as trailing comments). The
+    /// last line is always `# report_fp <fnv1a>` — the FNV-1a of every
+    /// preceding byte — so `reproduce --resume` can tell a complete
+    /// results file from one truncated by a crash mid-write. See
+    /// [`csv_is_intact`].
     pub fn to_csv(&self) -> String {
         let esc = |s: &String| {
             if s.contains(',') || s.contains('"') {
@@ -97,6 +103,7 @@ impl ExpTable {
         for n in &self.notes {
             let _ = writeln!(out, "# {n}");
         }
+        let _ = writeln!(out, "# report_fp {:016x}", fnv1a(out.as_bytes()));
         out
     }
 
@@ -109,6 +116,19 @@ impl ExpTable {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
     }
+}
+
+/// Checks the integrity of a CSV produced by [`ExpTable::to_csv`]: the
+/// trailing `# report_fp <fnv1a>` line must be present, parseable, and
+/// match the FNV-1a of everything before it. A file truncated by a
+/// crash, or edited by hand, fails the check.
+pub fn csv_is_intact(text: &str) -> bool {
+    let Some(stripped) = text.strip_suffix('\n') else { return false };
+    let Some(pos) = stripped.rfind('\n') else { return false };
+    let (body, last) = stripped.split_at(pos + 1);
+    let Some(hex) = last.strip_prefix("# report_fp ") else { return false };
+    let Ok(stored) = u64::from_str_radix(hex, 16) else { return false };
+    stored == fnv1a(body.as_bytes())
 }
 
 /// Formats a ratio as a fixed-point string (e.g. normalized IPC).
@@ -160,6 +180,33 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"x,y\""));
         assert!(csv.contains("# hello"));
+    }
+
+    #[test]
+    fn csv_carries_matching_fingerprint() {
+        let mut t = ExpTable::new("T", &["bench", "ipc"]);
+        t.push_row(vec!["nw".into(), "23.9".into()]);
+        t.note("a note");
+        let csv = t.to_csv();
+        assert!(csv.lines().last().expect("nonempty").starts_with("# report_fp "));
+        assert!(csv_is_intact(&csv));
+    }
+
+    #[test]
+    fn corrupted_csv_fails_the_integrity_check() {
+        let mut t = ExpTable::new("T", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let csv = t.to_csv();
+        // Truncated mid-file (fingerprint line lost).
+        let cut = csv.len() - 20;
+        assert!(!csv_is_intact(&csv[..cut]));
+        // Row edited after the fact.
+        assert!(!csv_is_intact(&csv.replace("1\n", "2\n")));
+        // Fingerprint replaced with garbage.
+        assert!(!csv_is_intact("a\n1\n# report_fp zzzz\n"));
+        // Missing entirely (a pre-fingerprint results file).
+        assert!(!csv_is_intact("a\n1\n"));
+        assert!(!csv_is_intact(""));
     }
 
     #[test]

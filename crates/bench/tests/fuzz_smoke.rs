@@ -1,0 +1,26 @@
+//! Fuzz smoke test: a fixed-seed slice of the mutation fuzzer runs in
+//! every test invocation (and in CI), so a parser regression that
+//! panics on malformed input is caught the same day it lands, not the
+//! next time someone runs a long fuzz session.
+//!
+//! Budgets are deliberately small — a few thousand mutated inputs per
+//! corpus — because the fixed seeds make the run reproducible: any
+//! failure here can be replayed exactly with the seed and iteration
+//! printed in the failure message, then frozen as a regression fixture
+//! in `secmem_bench::fuzz`'s unit tests.
+
+use secmem_bench::fuzz::{fuzz_corpus, Corpus};
+
+const SEEDS: [u64; 3] = [0x5EC_F00D, 0xB0A7, 42];
+const ITERATIONS: u64 = 1_500;
+
+#[test]
+fn all_parsers_survive_the_smoke_budget() {
+    for corpus in Corpus::ALL {
+        for seed in SEEDS {
+            if let Err(case) = fuzz_corpus(corpus, seed, ITERATIONS) {
+                panic!("{} parser panicked on fuzzed input:\n{case}", corpus.label());
+            }
+        }
+    }
+}

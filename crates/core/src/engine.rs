@@ -24,6 +24,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
 use secmem_gpusim::backend::MemoryBackend;
 use secmem_gpusim::config::AddressMap;
 use secmem_gpusim::dram::{Dram, DramRequest, DramStats};
@@ -96,6 +97,131 @@ struct WriteTxn {
     req: BackendReq,
     ctr_ready: bool,
     mac_ready: bool,
+}
+
+impl Snapshot for DramToken {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            DramToken::DataRead { txn } => {
+                w.put_u8(0);
+                w.put_u32(*txn);
+            }
+            DramToken::DataWrite => w.put_u8(1),
+            DramToken::MetaRead { class, line } => {
+                w.put_u8(2);
+                class.save(w);
+                w.put_u64(*line);
+            }
+            DramToken::MetaWrite => w.put_u8(3),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(DramToken::DataRead { txn: r.get_u32()? }),
+            1 => Ok(DramToken::DataWrite),
+            2 => Ok(DramToken::MetaRead { class: TrafficClass::load(r)?, line: r.get_u64()? }),
+            3 => Ok(DramToken::MetaWrite),
+            d => Err(CheckpointError::Malformed(format!("secure dram token discriminant {d}"))),
+        }
+    }
+}
+
+impl Snapshot for MdWaiter {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            MdWaiter::ReadCtr(txn) => {
+                w.put_u8(0);
+                w.put_u32(*txn);
+            }
+            MdWaiter::ReadMac(txn) => {
+                w.put_u8(1);
+                w.put_u32(*txn);
+            }
+            MdWaiter::WriteCtr(txn) => {
+                w.put_u8(2);
+                w.put_u32(*txn);
+            }
+            MdWaiter::WriteMac(txn) => {
+                w.put_u8(3);
+                w.put_u32(*txn);
+            }
+            MdWaiter::TreeFetch => w.put_u8(4),
+            MdWaiter::ParentDirty => w.put_u8(5),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(MdWaiter::ReadCtr(r.get_u32()?)),
+            1 => Ok(MdWaiter::ReadMac(r.get_u32()?)),
+            2 => Ok(MdWaiter::WriteCtr(r.get_u32()?)),
+            3 => Ok(MdWaiter::WriteMac(r.get_u32()?)),
+            4 => Ok(MdWaiter::TreeFetch),
+            5 => Ok(MdWaiter::ParentDirty),
+            d => Err(CheckpointError::Malformed(format!("metadata waiter discriminant {d}"))),
+        }
+    }
+}
+
+impl Snapshot for RetryOp {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            RetryOp::Access { class, line, waiter } => {
+                w.put_u8(0);
+                class.save(w);
+                w.put_u64(*line);
+                waiter.save(w);
+            }
+            RetryOp::Walk { nodes } => {
+                w.put_u8(1);
+                nodes.save(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(RetryOp::Access {
+                class: TrafficClass::load(r)?,
+                line: r.get_u64()?,
+                waiter: MdWaiter::load(r)?,
+            }),
+            1 => Ok(RetryOp::Walk { nodes: Vec::load(r)? }),
+            d => Err(CheckpointError::Malformed(format!("retry op discriminant {d}"))),
+        }
+    }
+}
+
+impl Snapshot for ReadTxn {
+    fn save(&self, w: &mut Writer) {
+        self.req.save(w);
+        self.data_done.save(w);
+        self.otp_ready.save(w);
+        w.put_bool(self.mac_pending);
+        w.put_u64(self.verify_ready);
+        w.put_bool(self.plaintext);
+        w.put_bool(self.scheduled);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(ReadTxn {
+            req: BackendReq::load(r)?,
+            data_done: Option::load(r)?,
+            otp_ready: Option::load(r)?,
+            mac_pending: r.get_bool()?,
+            verify_ready: r.get_u64()?,
+            plaintext: r.get_bool()?,
+            scheduled: r.get_bool()?,
+        })
+    }
+}
+
+impl Snapshot for WriteTxn {
+    fn save(&self, w: &mut Writer) {
+        self.req.save(w);
+        w.put_bool(self.ctr_ready);
+        w.put_bool(self.mac_ready);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(WriteTxn { req: BackendReq::load(r)?, ctr_ready: r.get_bool()?, mac_ready: r.get_bool()? })
+    }
 }
 
 /// The secure memory engine + DRAM channel of one partition.
@@ -833,6 +959,130 @@ impl MemoryBackend for SecureBackend {
         }
         next
     }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.dram.save_state(w);
+        self.mdcache.save_state(w);
+        self.aes.save_state(w);
+        self.mac_unit.save_state(w);
+        // Transaction maps serialize sorted by id so the payload is
+        // deterministic regardless of hash-map iteration order.
+        // lint:allow(D3): keys are sorted before serialization
+        let mut reads: Vec<u32> = self.read_txns.keys().copied().collect();
+        reads.sort_unstable();
+        w.put_usize(reads.len());
+        for id in reads {
+            w.put_u32(id);
+            self.read_txns[&id].save(w);
+        }
+        // lint:allow(D3): keys are sorted before serialization
+        let mut writes: Vec<u32> = self.write_txns.keys().copied().collect();
+        writes.sort_unstable();
+        w.put_usize(writes.len());
+        for id in writes {
+            w.put_u32(id);
+            self.write_txns[&id].save(w);
+        }
+        w.put_u32(self.next_txn);
+        // Heap pop order is total on (cycle, txn), so a sorted vector
+        // rebuilds an equivalent heap.
+        let mut completing: Vec<(Cycle, u32)> = self.completing.iter().map(|Reverse(p)| *p).collect();
+        completing.sort_unstable();
+        completing.save(w);
+        self.ready_responses.save(w);
+        self.pending_dram.save(w);
+        self.retries.save(w);
+        match self.profilers.as_deref() {
+            Some(profs) => {
+                w.put_bool(true);
+                for p in profs {
+                    p.save_state(w);
+                }
+            }
+            None => w.put_bool(false),
+        }
+        // lint:allow(D3): keys are sorted before serialization
+        let mut minors: Vec<Addr> = self.minor_writes.keys().copied().collect();
+        minors.sort_unstable();
+        w.put_usize(minors.len());
+        for line in minors {
+            w.put_u64(line);
+            w.put_u8(self.minor_writes[&line]);
+        }
+        w.put_u64(self.counter_overflows);
+        w.put_u64(self.decrypt_waited_on_counter);
+        w.put_u64(self.tree_verifications);
+        self.fault_events.save(w);
+        w.put_u64(self.now);
+        // Thrash detectors: thresholds are config-derived; only the open-
+        // episode flags are state. Telemetry wiring itself is not stored.
+        for d in &self.thrash {
+            w.put_bool(d.is_thrashing());
+        }
+        self.thrash_prev.save(w);
+        w.put_u64(self.next_thrash_check);
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.dram.restore_state(r)?;
+        self.mdcache.restore_state(r)?;
+        self.aes.restore_state(r)?;
+        self.mac_unit.restore_state(r)?;
+        let reads = r.get_count()?;
+        self.read_txns.clear();
+        for _ in 0..reads {
+            let id = r.get_u32()?;
+            self.read_txns.insert(id, ReadTxn::load(r)?);
+        }
+        let writes = r.get_count()?;
+        self.write_txns.clear();
+        for _ in 0..writes {
+            let id = r.get_u32()?;
+            self.write_txns.insert(id, WriteTxn::load(r)?);
+        }
+        self.next_txn = r.get_u32()?;
+        let completing = Vec::<(Cycle, u32)>::load(r)?;
+        self.completing.clear();
+        for entry in completing {
+            self.completing.push(Reverse(entry));
+        }
+        self.ready_responses = VecDeque::load(r)?;
+        self.pending_dram = VecDeque::load(r)?;
+        self.retries = VecDeque::load(r)?;
+        let stored_profilers = r.get_bool()?;
+        match (self.profilers.as_deref_mut(), stored_profilers) {
+            (Some(profs), true) => {
+                for p in profs {
+                    p.restore_state(r)?;
+                }
+            }
+            (None, false) => {}
+            (mine, stored) => {
+                return Err(CheckpointError::Malformed(format!(
+                    "reuse profilers stored={stored} but configured={}",
+                    mine.is_some()
+                )));
+            }
+        }
+        let minors = r.get_count()?;
+        self.minor_writes.clear();
+        for _ in 0..minors {
+            let line = r.get_u64()?;
+            let count = r.get_u8()?;
+            self.minor_writes.insert(line, count);
+        }
+        self.counter_overflows = r.get_u64()?;
+        self.decrypt_waited_on_counter = r.get_u64()?;
+        self.tree_verifications = r.get_u64()?;
+        self.fault_events = Vec::load(r)?;
+        self.now = r.get_u64()?;
+        for d in &mut self.thrash {
+            d.restore_active(r.get_bool()?);
+        }
+        self.thrash_prev = <[(u64, u64); 3]>::load(r)?;
+        self.next_thrash_check = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1216,6 +1466,116 @@ mod extension_tests {
         let mut b = SecureBackend::new(cfg, &gpu());
         b.submit_read(0, read_req(1, 0x0));
         run_until_response(&mut b, 1, 10_000).expect("runs with SRRIP metadata caches");
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use crate::config::SecurityScheme;
+    use secmem_gpusim::config::GpuConfig;
+    use secmem_gpusim::types::SectorMask;
+
+    fn req(id: u64, addr: Addr) -> BackendReq {
+        BackendReq { id, line_addr: addr, sectors: SectorMask::single((id % 4) as u32), bank: 0 }
+    }
+
+    /// Drives a deterministic open-loop request pattern over `[from, to)`,
+    /// appending every (cycle, id) response to `log`.
+    fn drive(b: &mut SecureBackend, from: Cycle, to: Cycle, log: &mut Vec<(Cycle, u64)>) {
+        for now in from..to {
+            if now % 7 == 0 && b.can_accept_read() {
+                b.submit_read(now, req(now, (now % 64) * 128));
+            }
+            if now % 11 == 0 && b.can_accept_write() {
+                b.submit_write(now, req(1000 + now, (now % 32) * 256));
+            }
+            b.cycle(now);
+            while let Some(resp) = b.pop_read_response() {
+                log.push((now, resp.id));
+            }
+        }
+    }
+
+    fn roundtrip(scheme: SecurityScheme, tweak: impl Fn(&mut SecureMemConfig)) {
+        let gpu = GpuConfig::small();
+        let mut cfg = SecureMemConfig::with_scheme(scheme);
+        tweak(&mut cfg);
+        let mut original = SecureBackend::new(cfg.clone(), &gpu);
+        let mut log_original = Vec::new();
+        // Snapshot mid-flight: transactions, metadata fetches and retries
+        // are all live at cycle 400.
+        drive(&mut original, 0, 400, &mut log_original);
+        assert!(!original.is_idle(), "pattern must keep the engine busy at the cut");
+
+        let mut w = Writer::new();
+        original.save_state(&mut w);
+        let payload = w.into_bytes();
+        let mut resumed = SecureBackend::new(cfg, &gpu);
+        let mut r = Reader::new(&payload);
+        resumed.restore_state(&mut r).expect("restore succeeds");
+        r.expect_end().expect("payload fully consumed");
+
+        let mut log_resumed = log_original.clone();
+        drive(&mut original, 400, 3_000, &mut log_original);
+        drive(&mut resumed, 400, 3_000, &mut log_resumed);
+        assert_eq!(log_original, log_resumed, "response stream must match after resume");
+        assert_eq!(format!("{:?}", original.dram_stats()), format!("{:?}", resumed.dram_stats()));
+        assert_eq!(format!("{:?}", original.engine_stats()), format!("{:?}", resumed.engine_stats()));
+    }
+
+    #[test]
+    fn snapshot_mid_flight_resumes_identically() {
+        roundtrip(SecurityScheme::CtrMacBmt, |_| {});
+    }
+
+    #[test]
+    fn snapshot_roundtrip_direct_mac_tree() {
+        roundtrip(SecurityScheme::DirectMacMt, |_| {});
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_profilers_and_overflow_model() {
+        roundtrip(SecurityScheme::CtrOnly, |cfg| {
+            cfg.profile_reuse = true;
+            cfg.model_counter_overflow = true;
+        });
+    }
+
+    #[test]
+    fn snapshot_roundtrip_without_mshrs() {
+        // The private-waiter (no-MSHR) path serializes per-line waiter lists.
+        roundtrip(SecurityScheme::CtrMacBmt, |cfg| cfg.mdcache_mshrs = 0);
+    }
+
+    #[test]
+    fn profiler_presence_mismatch_rejected() {
+        let gpu = GpuConfig::small();
+        let mut cfg = SecureMemConfig::secure_mem();
+        let plain = SecureBackend::new(cfg.clone(), &gpu);
+        let mut w = Writer::new();
+        plain.save_state(&mut w);
+        let payload = w.into_bytes();
+        cfg.profile_reuse = true;
+        let mut profiled = SecureBackend::new(cfg, &gpu);
+        let mut r = Reader::new(&payload);
+        let err = profiled.restore_state(&mut r).expect_err("presence mismatch");
+        assert!(matches!(err, CheckpointError::Malformed(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_error() {
+        let gpu = GpuConfig::small();
+        let cfg = SecureMemConfig::secure_mem();
+        let mut b = SecureBackend::new(cfg.clone(), &gpu);
+        let mut log = Vec::new();
+        drive(&mut b, 0, 300, &mut log);
+        let mut w = Writer::new();
+        b.save_state(&mut w);
+        let payload = w.into_bytes();
+        let mut fresh = SecureBackend::new(cfg, &gpu);
+        let mut r = Reader::new(&payload[..payload.len() / 2]);
+        assert!(fresh.restore_state(&mut r).is_err(), "truncation must not restore");
     }
 }
 

@@ -8,6 +8,7 @@
 //! cycles (1132 MHz), so one engine sustains 16 × 850/1132 ≈ 12 B per
 //! core cycle.
 
+use secmem_checkpoint::{CheckpointError, Reader, Writer};
 use secmem_gpusim::types::Cycle;
 
 /// Fixed-point scale (10 fractional bits) shared with the DRAM model.
@@ -63,6 +64,26 @@ impl AesEngineBank {
         (start_fp + service_fp).div_ceil(FP) + self.latency
     }
 
+    /// Serializes the mutable scheduling state (pipeline occupancy and
+    /// statistics); throughput and latency are config-derived.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_u64(self.next_free_fp);
+        w.put_u64(self.blocks);
+        w.put_u64(self.stall_cycles);
+    }
+
+    /// Restores state saved by [`AesEngineBank::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the payload is truncated.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.next_free_fp = r.get_u64()?;
+        self.blocks = r.get_u64()?;
+        self.stall_cycles = r.get_u64()?;
+        Ok(())
+    }
+
     /// Effective throughput in bytes per core cycle.
     pub fn bytes_per_cycle(&self) -> f64 {
         self.bytes_per_cycle_fp as f64 / FP as f64
@@ -101,6 +122,21 @@ impl MacUnit {
     /// The unit latency in cycles.
     pub fn latency(&self) -> Cycle {
         self.latency
+    }
+
+    /// Serializes the operation counter (latency is config-derived).
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_u64(self.ops);
+    }
+
+    /// Restores state saved by [`MacUnit::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the payload is truncated.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.ops = r.get_u64()?;
+        Ok(())
     }
 }
 

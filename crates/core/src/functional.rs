@@ -396,6 +396,18 @@ impl FunctionalSecureMemory {
         *self.data.get(&line_addr).expect("line never written")
     }
 
+    /// The (major, minor) counter pair currently protecting a line —
+    /// `(0, 0)` for never-written lines and counter-less schemes.
+    ///
+    /// Counters are not secret (they live in attacker-visible DRAM);
+    /// the accessor exists so differential tests can compare the
+    /// functional model's overflow behaviour — the major value counts
+    /// how often the line's minor wrapped — against the timing
+    /// engine's `counter_overflows` statistic.
+    pub fn counter_of(&self, line_addr: Addr) -> (u64, u8) {
+        self.counter_seed(line_addr)
+    }
+
     // ----- attacker API -----
 
     /// Flips bits of the stored ciphertext (memory tampering attack).

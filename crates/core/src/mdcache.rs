@@ -3,6 +3,7 @@
 //! unified cache (the CPU-style organization), with MSHRs and the
 //! idealization knobs of Table V.
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
 use secmem_gpusim::cache::{Eviction, SectoredCache};
 use secmem_gpusim::hash::{FastHashMap, FastHashSet};
 use secmem_gpusim::mshr::{MshrFile, MshrOutcome};
@@ -306,6 +307,98 @@ impl<T> MetadataCaches<T> {
         self.mshrs.iter().map(MshrFile::len).sum::<usize>()
             // lint:allow(D3): summing lengths is order-independent
             + self.private_waiters.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+impl<T: Snapshot> MetadataCaches<T> {
+    /// Serializes cache contents, in-flight fetch state and statistics.
+    /// Geometry (store kind, cache sizes, MSHR capacity) is config-derived
+    /// and not stored; restore validates the payload against it.
+    pub fn save_state(&self, w: &mut Writer) {
+        match &self.store {
+            Store::Real(caches) => {
+                w.put_u8(0);
+                w.put_usize(caches.len());
+                for c in caches {
+                    c.save_state(w);
+                }
+            }
+            Store::Infinite(present) => {
+                w.put_u8(1);
+                let mut lines: Vec<Addr> = present.iter().copied().collect();
+                lines.sort_unstable();
+                lines.save(w);
+            }
+            Store::Perfect => w.put_u8(2),
+        }
+        w.put_usize(self.mshrs.len());
+        for m in &self.mshrs {
+            m.save_state(w);
+        }
+        // lint:allow(D3): keys are sorted before serialization
+        let mut parked: Vec<Addr> = self.private_waiters.keys().copied().collect();
+        parked.sort_unstable();
+        w.put_usize(parked.len());
+        for line in parked {
+            w.put_u64(line);
+            self.private_waiters[&line].save(w);
+        }
+        self.stats.save(w);
+    }
+
+    /// Restores state saved by [`MetadataCaches::save_state`] into a
+    /// subsystem freshly built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the payload is malformed or its geometry
+    /// does not match this subsystem's configuration.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let disc = r.get_u8()?;
+        match (&mut self.store, disc) {
+            (Store::Real(caches), 0) => {
+                let n = r.get_usize()?;
+                if n != caches.len() {
+                    return Err(CheckpointError::Malformed(format!(
+                        "metadata cache count {n} != {}",
+                        caches.len()
+                    )));
+                }
+                for c in caches.iter_mut() {
+                    c.restore_state(r)?;
+                }
+            }
+            (Store::Infinite(present), 1) => {
+                let lines = Vec::<Addr>::load(r)?;
+                present.clear();
+                present.extend(lines);
+            }
+            (Store::Perfect, 2) => {}
+            (_, d) => {
+                return Err(CheckpointError::Malformed(format!(
+                    "metadata store discriminant {d} does not match configuration"
+                )));
+            }
+        }
+        let n = r.get_usize()?;
+        if n != self.mshrs.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "metadata MSHR file count {n} != {}",
+                self.mshrs.len()
+            )));
+        }
+        for m in &mut self.mshrs {
+            m.restore_state(r)?;
+        }
+        let parked = r.get_count()?;
+        self.private_waiters.clear();
+        for _ in 0..parked {
+            let line = r.get_u64()?;
+            let waiters = Vec::<T>::load(r)?;
+            self.private_waiters.insert(line, waiters);
+        }
+        self.stats = <[MetadataTypeStats; 3]>::load(r)?;
+        Ok(())
     }
 }
 

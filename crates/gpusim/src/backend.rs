@@ -7,6 +7,7 @@
 //! processing — exactly where the paper places the secure memory hardware
 //! (inside each memory controller, Fig. 1).
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
 use secmem_telemetry::{EventKind, Telemetry, TelemetryEvent};
 
 use crate::dram::{Dram, DramRequest, DramStats};
@@ -78,6 +79,17 @@ pub trait MemoryBackend {
     fn meta_mshr_occupancy(&self) -> usize {
         0
     }
+    /// Serializes the backend's complete mutable state (queues, in-flight
+    /// work, caches, counters, RNG streams) into a checkpoint payload.
+    fn save_state(&self, w: &mut Writer);
+    /// Restores state saved by [`MemoryBackend::save_state`] into a
+    /// backend freshly built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the payload is malformed or does not
+    /// match this backend's geometry.
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError>;
 }
 
 /// Token carried through the baseline DRAM channel.
@@ -85,6 +97,26 @@ pub trait MemoryBackend {
 enum Token {
     Read(BackendReq),
     Write,
+}
+
+impl Snapshot for Token {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            Token::Read(req) => {
+                w.put_u8(0);
+                req.save(w);
+            }
+            Token::Write => w.put_u8(1),
+        }
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(Token::Read(BackendReq::load(r)?)),
+            1 => Ok(Token::Write),
+            d => Err(CheckpointError::Malformed(format!("dram token discriminant {d}"))),
+        }
+    }
 }
 
 /// The baseline backend: a bare DRAM channel, no security processing.
@@ -240,6 +272,19 @@ impl MemoryBackend for PassthroughBackend {
         self.dram.set_telemetry(telemetry.clone(), partition);
         self.telemetry = telemetry;
         self.partition = partition;
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.dram.save_state(w);
+        self.ready.save(w);
+        self.events.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.dram.restore_state(r)?;
+        self.ready = Vec::load(r)?;
+        self.events = Vec::load(r)?;
+        Ok(())
     }
 }
 

@@ -7,6 +7,8 @@
 //! all metadata caches — the paper's metadata caches are explicitly
 //! "128 B blk, allocate-on-fill" (Table III).
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot as _, Writer};
+
 use crate::types::{Addr, SectorMask, LINE_SIZE};
 
 /// Result of probing the cache for a read.
@@ -381,6 +383,62 @@ impl SectoredCache {
     /// Resets statistics (contents preserved).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// Serializes contents, replacement state and statistics into a
+    /// checkpoint payload. Geometry (set count, associativity, policy) is
+    /// not stored — it is rebuilt from the configuration and validated on
+    /// restore.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.sets.len());
+        for way in &self.sets {
+            w.put_u64(way.tag);
+            way.valid.save(w);
+            way.dirty.save(w);
+            w.put_u64(way.lru);
+            w.put_u8(way.rrpv);
+            w.put_bool(way.present);
+        }
+        w.put_u64(self.tick);
+        self.stats.save(w);
+    }
+
+    /// Restores state saved by [`SectoredCache::save_state`] into a cache
+    /// rebuilt with identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] if the stored line count does not
+    /// match this cache, or a line violates sector-mask invariants; any
+    /// decode error otherwise.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let lines = r.get_usize()?;
+        if lines != self.sets.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "cache geometry mismatch: checkpoint has {lines} lines, cache has {}",
+                self.sets.len()
+            )));
+        }
+        for way in &mut self.sets {
+            let tag = r.get_u64()?;
+            let valid = SectorMask::load(r)?;
+            let dirty = SectorMask::load(r)?;
+            let lru = r.get_u64()?;
+            let rrpv = r.get_u8()?;
+            let present = r.get_bool()?;
+            if !valid.contains(dirty) {
+                return Err(CheckpointError::Malformed(format!(
+                    "cache line {tag:#x}: dirty sectors {dirty} not a subset of valid {valid}"
+                )));
+            }
+            if rrpv > RRPV_MAX {
+                return Err(CheckpointError::Malformed(format!("cache line rrpv {rrpv}")));
+            }
+            *way = LineState { tag, valid, dirty, lru, rrpv, present };
+        }
+        self.tick = r.get_u64()?;
+        self.stats = CacheStats::load(r)?;
+        Ok(())
     }
 }
 

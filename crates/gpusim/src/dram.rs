@@ -11,6 +11,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
 use secmem_telemetry::{EventKind, Telemetry, TelemetryEvent};
 
 use crate::fault::{FaultInjector, FaultKind, FaultStats};
@@ -400,6 +401,151 @@ impl<T> Dram<T> {
         if let Some(inj) = &mut self.injector {
             inj.reset_stats();
         }
+    }
+}
+
+impl<T: Snapshot> Snapshot for DramRequest<T> {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.bytes);
+        w.put_u64(self.addr);
+        w.put_bool(self.is_write);
+        self.class.save(w);
+        self.token.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(DramRequest {
+            bytes: r.get_u64()?,
+            addr: r.get_u64()?,
+            is_write: r.get_bool()?,
+            class: TrafficClass::load(r)?,
+            token: T::load(r)?,
+        })
+    }
+}
+
+impl<T: Snapshot> Dram<T> {
+    /// Serializes the channel's dynamic state. The in-flight slot store is
+    /// saved **index-preserving** and the free list verbatim: slot reuse
+    /// pops the free list LIFO, so the exact layout determines the slot
+    /// ids (and thus heap ordering) of future requests. The completion
+    /// heap is stored as a sorted list — its pop order is total on
+    /// `(done_at, slot)`, so rebuilding from sorted entries is exact.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.open_rows.save(w);
+        self.queue.save(w);
+        w.put_u64(self.next_free_fp);
+        let mut inflight: Vec<(Cycle, u64)> = self.inflight.iter().map(|Reverse(e)| *e).collect();
+        inflight.sort_unstable();
+        inflight.save(w);
+        w.put_usize(self.inflight_store.len());
+        for slot in &self.inflight_store {
+            match slot {
+                None => w.put_u8(0),
+                Some(inf) => {
+                    w.put_u8(1);
+                    inf.req.save(w);
+                }
+            }
+        }
+        self.free_slots.save(w);
+        self.ready.save(w);
+        w.put_u64(self.seq);
+        self.stats.save(w);
+        self.no_refault.save(w);
+        match &self.injector {
+            None => w.put_u8(0),
+            Some(inj) => {
+                w.put_u8(1);
+                inj.save_state(w);
+            }
+        }
+    }
+
+    /// Restores state saved by [`Dram::save_state`] into a channel
+    /// rebuilt from the same configuration (same bank count, bandwidth,
+    /// latency, queue capacity and fault plan).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] when the decoded state violates the
+    /// channel's invariants (bank-count mismatch, out-of-range slot
+    /// indices, fault-injector presence mismatch); any decode error
+    /// otherwise.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let open_rows: Vec<Option<Addr>> = Vec::load(r)?;
+        if open_rows.len() != self.open_rows.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "DRAM bank count mismatch: checkpoint has {}, channel has {}",
+                open_rows.len(),
+                self.open_rows.len()
+            )));
+        }
+        self.open_rows = open_rows;
+        let queue: VecDeque<DramRequest<T>> = VecDeque::load(r)?;
+        if queue.len() > self.queue_cap {
+            return Err(CheckpointError::Malformed(format!(
+                "DRAM queue holds {} requests but capacity is {}",
+                queue.len(),
+                self.queue_cap
+            )));
+        }
+        self.queue = queue;
+        self.next_free_fp = r.get_u64()?;
+        let inflight: Vec<(Cycle, u64)> = Vec::load(r)?;
+        let store_len = r.get_count()?;
+        let mut store: Vec<Option<InFlight<T>>> = Vec::with_capacity(store_len);
+        for _ in 0..store_len {
+            store.push(match r.get_u8()? {
+                0 => None,
+                1 => Some(InFlight { req: DramRequest::load(r)? }),
+                other => {
+                    return Err(CheckpointError::Malformed(format!("in-flight slot discriminant {other}")))
+                }
+            });
+        }
+        for &(_, slot) in &inflight {
+            let occupied = store.get(slot as usize).is_some_and(Option::is_some);
+            if !occupied {
+                return Err(CheckpointError::Malformed(format!(
+                    "in-flight heap references empty or out-of-range slot {slot}"
+                )));
+            }
+        }
+        let free_slots: Vec<usize> = Vec::load(r)?;
+        for &slot in &free_slots {
+            let vacant = store.get(slot).is_some_and(Option::is_none);
+            if !vacant {
+                return Err(CheckpointError::Malformed(format!(
+                    "free list references occupied or out-of-range slot {slot}"
+                )));
+            }
+        }
+        self.inflight = inflight.into_iter().map(Reverse).collect();
+        self.inflight_store = store;
+        self.free_slots = free_slots;
+        self.ready = VecDeque::load(r)?;
+        self.seq = r.get_u64()?;
+        self.stats = DramStats::load(r)?;
+        let no_refault: Vec<bool> = Vec::load(r)?;
+        if !self.inflight_store.is_empty() && no_refault.len() < self.inflight_store.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "no-refault map has {} entries for {} slots",
+                no_refault.len(),
+                self.inflight_store.len()
+            )));
+        }
+        self.no_refault = no_refault;
+        match (r.get_u8()?, &mut self.injector) {
+            (0, None) => {}
+            (1, Some(inj)) => inj.restore_state(r)?,
+            (0, Some(_)) | (1, None) => {
+                return Err(CheckpointError::Malformed(
+                    "fault injector presence differs between checkpoint and configuration".into(),
+                ))
+            }
+            (other, _) => return Err(CheckpointError::Malformed(format!("injector discriminant {other}"))),
+        }
+        Ok(())
     }
 }
 

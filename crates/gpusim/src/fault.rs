@@ -19,6 +19,8 @@
 //! silently — mirroring the functional model's attacker API at the
 //! timing layer.
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
+
 use crate::types::{line_of, Addr, Cycle, TrafficClass};
 
 use crate::rng::Rng64;
@@ -344,6 +346,43 @@ impl FaultInjector {
     /// a warmup reset does not replay injections).
     pub fn reset_stats(&mut self) {
         self.stats = FaultStats::default();
+    }
+
+    /// Serializes the injector's dynamic state: the random stream, the
+    /// per-rule match/application counters and the statistics. The rules
+    /// themselves are rebuilt from the fault plan and only their count is
+    /// cross-checked on restore.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.rng.save(w);
+        self.matched.save(w);
+        self.applied.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state saved by [`FaultInjector::save_state`] into an
+    /// injector rebuilt from the same fault plan.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] if the counter vectors do not match
+    /// this injector's rule count; any decode error otherwise.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let rng = Rng64::load(r)?;
+        let matched: Vec<u64> = Vec::load(r)?;
+        let applied: Vec<u64> = Vec::load(r)?;
+        if matched.len() != self.specs.len() || applied.len() != self.specs.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "fault injector has {} rules, checkpoint has {} match / {} apply counters",
+                self.specs.len(),
+                matched.len(),
+                applied.len()
+            )));
+        }
+        self.rng = rng;
+        self.matched = matched;
+        self.applied = applied;
+        self.stats = FaultStats::load(r)?;
+        Ok(())
     }
 }
 

@@ -7,6 +7,8 @@
 
 use std::collections::VecDeque;
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
+
 use crate::config::GpuConfig;
 use crate::types::{Cycle, MemRequest};
 
@@ -101,6 +103,37 @@ impl<T> DelayQueue<T> {
     }
 }
 
+impl<T: Snapshot> DelayQueue<T> {
+    /// Serializes occupancy and the per-cycle rate-limiter cursor.
+    /// Geometry (latency, rate, capacity) comes from the configuration.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.q.save(w);
+        w.put_u64(self.drained_at);
+        w.put_u32(self.drained_count);
+    }
+
+    /// Restores state saved by [`DelayQueue::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] if the stored occupancy exceeds this
+    /// queue's capacity; any decode error otherwise.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let q: VecDeque<(Cycle, T)> = VecDeque::load(r)?;
+        if q.len() > self.cap {
+            return Err(CheckpointError::Malformed(format!(
+                "delay queue holds {} elements but capacity is {}",
+                q.len(),
+                self.cap
+            )));
+        }
+        self.q = q;
+        self.drained_at = r.get_u64()?;
+        self.drained_count = r.get_u32()?;
+        Ok(())
+    }
+}
+
 /// The SM ↔ memory-partition interconnect.
 #[derive(Debug)]
 pub struct Interconnect {
@@ -184,6 +217,49 @@ impl Interconnect {
     /// Per-SM response-queue occupancy (stall diagnostics).
     pub fn response_depths(&self) -> Vec<usize> {
         self.to_sm.iter().map(DelayQueue::len).collect()
+    }
+
+    /// Serializes every queue's contents into a checkpoint payload.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.to_partition.len());
+        for q in &self.to_partition {
+            q.save_state(w);
+        }
+        w.put_usize(self.to_sm.len());
+        for q in &self.to_sm {
+            q.save_state(w);
+        }
+    }
+
+    /// Restores state saved by [`Interconnect::save_state`] into a
+    /// network rebuilt from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] on a queue-count mismatch; any
+    /// decode error otherwise.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let parts = r.get_usize()?;
+        if parts != self.to_partition.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "interconnect has {} partition queues, checkpoint has {parts}",
+                self.to_partition.len()
+            )));
+        }
+        for q in &mut self.to_partition {
+            q.restore_state(r)?;
+        }
+        let sms = r.get_usize()?;
+        if sms != self.to_sm.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "interconnect has {} SM queues, checkpoint has {sms}",
+                self.to_sm.len()
+            )));
+        }
+        for q in &mut self.to_sm {
+            q.restore_state(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -7,14 +7,77 @@
 
 use crate::types::Inst;
 
+/// Why a saved warp-program state was rejected on restore: the word
+/// vector does not decode for the freshly spawned program (wrong word
+/// count, out-of-range cursor, or a mismatch with spawn-time shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateError {
+    /// Which program kind rejected the state (e.g. `"trace replay"`).
+    pub what: String,
+    /// What about the state did not decode.
+    pub message: String,
+}
+
+impl StateError {
+    /// Creates an error attributed to program kind `what`.
+    pub fn new(what: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { what: what.into(), message: message.into() }
+    }
+}
+
+impl core::fmt::Display for StateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.what, self.message)
+    }
+}
+
+impl std::error::Error for StateError {}
+
 /// A per-warp instruction stream.
 ///
 /// `next_inst` is called once each time the warp is ready to issue; the
 /// returned instruction is executed by the SM model. Return [`Inst::Exit`]
 /// to retire the warp; after that, `next_inst` is not called again.
+///
+/// # Checkpointing
+///
+/// Programs cannot be serialized as trait objects, so checkpoint/resume
+/// rebuilds them through [`Kernel::spawn`] and then replays only their
+/// *progress* — a small vector of `u64` words — through
+/// [`WarpProgram::save_state`] / [`WarpProgram::restore_state`]. A
+/// program whose entire behavior is a function of immutable parameters
+/// plus a position fits this naturally; a program with richer mutable
+/// state must encode all of it into the words.
 pub trait WarpProgram {
     /// Produces the warp's next dynamic instruction.
     fn next_inst(&mut self) -> Inst;
+
+    /// Appends the program's mutable progress (everything `next_inst`
+    /// depends on besides spawn-time parameters) to `out`.
+    fn save_state(&self, out: &mut Vec<u64>);
+
+    /// Restores progress captured by [`WarpProgram::save_state`] into a
+    /// freshly spawned instance of the same program.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] describing the mismatch when `state` does not
+    /// decode for this program (wrong word count or an out-of-range
+    /// value).
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), StateError>;
+}
+
+/// Helper for [`WarpProgram::restore_state`] implementations: checks the
+/// saved word count.
+///
+/// # Errors
+///
+/// [`StateError`] naming `what` when the count differs.
+pub fn expect_state_len(state: &[u64], expected: usize, what: &str) -> Result<(), StateError> {
+    if state.len() != expected {
+        return Err(StateError::new(what, format!("expected {expected} state words, got {}", state.len())));
+    }
+    Ok(())
 }
 
 /// A GPU kernel: grid shape plus per-warp program factory.
@@ -77,6 +140,19 @@ impl WarpProgram for StreamProgram {
         let addr = self.base + (self.pos % self.len);
         self.pos += 128;
         Inst::load(crate::types::Access::new(addr, crate::types::FULL_SECTOR_MASK))
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(u64::from(self.alu_left));
+        out.push(self.pos);
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), StateError> {
+        expect_state_len(state, 2, "stream program")?;
+        self.alu_left =
+            u32::try_from(state[0]).map_err(|_| StateError::new("stream program", "alu_left overflow"))?;
+        self.pos = state[1];
+        Ok(())
     }
 }
 

@@ -60,6 +60,7 @@ pub mod reuse;
 pub mod rng;
 pub mod sim;
 pub mod sm;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod types;

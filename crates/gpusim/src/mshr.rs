@@ -15,6 +15,8 @@
 //! capacity across reuse. Fill progress is tracked in the entry itself
 //! (`filled` mask) instead of a side table, see [`MshrFile::note_fill`].
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
+
 use crate::types::{Addr, SectorMask};
 
 /// Outcome of presenting a miss to the MSHR file.
@@ -238,6 +240,53 @@ impl<T> MshrFile<T> {
     /// Resets statistics (entries preserved).
     pub fn reset_stats(&mut self) {
         self.stats = MshrStats::default();
+    }
+}
+
+impl<T: Snapshot> MshrFile<T> {
+    /// Serializes the file **slot-by-slot, index-preserving**: allocation
+    /// scans the key array for the first free position, so the exact slot
+    /// layout (not just the set of live entries) determines future
+    /// allocation order and must survive a checkpoint byte-for-byte.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.keys.len());
+        for (key, slot) in self.keys.iter().zip(&self.slots) {
+            w.put_u64(*key);
+            slot.requested.save(w);
+            slot.filled.save(w);
+            slot.targets.save(w);
+        }
+        self.stats.save(w);
+    }
+
+    /// Restores state saved by [`MshrFile::save_state`] into a file
+    /// rebuilt with identical capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] on a capacity mismatch; any decode
+    /// error otherwise.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let capacity = r.get_usize()?;
+        if capacity != self.keys.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "MSHR capacity mismatch: checkpoint has {capacity} slots, file has {}",
+                self.keys.len()
+            )));
+        }
+        let mut live = 0;
+        for (key, slot) in self.keys.iter_mut().zip(&mut self.slots) {
+            *key = r.get_u64()?;
+            slot.requested = SectorMask::load(r)?;
+            slot.filled = SectorMask::load(r)?;
+            slot.targets = Vec::load(r)?;
+            if *key != FREE {
+                live += 1;
+            }
+        }
+        self.live = live;
+        self.stats = MshrStats::load(r)?;
+        Ok(())
     }
 }
 

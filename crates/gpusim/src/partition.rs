@@ -10,6 +10,8 @@
 
 use std::collections::VecDeque;
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
+
 use crate::backend::MemoryBackend;
 use crate::cache::{CacheStats, Probe, SectoredCache, WriteOutcome};
 use crate::config::{AddressMap, GpuConfig};
@@ -353,6 +355,68 @@ impl<B: MemoryBackend> MemPartition<B> {
             bank.mshrs.reset_stats();
         }
         self.backend.reset_stats();
+    }
+
+    /// Serializes the partition's complete mutable state: every L2 bank
+    /// (cache contents, MSHRs, hit-latency queue), the backend, and the
+    /// staging/response/writeback queues.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.banks.len());
+        for bank in &self.banks {
+            bank.cache.save_state(w);
+            bank.mshrs.save_state(w);
+            bank.hit_delay.save_state(w);
+        }
+        self.backend.save_state(w);
+        self.input.save(w);
+        self.responses.save(w);
+        self.wb_buffer.save(w);
+        w.put_u64(self.next_backend_id);
+    }
+
+    /// Restores state saved by [`MemPartition::save_state`] into a
+    /// partition rebuilt from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] on a bank-count mismatch or a queue
+    /// that exceeds its capacity; any decode error otherwise.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let banks = r.get_usize()?;
+        if banks != self.banks.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "partition {} has {} L2 banks, checkpoint has {banks}",
+                self.id,
+                self.banks.len()
+            )));
+        }
+        for bank in &mut self.banks {
+            bank.cache.restore_state(r)?;
+            bank.mshrs.restore_state(r)?;
+            bank.hit_delay.restore_state(r)?;
+        }
+        self.backend.restore_state(r)?;
+        let input: VecDeque<MemRequest> = VecDeque::load(r)?;
+        if input.len() > self.input_cap {
+            return Err(CheckpointError::Malformed(format!(
+                "partition input holds {} requests but capacity is {}",
+                input.len(),
+                self.input_cap
+            )));
+        }
+        self.input = input;
+        self.responses = Vec::load(r)?;
+        let wb: VecDeque<BackendReq> = VecDeque::load(r)?;
+        if wb.len() > self.wb_cap {
+            return Err(CheckpointError::Malformed(format!(
+                "writeback buffer holds {} requests but capacity is {}",
+                wb.len(),
+                self.wb_cap
+            )));
+        }
+        self.wb_buffer = wb;
+        self.next_backend_id = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -6,6 +6,8 @@
 //! partition 0 for `fdtd2d` and buckets distances as
 //! `[0] [1,2] [3,4] [5,8] … [257,512] [513,+inf)` plus cold accesses.
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
+
 use crate::types::Addr;
 
 /// Upper bounds of the histogram buckets (inclusive).
@@ -94,6 +96,26 @@ impl ReuseProfiler {
     /// Number of distinct lines seen.
     pub fn distinct_lines(&self) -> usize {
         self.stack.len()
+    }
+
+    /// Serializes the profiler (LRU stack order, histogram, access count)
+    /// into a checkpoint payload.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.stack.save(w);
+        self.histogram.save(w);
+        w.put_u64(self.accesses);
+    }
+
+    /// Restores state saved by [`ReuseProfiler::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the payload is truncated or malformed.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.stack = Vec::load(r)?;
+        self.histogram = <[u64; NUM_BUCKETS]>::load(r)?;
+        self.accesses = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -43,6 +43,26 @@ impl Rng64 {
     pub fn one_in(&mut self, n: u64) -> bool {
         n != 0 && self.gen_range(n) == 0
     }
+
+    /// The raw generator state, for checkpointing. Restoring it with
+    /// [`Rng64::set_state`] resumes the stream exactly.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Overwrites the generator state (checkpoint restore).
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
+}
+
+impl secmem_checkpoint::Snapshot for Rng64 {
+    fn save(&self, w: &mut secmem_checkpoint::Writer) {
+        w.put_u64(self.state);
+    }
+    fn load(r: &mut secmem_checkpoint::Reader<'_>) -> Result<Self, secmem_checkpoint::CheckpointError> {
+        Ok(Self { state: r.get_u64()? })
+    }
 }
 
 #[cfg(test)]

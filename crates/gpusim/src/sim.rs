@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use secmem_checkpoint::{CheckpointError, Frame, Reader, Snapshot, Writer};
 use secmem_telemetry::{EventKind, Telemetry, TelemetryEvent, TelemetrySnapshot};
 
 use crate::backend::MemoryBackend;
@@ -31,6 +32,12 @@ pub struct Simulator<B> {
     now: Cycle,
     /// Set when the forward-progress watchdog fired.
     stall: Option<StallReport>,
+    /// Watchdog cursor: the last observed progress signature. A field
+    /// (not a `run_checked` local) so chunked runs — and checkpoint
+    /// resume — observe the identical stall window as one long run.
+    wd_last_sig: (u64, u64, u64),
+    /// Watchdog cursor: the last cycle at which the signature changed.
+    wd_last_progress: Cycle,
     /// Telemetry sink shared with every partition (disabled by default).
     telemetry: Telemetry,
     /// Periodic sampling state; present only when telemetry is enabled,
@@ -116,6 +123,8 @@ impl<B: MemoryBackend> Simulator<B> {
             cfg,
             now: 0,
             stall: None,
+            wd_last_sig: (0, 0, 0),
+            wd_last_progress: 0,
             telemetry: Telemetry::disabled(),
             sampler: None,
         })
@@ -431,8 +440,6 @@ impl<B: MemoryBackend> Simulator<B> {
     /// while work is still outstanding.
     pub fn run_checked(&mut self, max_cycles: Cycle) -> Result<SimReport, Box<SimError>> {
         let window = self.cfg.watchdog_cycles;
-        let mut last_sig = self.progress_signature();
-        let mut last_progress = self.now;
         self.phase_event(true, "run");
         while self.now < max_cycles {
             self.step();
@@ -440,13 +447,13 @@ impl<B: MemoryBackend> Simulator<B> {
                 break;
             }
             let sig = self.progress_signature();
-            if sig != last_sig {
-                last_sig = sig;
-                last_progress = self.now;
+            if sig != self.wd_last_sig {
+                self.wd_last_sig = sig;
+                self.wd_last_progress = self.now;
                 continue;
             }
-            if window > 0 && self.now - last_progress >= window {
-                let stall = self.stall_report(self.now - last_progress);
+            if window > 0 && self.now - self.wd_last_progress >= window {
+                let stall = self.stall_report(self.now - self.wd_last_progress);
                 self.stall = Some(stall.clone());
                 if self.telemetry.is_enabled() {
                     self.telemetry.record_event(TelemetryEvent {
@@ -464,7 +471,7 @@ impl<B: MemoryBackend> Simulator<B> {
             // the cycle where `now - last_progress == window`.
             let mut limit = max_cycles;
             if window > 0 {
-                limit = limit.min(last_progress + window - 1);
+                limit = limit.min(self.wd_last_progress + window - 1);
             }
             self.advance_idle(limit);
         }
@@ -481,6 +488,30 @@ impl<B: MemoryBackend> Simulator<B> {
     /// [`SimReport::warmup_truncated`] and its statistics must not be
     /// interpreted.
     pub fn run_with_warmup(&mut self, warmup: Cycle, max_cycles: Cycle) -> SimReport {
+        let truncated = self.warm_up(warmup);
+        let mut report = self.run(max_cycles);
+        report.cycles = self.now.saturating_sub(warmup);
+        report.warmup_truncated = truncated;
+        debug_assert!(
+            !truncated || report.cycles == 0 || self.now >= warmup,
+            "warmup accounting: now={} warmup={warmup}",
+            self.now
+        );
+        report
+    }
+
+    /// Runs the warmup window alone: `warmup` cycles (or until the
+    /// kernel finishes early), then discards all statistics gathered so
+    /// far. Returns true when the window was truncated — the kernel
+    /// retired before `warmup` elapsed — in which case a subsequent
+    /// measured run is empty and must not be interpreted.
+    ///
+    /// The post-warmup machine is exactly what
+    /// [`Simulator::save_checkpoint`] captures, so sweeps whose jobs
+    /// share an identical (kernel, configuration, warmup) prefix can
+    /// warm one simulator, snapshot it, and fork that snapshot into the
+    /// remaining jobs instead of re-simulating the prefix each time.
+    pub fn warm_up(&mut self, warmup: Cycle) -> bool {
         self.phase_event(true, "warmup");
         let mut last_sig = self.progress_signature();
         while self.now < warmup {
@@ -498,15 +529,7 @@ impl<B: MemoryBackend> Simulator<B> {
         let truncated = self.now < warmup || self.finished();
         self.phase_event(false, "warmup");
         self.reset_stats();
-        let mut report = self.run(max_cycles);
-        report.cycles = self.now.saturating_sub(warmup);
-        report.warmup_truncated = truncated;
-        debug_assert!(
-            !truncated || report.cycles == 0 || self.now >= warmup,
-            "warmup accounting: now={} warmup={warmup}",
-            self.now
-        );
-        report
+        truncated
     }
 
     /// A value that changes whenever the machine makes forward progress:
@@ -566,6 +589,11 @@ impl<B: MemoryBackend> Simulator<B> {
             s.last_at = self.now;
             s.next_at = self.now + s.interval;
         }
+        // The statistics reset changed the progress signature without any
+        // forward progress; re-baseline the watchdog so it measures from
+        // here rather than crediting the reset as activity.
+        self.wd_last_sig = self.progress_signature();
+        self.wd_last_progress = self.now;
         self.telemetry.clear_series();
     }
 
@@ -623,6 +651,171 @@ impl<B: MemoryBackend> Simulator<B> {
             }
         }
         report
+    }
+
+    /// FNV-1a fingerprint of the configuration's `Debug` rendering.
+    /// Stored in every checkpoint frame so a snapshot can only be
+    /// restored into a simulator built from the identical configuration.
+    pub fn config_fingerprint(&self) -> u64 {
+        secmem_checkpoint::fnv1a(format!("{:?}", self.cfg).as_bytes())
+    }
+
+    /// Captures the complete simulator state into a checkpoint frame.
+    ///
+    /// The frame covers every SM (warp programs, L1, MSHRs, dispatch and
+    /// return queues), the interconnect, every partition (L2 banks,
+    /// backend, staging queues) and the watchdog/sampler cursors.
+    /// Restoring it into a simulator freshly built from the same
+    /// configuration, kernel and backend factory — then running to the
+    /// end — produces a report byte-identical to an uninterrupted run
+    /// (with telemetry disabled; an enabled sampler closes its current
+    /// window at the snapshot cycle, which shifts subsequent sample
+    /// boundaries).
+    ///
+    /// A pending [`StallReport`] is deliberately *not* captured: a
+    /// resumed stalled machine re-trips its watchdog deterministically.
+    pub fn save_checkpoint(&self) -> Frame {
+        let mut w = Writer::new();
+        w.tag(TAG_SMS);
+        w.put_usize(self.sms.len());
+        for sm in &self.sms {
+            sm.save_state(&mut w);
+        }
+        w.tag(TAG_OVERFLOW);
+        self.overflow.save(&mut w);
+        w.tag(TAG_PARTITIONS);
+        w.put_usize(self.partitions.len());
+        for p in &self.partitions {
+            p.save_state(&mut w);
+        }
+        w.tag(TAG_ICNT);
+        self.icnt.save_state(&mut w);
+        w.tag(TAG_WATCHDOG);
+        self.wd_last_sig.save(&mut w);
+        w.put_u64(self.wd_last_progress);
+        w.tag(TAG_SAMPLER);
+        match &self.sampler {
+            Some(s) => {
+                w.put_bool(true);
+                w.put_u64(s.interval);
+                w.put_u64(s.next_at);
+                w.put_u64(s.last_at);
+                s.prev.save(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        Frame { config_fp: self.config_fingerprint(), cycle: self.now, payload: w.into_bytes() }
+    }
+
+    /// Restores a checkpoint captured by [`Simulator::save_checkpoint`]
+    /// into this simulator, which must have been freshly built from the
+    /// identical configuration, kernel and backend factory.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::ConfigMismatch`] when the frame was captured
+    /// under a different configuration; any decode or validation error
+    /// otherwise. On error the simulator may be partially overwritten
+    /// and must be discarded.
+    pub fn restore_checkpoint(&mut self, frame: &Frame) -> Result<(), CheckpointError> {
+        let expected = self.config_fingerprint();
+        if frame.config_fp != expected {
+            return Err(CheckpointError::ConfigMismatch { stored: frame.config_fp, expected });
+        }
+        let mut r = Reader::new(&frame.payload);
+        r.expect_tag(TAG_SMS)?;
+        let sms = r.get_usize()?;
+        if sms != self.sms.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "simulator has {} SMs, checkpoint has {sms}",
+                self.sms.len()
+            )));
+        }
+        for sm in &mut self.sms {
+            sm.restore_state(&mut r)?;
+        }
+        r.expect_tag(TAG_OVERFLOW)?;
+        let overflow: Vec<VecDeque<MemRequest>> = Vec::load(&mut r)?;
+        if overflow.len() != self.overflow.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "simulator has {} overflow queues, checkpoint has {}",
+                self.overflow.len(),
+                overflow.len()
+            )));
+        }
+        self.overflow = overflow;
+        r.expect_tag(TAG_PARTITIONS)?;
+        let parts = r.get_usize()?;
+        if parts != self.partitions.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "simulator has {} partitions, checkpoint has {parts}",
+                self.partitions.len()
+            )));
+        }
+        for p in &mut self.partitions {
+            p.restore_state(&mut r)?;
+        }
+        r.expect_tag(TAG_ICNT)?;
+        self.icnt.restore_state(&mut r)?;
+        r.expect_tag(TAG_WATCHDOG)?;
+        self.wd_last_sig = Snapshot::load(&mut r)?;
+        self.wd_last_progress = r.get_u64()?;
+        r.expect_tag(TAG_SAMPLER)?;
+        let has_sampler = r.get_bool()?;
+        if has_sampler != self.sampler.is_some() {
+            return Err(CheckpointError::Malformed(format!(
+                "checkpoint telemetry sampler {} but simulator sampler {}",
+                if has_sampler { "present" } else { "absent" },
+                if self.sampler.is_some() { "present" } else { "absent" },
+            )));
+        }
+        if let Some(s) = &mut self.sampler {
+            s.interval = r.get_u64()?.max(1);
+            s.next_at = r.get_u64()?;
+            s.last_at = r.get_u64()?;
+            s.prev = PrevCounters::restore(&mut r)?;
+        }
+        r.expect_end()?;
+        self.now = frame.cycle;
+        self.stall = None;
+        Ok(())
+    }
+}
+
+/// Section tags inside a simulator checkpoint payload, so encoder and
+/// decoder drift fails loudly instead of misreading bytes.
+const TAG_SMS: u32 = 0x534D_5F30;
+const TAG_OVERFLOW: u32 = 0x4F56_465F;
+const TAG_PARTITIONS: u32 = 0x5052_545F;
+const TAG_ICNT: u32 = 0x4943_4E54;
+const TAG_WATCHDOG: u32 = 0x5744_4F47;
+const TAG_SAMPLER: u32 = 0x534D_504C;
+
+impl PrevCounters {
+    fn save(&self, w: &mut Writer) {
+        self.class_bytes.save(w);
+        w.put_u64(self.row_hits);
+        w.put_u64(self.row_misses);
+        w.put_u64(self.l1_hits);
+        w.put_u64(self.l1_accesses);
+        w.put_u64(self.l2_hits);
+        w.put_u64(self.l2_accesses);
+        w.put_u64(self.mdc_hits);
+        w.put_u64(self.mdc_accesses);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(Self {
+            class_bytes: <[u64; 4]>::load(r)?,
+            row_hits: r.get_u64()?,
+            row_misses: r.get_u64()?,
+            l1_hits: r.get_u64()?,
+            l1_accesses: r.get_u64()?,
+            l2_hits: r.get_u64()?,
+            l2_accesses: r.get_u64()?,
+            mdc_hits: r.get_u64()?,
+            mdc_accesses: r.get_u64()?,
+        })
     }
 }
 
@@ -737,6 +930,19 @@ mod tests {
             let addr = self.next;
             self.next += 128;
             crate::types::Inst::load(crate::types::Access::new(addr, crate::types::FULL_SECTOR_MASK))
+        }
+
+        fn save_state(&self, out: &mut Vec<u64>) {
+            out.push(u64::from(self.left));
+            out.push(self.next);
+        }
+
+        fn restore_state(&mut self, state: &[u64]) -> Result<(), crate::kernel::StateError> {
+            crate::kernel::expect_state_len(state, 2, "short program")?;
+            self.left = u32::try_from(state[0])
+                .map_err(|_| crate::kernel::StateError::new("short program", "left overflow"))?;
+            self.next = state[1];
+            Ok(())
         }
     }
 
@@ -859,6 +1065,122 @@ mod tests {
             let sampled = sim.run(5_000);
             assert_eq!(sampled.warp_instructions, plain.warp_instructions);
             assert_eq!(sampled.dram.total_requests(), plain.dram.total_requests());
+        }
+    }
+
+    mod checkpoint {
+        use super::*;
+
+        fn fresh() -> Simulator<PassthroughBackend> {
+            let cfg = GpuConfig::small();
+            let kernel = StreamKernel { alu_per_mem: 2, bytes_per_warp: 1 << 18, warps: 8 };
+            Simulator::new(cfg, &kernel, |_, c| PassthroughBackend::from_config(c))
+        }
+
+        #[test]
+        fn snapshot_resume_matches_uninterrupted_run() {
+            let mut whole = fresh();
+            let expected = whole.run(6_000);
+            for cut in [1, 1_500, 3_000, 5_999] {
+                let mut first = fresh();
+                let _ = first.run(cut);
+                let frame = first.save_checkpoint();
+                assert_eq!(frame.cycle, cut);
+                // Round-trip through the encoded byte stream, as a file would.
+                let frame = Frame::decode(&frame.encode()).expect("frame roundtrips");
+                let mut resumed = fresh();
+                resumed.restore_checkpoint(&frame).expect("restores");
+                assert_eq!(resumed.now(), cut);
+                let report = resumed.run(6_000);
+                assert_eq!(
+                    format!("{expected:?}"),
+                    format!("{report:?}"),
+                    "resume from cycle {cut} diverged"
+                );
+            }
+        }
+
+        #[test]
+        fn chunked_runs_match_one_long_run() {
+            let mut whole = fresh();
+            let expected = whole.run(6_000);
+            let mut chunked = fresh();
+            let _ = chunked.run(1_000);
+            let _ = chunked.run(4_000);
+            let report = chunked.run(6_000);
+            assert_eq!(format!("{expected:?}"), format!("{report:?}"));
+        }
+
+        #[test]
+        fn config_mismatch_rejected() {
+            let mut donor = fresh();
+            let _ = donor.run(500);
+            let frame = donor.save_checkpoint();
+            let mut cfg = GpuConfig::small();
+            cfg.l2_assoc *= 2;
+            let kernel = StreamKernel { alu_per_mem: 2, bytes_per_warp: 1 << 18, warps: 8 };
+            let mut other = Simulator::new(cfg, &kernel, |_, c| PassthroughBackend::from_config(c));
+            match other.restore_checkpoint(&frame) {
+                Err(CheckpointError::ConfigMismatch { .. }) => {}
+                other => panic!("expected config mismatch, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn truncated_payload_rejected() {
+            let mut donor = fresh();
+            let _ = donor.run(500);
+            let mut frame = donor.save_checkpoint();
+            frame.payload.truncate(frame.payload.len() / 2);
+            let err = fresh().restore_checkpoint(&frame).expect_err("truncated payload");
+            // Any typed error is acceptable; a panic is not.
+            let _ = err.to_string();
+        }
+
+        #[test]
+        fn sampler_presence_mismatch_rejected() {
+            let mut donor = fresh();
+            let _ = donor.run(500);
+            let frame = donor.save_checkpoint();
+            let mut with_telemetry = fresh();
+            with_telemetry.set_telemetry(secmem_telemetry::Telemetry::enabled(
+                secmem_telemetry::TelemetryConfig::default(),
+            ));
+            let err = with_telemetry.restore_checkpoint(&frame).expect_err("sampler mismatch");
+            assert!(err.to_string().contains("sampler"), "error: {err}");
+        }
+
+        #[test]
+        fn watchdog_fires_at_same_cycle_after_resume() {
+            let mut cfg = GpuConfig::small();
+            cfg.watchdog_cycles = 2_000;
+            let plan = crate::fault::FaultPlan::new(11).with(
+                crate::fault::FaultSpec::new(
+                    crate::fault::FaultKind::Drop,
+                    crate::fault::FaultTrigger::Always,
+                )
+                .on_class(TrafficClass::Data),
+            );
+            let kernel = StreamKernel { alu_per_mem: 0, bytes_per_warp: 1 << 18, warps: 4 };
+            let mk = |cfg: &GpuConfig, plan: &crate::fault::FaultPlan| {
+                let plan = plan.clone();
+                Simulator::new(cfg.clone(), &kernel, move |p, c| {
+                    let mut b = PassthroughBackend::from_config(c);
+                    b.install_faults(plan.injector_for(p));
+                    b
+                })
+            };
+            let mut whole = mk(&cfg, &plan);
+            let whole_err = whole.run_checked(1_000_000).expect_err("stalls");
+            let mut first = mk(&cfg, &plan);
+            let _ = first.run(300);
+            let frame = first.save_checkpoint();
+            let mut resumed = mk(&cfg, &plan);
+            resumed.restore_checkpoint(&frame).expect("restores");
+            let resumed_err = resumed.run_checked(1_000_000).expect_err("still stalls");
+            let crate::error::SimError::Stalled(a) = *whole_err else { panic!("stall") };
+            let crate::error::SimError::Stalled(b) = *resumed_err else { panic!("stall") };
+            assert_eq!(a.cycle, b.cycle, "watchdog cycle must not shift across resume");
         }
     }
 

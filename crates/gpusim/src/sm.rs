@@ -11,6 +11,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
+
 use crate::cache::{Probe, SectoredCache};
 use crate::config::{GpuConfig, SchedulerPolicy};
 use crate::kernel::WarpProgram;
@@ -545,6 +547,101 @@ impl Sm {
             self.issue_idle_blocked = blocked_on_mem;
         }
     }
+
+    /// Serializes the SM's dynamic state: warp progress (via
+    /// [`WarpProgram::save_state`]), the L1 and its MSHRs, the dispatch
+    /// queue, pending hit returns, the no-issue cache and the issue
+    /// bookkeeping. Scratch buffers are not saved. The no-issue cache
+    /// (`issue_idle_until`/`issue_idle_blocked`) is saved exactly so
+    /// stall accounting on resume is byte-identical to an uninterrupted
+    /// run.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.warps.len());
+        let mut words: Vec<u64> = Vec::new();
+        for slot in &self.warps {
+            words.clear();
+            slot.program.save_state(&mut words);
+            words.save(w);
+            slot.next.save(w);
+            w.put_u64(slot.ready_at);
+            w.put_u32(slot.outstanding);
+            w.put_bool(slot.finished);
+        }
+        self.l1.save_state(w);
+        self.l1_mshrs.save_state(w);
+        w.put_usize(self.dispatch.len());
+        for pa in &self.dispatch {
+            w.put_u32(pa.warp);
+            pa.access.save(w);
+            pa.kind.save(w);
+        }
+        let mut hits: Vec<(Cycle, u32)> = self.hit_returns.iter().map(|Reverse(e)| *e).collect();
+        hits.sort_unstable();
+        hits.save(w);
+        w.put_u64(self.issue_idle_until);
+        w.put_bool(self.issue_idle_blocked);
+        w.put_u32(self.last_issued);
+        w.put_u64(self.next_req_id);
+        w.put_u64(self.instructions);
+        w.put_u64(self.mem_stall_cycles);
+    }
+
+    /// Restores state saved by [`Sm::save_state`] into an SM rebuilt from
+    /// the same configuration and kernel (same warp count and geometry).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] on a warp-count mismatch, a warp
+    /// index out of range, or a program that rejects its saved progress;
+    /// any decode error otherwise.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let n = r.get_usize()?;
+        if n != self.warps.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "SM {} has {} warps, checkpoint has {n}",
+                self.id,
+                self.warps.len()
+            )));
+        }
+        for slot in &mut self.warps {
+            let words: Vec<u64> = Vec::load(r)?;
+            slot.program.restore_state(&words).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+            slot.next = Option::load(r)?;
+            slot.ready_at = r.get_u64()?;
+            slot.outstanding = r.get_u32()?;
+            slot.finished = r.get_bool()?;
+        }
+        self.l1.restore_state(r)?;
+        self.l1_mshrs.restore_state(r)?;
+        let dispatch_len = r.get_count()?;
+        let mut dispatch = VecDeque::with_capacity(dispatch_len);
+        for _ in 0..dispatch_len {
+            let warp = r.get_u32()?;
+            if warp as usize >= n {
+                return Err(CheckpointError::Malformed(format!("dispatch entry for warp {warp} of {n}")));
+            }
+            dispatch.push_back(PendingAccess { warp, access: Access::load(r)?, kind: AccessKind::load(r)? });
+        }
+        self.dispatch = dispatch;
+        let hits: Vec<(Cycle, u32)> = Vec::load(r)?;
+        for &(_, warp) in &hits {
+            if warp as usize >= n {
+                return Err(CheckpointError::Malformed(format!("hit return for warp {warp} of {n}")));
+            }
+        }
+        self.hit_returns = hits.into_iter().map(Reverse).collect();
+        self.issue_idle_until = r.get_u64()?;
+        self.issue_idle_blocked = r.get_bool()?;
+        let last_issued = r.get_u32()?;
+        if n > 0 && last_issued as usize >= n {
+            return Err(CheckpointError::Malformed(format!("last issued warp {last_issued} of {n}")));
+        }
+        self.last_issued = last_issued;
+        self.next_req_id = r.get_u64()?;
+        self.instructions = r.get_u64()?;
+        self.mem_stall_cycles = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -560,6 +657,23 @@ mod tests {
             } else {
                 self.0.remove(0)
             }
+        }
+
+        fn save_state(&self, out: &mut Vec<u64>) {
+            out.push(self.0.len() as u64);
+        }
+
+        fn restore_state(&mut self, state: &[u64]) -> Result<(), crate::kernel::StateError> {
+            crate::kernel::expect_state_len(state, 1, "script")?;
+            let remaining = state[0] as usize;
+            if remaining > self.0.len() {
+                return Err(crate::kernel::StateError::new(
+                    "script",
+                    format!("{remaining} instructions left of {}", self.0.len()),
+                ));
+            }
+            self.0.drain(..self.0.len() - remaining);
+            Ok(())
         }
     }
 

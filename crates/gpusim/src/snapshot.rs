@@ -1,0 +1,399 @@
+//! [`Snapshot`] codecs for the simulator's plain value types.
+//!
+//! Structural components (caches, MSHR files, DRAM, SMs, partitions)
+//! restore **in place** through their own `save_state`/`restore_state`
+//! methods so geometry can be validated against the rebuilt structure;
+//! this module only covers the value types that flow between them:
+//! requests, instructions, masks and statistics blocks.
+//!
+//! Every enum is encoded as an explicit `u8` discriminant (never a cast
+//! of the Rust layout) and every decode validates the discriminant, so a
+//! corrupted payload yields a typed [`CheckpointError`] instead of a
+//! nonsense value.
+
+use secmem_checkpoint::{CheckpointError, Reader, Snapshot, Writer};
+
+use crate::cache::CacheStats;
+use crate::dram::{DramClassStats, DramStats};
+use crate::fault::{FaultClassStats, FaultEvent, FaultKind, FaultStats};
+use crate::mshr::MshrStats;
+use crate::types::{
+    Access, AccessKind, BackendReq, Inst, MemRequest, SectorMask, TrafficClass, WarpRef, LINE_SIZE,
+};
+
+impl Snapshot for SectorMask {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(self.0);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let bits = r.get_u8()?;
+        if bits > 0xF {
+            return Err(CheckpointError::Malformed(format!("sector mask bits {bits:#04x}")));
+        }
+        Ok(SectorMask(bits))
+    }
+}
+
+impl Snapshot for TrafficClass {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(self.index() as u8);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(TrafficClass::Data),
+            1 => Ok(TrafficClass::Counter),
+            2 => Ok(TrafficClass::Mac),
+            3 => Ok(TrafficClass::Tree),
+            other => Err(CheckpointError::Malformed(format!("traffic class {other}"))),
+        }
+    }
+}
+
+impl Snapshot for AccessKind {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(AccessKind::Load),
+            1 => Ok(AccessKind::Store),
+            other => Err(CheckpointError::Malformed(format!("access kind {other}"))),
+        }
+    }
+}
+
+impl Snapshot for Access {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.line_addr);
+        self.sectors.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let line_addr = r.get_u64()?;
+        if line_addr % LINE_SIZE != 0 {
+            return Err(CheckpointError::Malformed(format!("unaligned line address {line_addr:#x}")));
+        }
+        let sectors = SectorMask::load(r)?;
+        Ok(Access { line_addr, sectors })
+    }
+}
+
+impl Snapshot for Inst {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            Inst::Alu { stall, wait_mem } => {
+                w.put_u8(0);
+                w.put_u32(*stall);
+                w.put_bool(*wait_mem);
+            }
+            Inst::Load { accesses, dependent } => {
+                w.put_u8(1);
+                accesses.save(w);
+                w.put_bool(*dependent);
+            }
+            Inst::Store { accesses } => {
+                w.put_u8(2);
+                accesses.save(w);
+            }
+            Inst::Exit => w.put_u8(3),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(Inst::Alu { stall: r.get_u32()?, wait_mem: r.get_bool()? }),
+            1 => Ok(Inst::Load { accesses: Vec::load(r)?, dependent: r.get_bool()? }),
+            2 => Ok(Inst::Store { accesses: Vec::load(r)? }),
+            3 => Ok(Inst::Exit),
+            other => Err(CheckpointError::Malformed(format!("instruction discriminant {other}"))),
+        }
+    }
+}
+
+impl Snapshot for WarpRef {
+    fn save(&self, w: &mut Writer) {
+        w.put_u32(self.sm);
+        w.put_u32(self.warp);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(WarpRef { sm: r.get_u32()?, warp: r.get_u32()? })
+    }
+}
+
+impl Snapshot for MemRequest {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        w.put_u64(self.line_addr);
+        self.sectors.save(w);
+        self.kind.save(w);
+        self.warp.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(MemRequest {
+            id: r.get_u64()?,
+            line_addr: r.get_u64()?,
+            sectors: SectorMask::load(r)?,
+            kind: AccessKind::load(r)?,
+            warp: Option::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for BackendReq {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        w.put_u64(self.line_addr);
+        self.sectors.save(w);
+        w.put_u32(self.bank);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(BackendReq {
+            id: r.get_u64()?,
+            line_addr: r.get_u64()?,
+            sectors: SectorMask::load(r)?,
+            bank: r.get_u32()?,
+        })
+    }
+}
+
+impl Snapshot for CacheStats {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.fills);
+        w.put_u64(self.dirty_evictions);
+        w.put_u64(self.evictions);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(CacheStats {
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            fills: r.get_u64()?,
+            dirty_evictions: r.get_u64()?,
+            evictions: r.get_u64()?,
+        })
+    }
+}
+
+impl Snapshot for MshrStats {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.primary);
+        w.put_u64(self.secondary);
+        w.put_u64(self.stalls);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(MshrStats { primary: r.get_u64()?, secondary: r.get_u64()?, stalls: r.get_u64()? })
+    }
+}
+
+impl Snapshot for crate::stats::MetadataTypeStats {
+    fn save(&self, w: &mut Writer) {
+        self.cache.save(w);
+        self.mshr.save(w);
+        w.put_u64(self.writebacks);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(crate::stats::MetadataTypeStats {
+            cache: CacheStats::load(r)?,
+            mshr: MshrStats::load(r)?,
+            writebacks: r.get_u64()?,
+        })
+    }
+}
+
+impl Snapshot for DramClassStats {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+        w.put_u64(self.bytes_read);
+        w.put_u64(self.bytes_written);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(DramClassStats {
+            reads: r.get_u64()?,
+            writes: r.get_u64()?,
+            bytes_read: r.get_u64()?,
+            bytes_written: r.get_u64()?,
+        })
+    }
+}
+
+impl Snapshot for DramStats {
+    fn save(&self, w: &mut Writer) {
+        self.per_class.save(w);
+        w.put_u64(self.busy_fp);
+        w.put_u64(self.rejected);
+        w.put_u64(self.row_hits);
+        w.put_u64(self.row_misses);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(DramStats {
+            per_class: <[DramClassStats; 4]>::load(r)?,
+            busy_fp: r.get_u64()?,
+            rejected: r.get_u64()?,
+            row_hits: r.get_u64()?,
+            row_misses: r.get_u64()?,
+        })
+    }
+}
+
+impl Snapshot for FaultKind {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            FaultKind::BitFlip => w.put_u8(0),
+            FaultKind::Drop => w.put_u8(1),
+            FaultKind::Delay(cycles) => {
+                w.put_u8(2);
+                w.put_u32(*cycles);
+            }
+            FaultKind::MetaCorrupt => w.put_u8(3),
+            FaultKind::Replay => w.put_u8(4),
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(FaultKind::BitFlip),
+            1 => Ok(FaultKind::Drop),
+            2 => Ok(FaultKind::Delay(r.get_u32()?)),
+            3 => Ok(FaultKind::MetaCorrupt),
+            4 => Ok(FaultKind::Replay),
+            other => Err(CheckpointError::Malformed(format!("fault kind {other}"))),
+        }
+    }
+}
+
+impl Snapshot for FaultClassStats {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.injected);
+        w.put_u64(self.dropped);
+        w.put_u64(self.delayed);
+        w.put_u64(self.detected);
+        w.put_u64(self.undetected);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(FaultClassStats {
+            injected: r.get_u64()?,
+            dropped: r.get_u64()?,
+            delayed: r.get_u64()?,
+            detected: r.get_u64()?,
+            undetected: r.get_u64()?,
+        })
+    }
+}
+
+impl Snapshot for FaultStats {
+    fn save(&self, w: &mut Writer) {
+        self.per_class.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(FaultStats { per_class: <[FaultClassStats; 4]>::load(r)? })
+    }
+}
+
+impl Snapshot for FaultEvent {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.cycle);
+        w.put_u64(self.line_addr);
+        self.class.save(w);
+        self.kind.save(w);
+        w.put_bool(self.detected);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(FaultEvent {
+            cycle: r.get_u64()?,
+            line_addr: r.get_u64()?,
+            class: TrafficClass::load(r)?,
+            kind: FaultKind::load(r)?,
+            detected: r.get_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Snapshot + PartialEq + core::fmt::Debug>(v: &T) {
+        let mut w = Writer::new();
+        v.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(&T::load(&mut r).unwrap(), v);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn value_types_roundtrip() {
+        roundtrip(&SectorMask(0b1010));
+        for c in TrafficClass::ALL {
+            roundtrip(&c);
+        }
+        roundtrip(&AccessKind::Load);
+        roundtrip(&AccessKind::Store);
+        roundtrip(&Access { line_addr: 0x1_2380, sectors: SectorMask(0b0110) });
+        roundtrip(&Inst::Alu { stall: 4, wait_mem: true });
+        roundtrip(&Inst::Load {
+            accesses: vec![Access { line_addr: 0, sectors: SectorMask(1) }],
+            dependent: false,
+        });
+        roundtrip(&Inst::Store { accesses: vec![] });
+        roundtrip(&Inst::Exit);
+        roundtrip(&WarpRef { sm: 3, warp: 17 });
+        roundtrip(&MemRequest {
+            id: 99,
+            line_addr: 0x80,
+            sectors: SectorMask(0xF),
+            kind: AccessKind::Store,
+            warp: Some(WarpRef { sm: 1, warp: 2 }),
+        });
+        roundtrip(&BackendReq { id: 7, line_addr: 0x100, sectors: SectorMask(1), bank: 2 });
+        roundtrip(&FaultKind::Delay(12));
+        roundtrip(&FaultEvent {
+            cycle: 1000,
+            line_addr: 0x200,
+            class: TrafficClass::Counter,
+            kind: FaultKind::BitFlip,
+            detected: true,
+        });
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        roundtrip(&CacheStats { hits: 1, misses: 2, fills: 3, dirty_evictions: 4, evictions: 5 });
+        roundtrip(&MshrStats { primary: 6, secondary: 7, stalls: 8 });
+        let mut d = DramStats::default();
+        d.per_class[2].bytes_written = 1024;
+        d.busy_fp = 77;
+        d.row_hits = 5;
+        roundtrip(&d);
+        let mut f = FaultStats::default();
+        f.per_class[1].injected = 3;
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn corrupt_discriminants_are_typed_errors() {
+        for bytes in [[0x10u8], [0xFFu8]] {
+            let mut r = Reader::new(&bytes);
+            assert!(matches!(SectorMask::load(&mut r), Err(CheckpointError::Malformed(_))));
+        }
+        for bytes in [[0x10u8], [9u8], [0xFFu8]] {
+            let mut r = Reader::new(&bytes);
+            assert!(matches!(TrafficClass::load(&mut r), Err(CheckpointError::Malformed(_))));
+            let mut r = Reader::new(&bytes);
+            assert!(matches!(AccessKind::load(&mut r), Err(CheckpointError::Malformed(_))));
+            let mut r = Reader::new(&bytes);
+            assert!(matches!(<Inst as Snapshot>::load(&mut r), Err(CheckpointError::Malformed(_))));
+            let mut r = Reader::new(&bytes);
+            assert!(matches!(FaultKind::load(&mut r), Err(CheckpointError::Malformed(_))));
+        }
+        // An unaligned line address in an Access is structural corruption.
+        let mut w = Writer::new();
+        w.put_u64(0x1234);
+        SectorMask(1).save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(Access::load(&mut r), Err(CheckpointError::Malformed(_))));
+    }
+}

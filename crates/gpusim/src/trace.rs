@@ -21,11 +21,24 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::kernel::{Kernel, WarpProgram};
+use crate::kernel::{Kernel, StateError, WarpProgram};
 use crate::types::{Access, Addr, Inst, SectorMask};
 
 /// Magic first line of a trace file.
 pub const TRACE_HEADER: &str = "# gpu-secure-memory trace v1";
+
+/// Largest SM index a trace may name. A corrupt directive like
+/// `warp 4000000000 0` would otherwise make the replay kernel claim
+/// billions of SMs.
+pub const MAX_TRACE_SM: u32 = 4096;
+
+/// Largest warp index a trace may name (same rationale as
+/// [`MAX_TRACE_SM`]).
+pub const MAX_TRACE_WARP: u32 = 4096;
+
+/// Most accesses a single load/store line may carry — one per lane of
+/// the widest real warp, so anything larger is a malformed record.
+pub const MAX_ACCESSES_PER_INST: usize = 64;
 
 /// A parse failure, with the offending line number (1-based).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +117,15 @@ fn parse_accesses(parts: &[&str], line: usize) -> Result<Vec<Access>, ParseTrace
     if parts.is_empty() {
         return Err(ParseTraceError { line, message: "memory instruction with no accesses".into() });
     }
+    if parts.len() > MAX_ACCESSES_PER_INST {
+        return Err(ParseTraceError {
+            line,
+            message: format!(
+                "{} accesses on one instruction exceeds the limit of {MAX_ACCESSES_PER_INST}",
+                parts.len()
+            ),
+        });
+    }
     parts
         .iter()
         .map(|p| {
@@ -124,17 +146,30 @@ fn parse_accesses(parts: &[&str], line: usize) -> Result<Vec<Access>, ParseTrace
 
 /// Parses one instruction line.
 pub fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseTraceError> {
-    let mut parts = text.split_whitespace();
-    let op = parts.next().ok_or_else(|| ParseTraceError { line, message: "empty line".into() })?;
-    let rest: Vec<&str> = parts.collect();
+    parse_inst_with_buf(text, line, &mut Vec::new())
+}
+
+/// [`parse_inst`] with a caller-owned token buffer, so bulk ingestion
+/// ([`Trace::from_text`]) tokenizes millions of lines without a heap
+/// allocation per line. The buffer is cleared on entry.
+fn parse_inst_with_buf<'a>(
+    text: &'a str,
+    line: usize,
+    buf: &mut Vec<&'a str>,
+) -> Result<Inst, ParseTraceError> {
+    buf.clear();
+    buf.extend(text.split_whitespace());
+    let Some((&op, rest)) = buf.split_first() else {
+        return Err(ParseTraceError { line, message: "empty line".into() });
+    };
     let stall = |rest: &[&str]| -> Result<u32, ParseTraceError> {
         rest.first()
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| ParseTraceError { line, message: "ALU needs a stall count".into() })
     };
     match op {
-        "A" => Ok(Inst::Alu { stall: stall(&rest)?, wait_mem: false }),
-        "U" => Ok(Inst::Alu { stall: stall(&rest)?, wait_mem: true }),
+        "A" => Ok(Inst::Alu { stall: stall(rest)?, wait_mem: false }),
+        "U" => Ok(Inst::Alu { stall: stall(rest)?, wait_mem: true }),
         "L" => {
             let dep = rest
                 .first()
@@ -142,7 +177,7 @@ pub fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseTraceError> {
                 .ok_or_else(|| ParseTraceError { line, message: "load needs a dependent flag".into() })?;
             Ok(Inst::Load { accesses: parse_accesses(&rest[1..], line)?, dependent: dep != 0 })
         }
-        "S" => Ok(Inst::Store { accesses: parse_accesses(&rest, line)? }),
+        "S" => Ok(Inst::Store { accesses: parse_accesses(rest, line)? }),
         "X" => {
             if rest.is_empty() {
                 Ok(Inst::Exit)
@@ -236,6 +271,7 @@ impl Trace {
         }
         let mut streams: BTreeMap<(u32, u32), Vec<Inst>> = BTreeMap::new();
         let mut current: Option<(u32, u32)> = None;
+        let mut tokens: Vec<&str> = Vec::new();
         for (i, raw) in lines {
             let line_no = i + 1;
             let text = raw.split('#').next().unwrap_or("").trim();
@@ -248,6 +284,15 @@ impl Trace {
                 let warp = it.next().and_then(|s| s.parse().ok());
                 match (sm, warp) {
                     (Some(sm), Some(warp)) => {
+                        if sm > MAX_TRACE_SM || warp > MAX_TRACE_WARP {
+                            return Err(ParseTraceError {
+                                line: line_no,
+                                message: format!(
+                                    "stream 'warp {sm} {warp}' exceeds limits \
+                                     ({MAX_TRACE_SM} SMs, {MAX_TRACE_WARP} warps)"
+                                ),
+                            });
+                        }
                         if streams.contains_key(&(sm, warp)) {
                             // Silently merging (or last-wins replacing) a
                             // repeated stream would corrupt the replay.
@@ -274,7 +319,11 @@ impl Trace {
                     message: "instruction before any 'warp' directive".into(),
                 });
             };
-            streams.get_mut(&key).expect("stream exists").push(parse_inst(text, line_no)?);
+            streams.get_mut(&key).expect("stream exists").push(parse_inst_with_buf(
+                text,
+                line_no,
+                &mut tokens,
+            )?);
         }
         Ok(Self { streams })
     }
@@ -319,6 +368,26 @@ impl WarpProgram for Replay {
         let inst = self.insts.get(self.pos).cloned().unwrap_or(Inst::Exit);
         self.pos += 1;
         inst
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.pos as u64);
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), StateError> {
+        crate::kernel::expect_state_len(state, 1, "trace replay")?;
+        // One past the end is legal (the implicit Exit was consumed);
+        // anything further means the state belongs to a different trace.
+        let pos =
+            usize::try_from(state[0]).map_err(|_| StateError::new("trace replay", "position overflow"))?;
+        if pos > self.insts.len() + 1 {
+            return Err(StateError::new(
+                "trace replay",
+                format!("position {pos} beyond stream of {} instructions", self.insts.len()),
+            ));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 
@@ -398,6 +467,47 @@ mod tests {
         assert!(Trace::from_text(&bad_mask).is_err());
         let orphan = format!("{TRACE_HEADER}\nA 1\n");
         assert!(Trace::from_text(&orphan).is_err());
+    }
+
+    #[test]
+    fn oversized_indices_and_counts_rejected() {
+        let huge_sm = format!("{TRACE_HEADER}\nwarp 4000000000 0\nX\n");
+        let err = Trace::from_text(&huge_sm).expect_err("absurd SM index");
+        assert!(err.message.contains("exceeds limits"), "message: {}", err.message);
+        let huge_warp = format!("{TRACE_HEADER}\nwarp 0 999999\nX\n");
+        assert!(Trace::from_text(&huge_warp).is_err());
+        let wide = (0..=MAX_ACCESSES_PER_INST).map(|i| format!("{:x}:f", i * 128)).collect::<Vec<_>>();
+        let line = format!("L 0 {}", wide.join(" "));
+        let err = parse_inst(&line, 1).expect_err("too many accesses");
+        assert!(err.message.contains("limit"), "message: {}", err.message);
+        // Exactly at the limit still parses.
+        let line = format!("L 0 {}", wide[..MAX_ACCESSES_PER_INST].join(" "));
+        assert!(parse_inst(&line, 1).is_ok());
+    }
+
+    #[test]
+    fn truncated_records_rejected() {
+        for bad in ["A", "U", "L", "L 0", "S", "L 1 80"] {
+            let text = format!("{TRACE_HEADER}\nwarp 0 0\n{bad}\n");
+            assert!(Trace::from_text(&text).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn replay_state_roundtrip() {
+        let mut trace = Trace::new();
+        trace.insert(0, 0, sample_insts());
+        let k = TraceKernel::new(trace, "t");
+        let mut p = k.spawn(0, 0);
+        let _ = p.next_inst();
+        let _ = p.next_inst();
+        let mut state = Vec::new();
+        p.save_state(&mut state);
+        let mut q = k.spawn(0, 0);
+        q.restore_state(&state).expect("restores");
+        assert_eq!(q.next_inst(), sample_insts()[2]);
+        assert!(q.restore_state(&[99]).is_err(), "position beyond stream");
+        assert!(q.restore_state(&[0, 0]).is_err(), "wrong word count");
     }
 
     #[test]

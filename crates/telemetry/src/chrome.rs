@@ -134,14 +134,23 @@ impl core::fmt::Display for JsonSyntaxError {
 
 impl std::error::Error for JsonSyntaxError {}
 
+/// Maximum container nesting [`validate_json`] accepts. The validator
+/// is recursive descent, so unbounded nesting would turn attacker-
+/// supplied input (`[[[[…`) into a stack overflow — an abort, not a
+/// typed error. Real traces nest 3–4 levels deep.
+const MAX_JSON_DEPTH: u32 = 256;
+
 /// Minimal JSON well-formedness check (recursive descent over the full
 /// grammar). Returns `Err` with a byte offset and message on the first
 /// syntax error. This is a validator, not a parser — it builds nothing.
+/// Containers nested deeper than [`MAX_JSON_DEPTH`] levels are rejected
+/// with a typed error to keep the recursion stack-safe on arbitrary
+/// input.
 pub fn validate_json(input: &str) -> Result<(), JsonSyntaxError> {
     let bytes = input.as_bytes();
     let mut pos = 0;
     skip_ws(bytes, &mut pos);
-    value(bytes, &mut pos)?;
+    value(bytes, &mut pos, MAX_JSON_DEPTH)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(JsonSyntaxError::at(pos, "trailing data after top-level value"));
@@ -155,10 +164,11 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
+fn value(b: &[u8], pos: &mut usize, depth: u32) -> Result<(), JsonSyntaxError> {
     match b.get(*pos) {
-        Some(b'{') => object(b, pos),
-        Some(b'[') => array(b, pos),
+        Some(b'{' | b'[') if depth == 0 => Err(JsonSyntaxError::at(*pos, "nesting too deep")),
+        Some(b'{') => object(b, pos, depth - 1),
+        Some(b'[') => array(b, pos, depth - 1),
         Some(b'"') => string(b, pos),
         Some(b't') => literal(b, pos, b"true"),
         Some(b'f') => literal(b, pos, b"false"),
@@ -178,7 +188,7 @@ fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), JsonSyntaxError>
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
+fn object(b: &[u8], pos: &mut usize, depth: u32) -> Result<(), JsonSyntaxError> {
     *pos += 1; // consume '{'
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b'}') {
@@ -197,7 +207,7 @@ fn object(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
         }
         *pos += 1;
         skip_ws(b, pos);
-        value(b, pos)?;
+        value(b, pos, depth)?;
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -210,7 +220,7 @@ fn object(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
+fn array(b: &[u8], pos: &mut usize, depth: u32) -> Result<(), JsonSyntaxError> {
     *pos += 1; // consume '['
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b']') {
@@ -219,7 +229,7 @@ fn array(b: &[u8], pos: &mut usize) -> Result<(), JsonSyntaxError> {
     }
     loop {
         skip_ws(b, pos);
-        value(b, pos)?;
+        value(b, pos, depth)?;
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -384,6 +394,21 @@ mod tests {
     fn validator_rejects_malformed() {
         for bad in ["", "{", "[1,]", "{\"a\"}", "01x", "\"unterminated", "{} extra", "[1 2]"] {
             assert!(validate_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn validator_bounds_nesting_depth() {
+        // Found by the parser fuzzer: unbounded recursion let
+        // `[[[[…` overflow the stack instead of returning an error.
+        let deep_ok = "[".repeat(200) + &"]".repeat(200);
+        validate_json(&deep_ok).expect("200 levels is within the bound");
+        for monster in [
+            "[".repeat(100_000) + &"]".repeat(100_000),
+            (r#"{"a":"#.repeat(100_000)) + "1" + &"}".repeat(100_000),
+        ] {
+            let err = validate_json(&monster).expect_err("bounded");
+            assert_eq!(err.message, "nesting too deep");
         }
     }
 }

@@ -52,6 +52,13 @@ impl ThrashDetector {
         self.active
     }
 
+    /// Forces the episode flag without generating a transition — used by
+    /// checkpoint restore to carry an open episode across a resume so the
+    /// exit event is not lost (and no spurious enter event is emitted).
+    pub fn restore_active(&mut self, active: bool) {
+        self.active = active;
+    }
+
     /// Feeds one windowed miss rate; returns the transition, if any.
     pub fn update(&mut self, miss_rate: f64) -> Option<ThrashTransition> {
         if !self.active && miss_rate > self.enter_above {

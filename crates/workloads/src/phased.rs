@@ -6,7 +6,7 @@
 //! [`PhasedKernel`] chains [`SyntheticKernel`]s, giving each phase a
 //! per-warp instruction budget, optionally looping forever.
 
-use secmem_gpusim::kernel::{Kernel, WarpProgram};
+use secmem_gpusim::kernel::{Kernel, StateError, WarpProgram};
 use secmem_gpusim::types::Inst;
 
 use crate::program::SyntheticKernel;
@@ -80,6 +80,56 @@ impl WarpProgram for PhasedProgram {
             self.done = true;
         }
         inst
+    }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.current as u64);
+        out.push(self.issued_in_phase);
+        out.push(self.done as u64);
+        out.push(self.programs.len() as u64);
+        // Each sub-program's state is length-prefixed so restore can frame
+        // the variable-length sections.
+        for (program, _) in &self.programs {
+            let mut sub = Vec::new();
+            program.save_state(&mut sub);
+            out.push(sub.len() as u64);
+            out.extend(sub);
+        }
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), StateError> {
+        let err = |msg: String| StateError::new("phased program", msg);
+        if state.len() < 4 {
+            return Err(err(format!("state has {} words, need at least 4", state.len())));
+        }
+        let (current, issued, done, count) = (state[0], state[1], state[2] != 0, state[3]);
+        if count as usize != self.programs.len() {
+            return Err(err(format!("{count} phases stored, expected {}", self.programs.len())));
+        }
+        // `current` may equal the phase count only once the warp is done
+        // (the non-looping exit path leaves it one past the end).
+        if current as usize > self.programs.len() || (current as usize == self.programs.len() && !done) {
+            return Err(err(format!("phase index {current} out of range")));
+        }
+        let mut rest = &state[4..];
+        for (i, (program, _)) in self.programs.iter_mut().enumerate() {
+            let Some((&len, tail)) = rest.split_first() else {
+                return Err(err(format!("truncated before phase {i}")));
+            };
+            let len = len as usize;
+            if tail.len() < len {
+                return Err(err(format!("phase {i} wants {len} words, {} left", tail.len())));
+            }
+            program.restore_state(&tail[..len])?;
+            rest = &tail[len..];
+        }
+        if !rest.is_empty() {
+            return Err(err(format!("{} trailing words", rest.len())));
+        }
+        self.current = current as usize;
+        self.issued_in_phase = issued;
+        self.done = done;
+        Ok(())
     }
 }
 
@@ -179,6 +229,49 @@ mod tests {
         assert_eq!(k.active_sms(8), 2);
         assert_eq!(k.phase_count(), 2);
         assert_eq!(k.name(), "union");
+    }
+
+    #[test]
+    fn save_restore_resumes_across_phase_boundary() {
+        let k = PhasedKernel::new(
+            vec![
+                Phase { kernel: mini("a", 3), instructions: 20 },
+                Phase { kernel: mini("b", 0), instructions: 20 },
+            ],
+            true,
+            "looped",
+        );
+        // Cut inside phase a, at the boundary, and inside phase b.
+        for cut in [7usize, 20, 33] {
+            let mut original = k.spawn(0, 0);
+            for _ in 0..cut {
+                let _ = original.next_inst();
+            }
+            let mut state = Vec::new();
+            original.save_state(&mut state);
+            let mut resumed = k.spawn(0, 0);
+            resumed.restore_state(&state).expect("restore");
+            for i in 0..100 {
+                assert_eq!(original.next_inst(), resumed.next_inst(), "inst {i} after cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_phase_count() {
+        let one = PhasedKernel::new(vec![Phase { kernel: mini("a", 1), instructions: 5 }], false, "one");
+        let two = PhasedKernel::new(
+            vec![
+                Phase { kernel: mini("a", 1), instructions: 5 },
+                Phase { kernel: mini("b", 1), instructions: 5 },
+            ],
+            false,
+            "two",
+        );
+        let mut state = Vec::new();
+        one.spawn(0, 0).save_state(&mut state);
+        assert!(two.spawn(0, 0).restore_state(&state).is_err());
+        assert!(one.spawn(0, 0).restore_state(&state[..3]).is_err(), "truncated header");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The synthetic warp-program generator: turns a [`BenchSpec`] into
 //! deterministic per-warp instruction streams.
 
-use secmem_gpusim::kernel::{Kernel, WarpProgram};
+use secmem_gpusim::kernel::{expect_state_len, Kernel, StateError, WarpProgram};
 use secmem_gpusim::rng::Rng64;
 use secmem_gpusim::types::{Access, Addr, Inst, SectorMask, FULL_SECTOR_MASK, LINE_SIZE};
 
@@ -230,6 +230,51 @@ impl WarpProgram for SyntheticProgram {
         }
         self.mem_inst()
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        // Stream bases/lengths, pattern and pacing knobs are derived from
+        // the spec at spawn time; only the advancing cursors are state.
+        out.push(self.streams.len() as u64);
+        out.extend(self.streams.iter().map(|&(_, _, cursor)| cursor));
+        out.push(self.wstream.2);
+        out.push(self.rng.state());
+        out.push(self.alu_left as u64);
+        out.push(self.next_alu_waits as u64);
+        out.push(self.mem_count);
+        out.push(self.loads_since_wait as u64);
+        out.push(self.chase_left as u64);
+        out.push(self.scatter_pos);
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), StateError> {
+        let err = |msg: String| StateError::new("synthetic program", msg);
+        let n = self.streams.len();
+        expect_state_len(state, 1 + n + 8, "synthetic program")?;
+        if state[0] as usize != n {
+            return Err(err(format!("{} stream cursors stored, expected {n}", state[0])));
+        }
+        for (i, (_, len, cursor)) in self.streams.iter_mut().enumerate() {
+            let c = state[1 + i];
+            if c >= *len {
+                return Err(err(format!("stream {i} cursor {c} out of slice {len}")));
+            }
+            *cursor = c;
+        }
+        let rest = &state[1 + n..];
+        if rest[0] >= self.wstream.1 {
+            return Err(err(format!("write cursor {} out of slice {}", rest[0], self.wstream.1)));
+        }
+        self.wstream.2 = rest[0];
+        self.rng.set_state(rest[1]);
+        self.alu_left = u32::try_from(rest[2]).map_err(|_| err("alu_left overflow".into()))?;
+        self.next_alu_waits = rest[3] != 0;
+        self.mem_count = rest[4];
+        self.loads_since_wait =
+            u32::try_from(rest[5]).map_err(|_| err("loads_since_wait overflow".into()))?;
+        self.chase_left = u32::try_from(rest[6]).map_err(|_| err("chase_left overflow".into()))?;
+        self.scatter_pos = rest[7];
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +403,43 @@ mod tests {
             }
         };
         assert_ne!(first_line(&mut p0), first_line(&mut p1));
+    }
+
+    #[test]
+    fn save_restore_resumes_instruction_stream() {
+        for pattern in [
+            AccessPattern::Stream { arrays: 2 },
+            AccessPattern::Scatter { lanes: 8, random: true, dependent: false },
+            AccessPattern::Chase { depth: 3 },
+        ] {
+            let k = SyntheticKernel::new(spec(pattern), 42);
+            let mut original = k.spawn(0, 1);
+            for _ in 0..137 {
+                let _ = original.next_inst();
+            }
+            let mut state = Vec::new();
+            original.save_state(&mut state);
+            let mut resumed = k.spawn(0, 1);
+            resumed.restore_state(&state).expect("restore");
+            for i in 0..200 {
+                assert_eq!(original.next_inst(), resumed.next_inst(), "inst {i} under {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_state() {
+        let k = SyntheticKernel::new(spec(AccessPattern::Stream { arrays: 1 }), 1);
+        let p = k.spawn(0, 0);
+        let mut state = Vec::new();
+        p.save_state(&mut state);
+        assert!(k.spawn(0, 0).restore_state(&state[..2]).is_err(), "truncated");
+        let mut wrong_count = state.clone();
+        wrong_count[0] = 99;
+        assert!(k.spawn(0, 0).restore_state(&wrong_count).is_err(), "stream count mismatch");
+        let mut wild_cursor = state;
+        wild_cursor[1] = u64::MAX;
+        assert!(k.spawn(0, 0).restore_state(&wild_cursor).is_err(), "cursor out of slice");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`workloads`] — the 14 synthetic Table-IV benchmarks.
 //! * [`telemetry`] — low-overhead sampling, structured events, and
 //!   Chrome-trace/CSV/sparkline exporters for profiling runs.
+//! * [`checkpoint`] — versioned, checksummed snapshot/restore of full
+//!   simulator state for crash-safe paper-scale runs.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use secmem_checkpoint as checkpoint;
 pub use secmem_core as core;
 pub use secmem_crypto as crypto;
 pub use secmem_gpusim as gpusim;
