@@ -14,6 +14,8 @@
 //!   all          — everything above, in order
 //!   ext          — extensions: ablation-replacement, ablation-verification,
 //!                  ablation-scheduler, ablation-dram, selective-encryption
+//!   matrix       — the pinned 4-benchmark × 7-scheme sweep matrix (same
+//!                  expansion/rendering as the secmem-serve sweep server)
 //! ```
 //!
 //! `--small` swaps in the scaled-down 8-SM / 4-partition GPU (for smoke
@@ -186,6 +188,7 @@ fn run_experiment(exp: &str, opts: &ExpOpts, baselines: Option<&Baselines>) -> R
         "ablation-dram" => experiments::ablation_dram(opts),
         "selective-encryption" => experiments::selective_encryption(opts, b()),
         "ml-suite" => experiments::ml_suite(opts),
+        "matrix" => experiments::matrix(opts),
         other => return Err(format!("unknown experiment: {other}")),
     })
 }

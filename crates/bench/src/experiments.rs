@@ -987,3 +987,27 @@ pub fn ml_suite(opts: &ExpOpts) -> ExpTable {
     t.note("bandwidth-bound attention/conv pay the most; compute-bound gemm is nearly free");
     t
 }
+
+/// The full (benchmark × scheme) sweep matrix via [`crate::sweep`] — the
+/// same expansion and rendering the `secmem-serve` server uses, exposed
+/// as a batch experiment so server output can be diffed against
+/// `reproduce matrix` byte-for-byte.
+pub fn matrix(opts: &ExpOpts) -> ExpTable {
+    use crate::sweep::{GpuPreset, SweepSpec, ALL_SCHEMES, PINNED_BENCHES};
+    let preset = if opts.gpu == GpuConfig::small() { GpuPreset::Small } else { GpuPreset::Volta };
+    let spec = SweepSpec {
+        benches: PINNED_BENCHES.iter().map(|b| (*b).to_string()).collect(),
+        schemes: ALL_SCHEMES.to_vec(),
+        gpu: preset,
+        cycles: opts.cycles,
+        warmup: opts.warmup,
+        seed: opts.seed,
+        sample_interval: opts.telemetry.as_ref().map(|t| t.sample_interval),
+    };
+    let (results, failures) = spec.run(opts.threads).expect("pinned matrix spec is valid");
+    let mut table = spec.results_table(&results);
+    if !failures.is_empty() {
+        table.note(format!("{} job(s) FAILED after retry", failures.len()));
+    }
+    table
+}

@@ -17,12 +17,14 @@ pub mod fuzz;
 pub mod json;
 pub mod plot;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 pub mod timing;
 
 pub use experiments::{Baselines, ExpOpts};
 pub use runner::{
-    run_job, run_job_cached, run_jobs, run_jobs_with_failures, BackendChoice, Job, JobFailure, RunResult,
-    WarmCache,
+    run_job, run_job_cached, run_job_isolated, run_jobs, run_jobs_with_failures, BackendChoice, Job,
+    JobFailure, RunResult, WarmCache,
 };
+pub use sweep::{job_fingerprint, report_fingerprint, GpuPreset, SweepError, SweepSpec};
 pub use table::ExpTable;

@@ -256,7 +256,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Runs one job with panic isolation: a panicking job is retried once,
 /// and a second panic becomes a [`JobFailure`] instead of tearing down
 /// the whole sweep.
-fn run_job_isolated(job: &Job, cache: &WarmCache) -> Result<RunResult, JobFailure> {
+///
+/// This is the job-execution core shared by the batch sweep runner
+/// ([`run_jobs_with_failures`]) and the `secmem-serve` sweep server:
+/// both schedule jobs however they like and funnel each one through
+/// here, so panic isolation, the retry policy and warm-checkpoint
+/// forking behave identically whether a spec runs as a batch or is
+/// submitted over HTTP.
+pub fn run_job_isolated(job: &Job, cache: &WarmCache) -> Result<RunResult, JobFailure> {
     use secmem_gpusim::kernel::Kernel;
     use std::panic::{catch_unwind, AssertUnwindSafe};
     let mut last = None;

@@ -216,7 +216,7 @@ impl Default for Policy {
     fn default() -> Self {
         let s = |v: &[&str]| v.iter().map(|x| (*x).to_string()).collect();
         Self {
-            sim_crates: s(&["gpusim", "core", "workloads", "telemetry", "checkpoint"]),
+            sim_crates: s(&["gpusim", "core", "workloads", "telemetry", "checkpoint", "serve"]),
             extra_d1_crates: s(&["bench", "gpu-secure-memory"]),
             // The per-cycle chain from DESIGN.md §10:
             // sim -> sm -> icnt -> partition -> cache/mshr -> backend ->
@@ -261,7 +261,7 @@ impl Default for Policy {
                 "crates/core/src/mdcache.rs",
                 "crates/telemetry/src/sink.rs",
             ]),
-            lib_crates: s(&["gpusim", "core", "crypto", "telemetry", "workloads", "checkpoint"]),
+            lib_crates: s(&["gpusim", "core", "crypto", "telemetry", "workloads", "checkpoint", "serve"]),
         }
     }
 }

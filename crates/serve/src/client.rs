@@ -1,0 +1,73 @@
+//! A minimal blocking HTTP client over `std::net`, shared by the
+//! `sweep-client` binary and the end-to-end tests. One request per
+//! connection, mirroring the server's `Connection: close` discipline.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use crate::http::{self, ChunkReader, HttpError, Response};
+
+fn open(addr: &str, method: &str, path: &str, body: Option<&[u8]>) -> Result<TcpStream, HttpError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n")?;
+    match body {
+        Some(b) => {
+            write!(stream, "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n", b.len())?;
+            stream.write_all(b)?;
+        }
+        None => write!(stream, "\r\n")?,
+    }
+    stream.flush()?;
+    Ok(stream)
+}
+
+/// `GET path`, returning the full decoded response.
+///
+/// # Errors
+///
+/// Connection, I/O, and response-parse errors.
+pub fn get(addr: &str, path: &str) -> Result<Response, HttpError> {
+    let mut stream = open(addr, "GET", path, None)?;
+    http::read_response(&mut stream)
+}
+
+/// `POST path` with a JSON body, returning the full decoded response.
+///
+/// # Errors
+///
+/// Connection, I/O, and response-parse errors.
+pub fn post(addr: &str, path: &str, body: &[u8]) -> Result<Response, HttpError> {
+    let mut stream = open(addr, "POST", path, Some(body))?;
+    http::read_response(&mut stream)
+}
+
+/// `GET path` consuming a chunked response incrementally: `on_data` is
+/// called with each chunk as it arrives (progress streaming). For a
+/// non-chunked response (e.g. an error) the whole body is delivered as
+/// one call. Returns the status code.
+///
+/// # Errors
+///
+/// Connection, I/O, and response-parse errors.
+pub fn stream_get(addr: &str, path: &str, on_data: &mut dyn FnMut(&[u8])) -> Result<u16, HttpError> {
+    let mut stream = open(addr, "GET", path, None)?;
+    let (head_bytes, pre) = http::read_head_bytes(&mut stream)?;
+    let head = http::parse_head(&head_bytes)?;
+    if !head.part0.starts_with("HTTP/1.") {
+        return Err(HttpError::BadStartLine);
+    }
+    let code: u16 = head.part1.parse().map_err(|_| HttpError::BadStartLine)?;
+    let chunked = head.header("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+    if chunked {
+        let mut reader = ChunkReader::new(&mut stream, pre);
+        while let Some(chunk) = reader.next_chunk()? {
+            on_data(&chunk);
+        }
+    } else {
+        let mut body = pre;
+        let want = head.content_length()?;
+        http::read_body_more(&mut stream, &mut body, want)?;
+        on_data(&body);
+    }
+    Ok(code)
+}

@@ -1,0 +1,272 @@
+//! A bounded work-stealing thread pool. Each worker owns a deque:
+//! submissions land round-robin across the deques, an owner pops its
+//! own front (FIFO), and an idle worker steals from the *back* of the
+//! longest sibling deque — the classic split that keeps an owner's
+//! queue warm while still balancing bursts (one sweep's 28 jobs spread
+//! across all workers instead of serializing behind one).
+//!
+//! Panic containment: a panicking task is caught (the pool's threads
+//! must survive arbitrary job code), counted, and the pool moves on —
+//! the simulation layer already wraps jobs in
+//! [`secmem_bench::run_job_isolated`], so a panic reaching the pool is
+//! a bug, but it must not wedge [`WorkPool::drain`].
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    /// One deque per worker, indexed by worker id.
+    queues: Vec<VecDeque<Task>>,
+    /// Queued + currently-running task count.
+    pending: usize,
+    /// No new submissions; workers exit once the queues empty.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signals workers: work available or shutdown.
+    work: Condvar,
+    /// Signals waiters in [`WorkPool::drain`]: `pending` hit zero.
+    idle: Condvar,
+    /// Tasks whose closure panicked (bugs, but contained).
+    panicked: AtomicU64,
+}
+
+/// A fixed-size work-stealing thread pool for `FnOnce` tasks.
+pub struct WorkPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    next: AtomicU64,
+}
+
+impl WorkPool {
+    /// Spawns a pool of `workers` threads (clamped to at least 1).
+    ///
+    /// # Panics
+    ///
+    /// If the OS refuses to spawn a thread; [`WorkPool::try_new`] is the
+    /// fallible form.
+    pub fn new(workers: usize) -> Self {
+        Self::try_new(workers).expect("spawning pool worker threads")
+    }
+
+    /// Fallible constructor: spawns `workers` threads (clamped to at
+    /// least 1).
+    ///
+    /// # Errors
+    ///
+    /// The OS error if a worker thread cannot be spawned.
+    pub fn try_new(workers: usize) -> Result<Self, std::io::Error> {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                pending: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            panicked: AtomicU64::new(0),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for id in 0..workers {
+            let shared = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("secmem-pool-{id}"))
+                .spawn(move || worker_loop(&shared, id))?;
+            handles.push(handle);
+        }
+        Ok(Self { shared, handles, next: AtomicU64::new(0) })
+    }
+
+    /// Queues a task; returns `false` (dropping the task) after
+    /// [`WorkPool::shutdown`] has begun.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, task: F) -> bool {
+        let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.shutdown {
+            return false;
+        }
+        let n = state.queues.len() as u64;
+        let slot = (self.next.fetch_add(1, Ordering::Relaxed) % n) as usize;
+        state.queues[slot].push_back(Box::new(task));
+        state.pending += 1;
+        drop(state);
+        self.shared.work.notify_one();
+        true
+    }
+
+    /// Queued plus currently-running task count.
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).pending
+    }
+
+    /// Number of tasks whose closure panicked (contained, see module doc).
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until every queued task has finished.
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while state.pending > 0 {
+            state = self.shared.idle.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Begins shutdown without joining: new submissions are rejected and
+    /// workers exit once the queues empty. For shared (`Arc`) pools that
+    /// cannot be consumed by [`WorkPool::shutdown`]; pair with
+    /// [`WorkPool::drain`] to wait for queued work first.
+    pub fn stop(&self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.shutdown = true;
+        drop(state);
+        self.shared.work.notify_all();
+    }
+
+    /// Finishes all queued work, then stops and joins every worker.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker that somehow panicked outside a task is already
+            // counted via `panicked`; nothing left to propagate.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Takes the next task for worker `id`: own queue front first (FIFO for
+/// the owner), then steal from the back of the longest sibling queue.
+fn take_task(state: &mut PoolState, id: usize) -> Option<Task> {
+    if let Some(task) = state.queues[id].pop_front() {
+        return Some(task);
+    }
+    let victim = (0..state.queues.len())
+        .filter(|&v| v != id)
+        .max_by_key(|&v| state.queues[v].len())
+        .filter(|&v| !state.queues[v].is_empty())?;
+    state.queues[victim].pop_back()
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(task) = take_task(&mut state, id) {
+                    break Some(task);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(task) = task else {
+            return;
+        };
+        if catch_unwind(AssertUnwindSafe(task)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.pending -= 1;
+        let now_idle = state.pending == 0;
+        drop(state);
+        if now_idle {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_submitted_task() {
+        let pool = WorkPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = counter.clone();
+            assert!(pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.pending(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn idle_workers_steal_queued_bursts() {
+        // One worker's queue gets a slow task plus followers; with 4
+        // workers the followers must be stolen to finish promptly.
+        let pool = WorkPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..16 {
+            let counter = counter.clone();
+            pool.submit(move || {
+                if i % 4 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_tasks_are_contained() {
+        let pool = WorkPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("task bug"));
+        for _ in 0..10 {
+            let counter = counter.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 10, "pool survives a panicking task");
+        assert_eq!(pool.panicked(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_work_and_rejects_new() {
+        let pool = WorkPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let counter = counter.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 20, "queued work completes before shutdown");
+        let pool = WorkPool::new(1);
+        let pending = {
+            let mut state = pool.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.shutdown = true;
+            state.pending
+        };
+        assert_eq!(pending, 0);
+        assert!(!pool.submit(|| ()), "submissions after shutdown are rejected");
+        pool.shared.work.notify_all();
+        // Drop the handles without joining twice.
+    }
+}

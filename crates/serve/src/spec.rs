@@ -1,0 +1,227 @@
+//! The sweep-spec wire format: a flat JSON object describing a
+//! [`SweepSpec`], parsed with typed errors and rendered back for the
+//! client. Unknown keys are rejected — a typo'd `"cycels"` should fail
+//! the submission, not silently run 120k-cycle defaults.
+//!
+//! ```text
+//! {
+//!   "benches": ["nw", "b+tree"],          // required, Table-IV names
+//!   "schemes": ["baseline", "ctr"],       // default: all seven
+//!   "gpu": "small",                       // "volta" (default) | "small"
+//!   "cycles": 3000,                       // default 120000
+//!   "warmup": 0,                          // default 0
+//!   "seed": 1516,                         // default DEFAULT_SEED
+//!   "sample_interval": 512                // optional: enables telemetry
+//! }
+//! ```
+
+use secmem_bench::sweep::{scheme_by_label, GpuPreset, SweepError, SweepSpec, ALL_SCHEMES};
+use secmem_telemetry::chrome;
+use secmem_workloads::suite::DEFAULT_SEED;
+
+use crate::json::{self, Json};
+
+/// A sweep-spec parse/validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The body failed the telemetry crate's JSON validator.
+    Syntax(chrome::JsonSyntaxError),
+    /// The body failed this crate's JSON parser (the validators are
+    /// cross-checked by the fuzz harness, so seeing this variant means
+    /// the two grammars disagree — a bug worth a fixture).
+    Json(json::JsonError),
+    /// The top-level value is not an object.
+    NotAnObject,
+    /// An unrecognized top-level key.
+    UnknownKey(String),
+    /// A key holds the wrong shape.
+    BadField {
+        /// The offending key.
+        field: &'static str,
+        /// What the parser wanted there.
+        expected: &'static str,
+    },
+    /// A scheme label not in the paper's seven.
+    UnknownScheme(String),
+    /// A GPU preset label other than `volta` / `small`.
+    UnknownGpu(String),
+    /// The spec parsed but failed semantic validation.
+    Sweep(SweepError),
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecError::Syntax(e) => write!(f, "invalid json at byte {}: {}", e.offset, e.message),
+            SpecError::Json(e) => write!(f, "{e}"),
+            SpecError::NotAnObject => write!(f, "sweep spec must be a json object"),
+            SpecError::UnknownKey(k) => write!(f, "unknown sweep-spec key '{k}'"),
+            SpecError::BadField { field, expected } => write!(f, "field '{field}' must be {expected}"),
+            SpecError::UnknownScheme(s) => write!(f, "unknown scheme '{s}'"),
+            SpecError::UnknownGpu(g) => write!(f, "unknown gpu preset '{g}' (volta|small)"),
+            SpecError::Sweep(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn string_array(value: &Json, field: &'static str) -> Result<Vec<String>, SpecError> {
+    let items = value.as_arr().ok_or(SpecError::BadField { field, expected: "an array of strings" })?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or(SpecError::BadField { field, expected: "an array of strings" })
+        })
+        .collect()
+}
+
+fn u64_field(value: &Json, field: &'static str) -> Result<u64, SpecError> {
+    value.as_u64().ok_or(SpecError::BadField { field, expected: "a non-negative integer" })
+}
+
+/// Parses and validates a sweep-spec body.
+///
+/// The text is first checked by the telemetry crate's JSON validator
+/// (the machinery that already guards Chrome trace output), then built
+/// into a [`SweepSpec`] by this crate's parser and semantically
+/// validated by [`SweepSpec::validate`].
+///
+/// # Errors
+///
+/// Every [`SpecError`] variant.
+pub fn parse_sweep_spec(text: &str) -> Result<SweepSpec, SpecError> {
+    chrome::validate_json(text).map_err(SpecError::Syntax)?;
+    let value = json::parse(text).map_err(SpecError::Json)?;
+    let Json::Obj(fields) = &value else {
+        return Err(SpecError::NotAnObject);
+    };
+
+    let mut spec = SweepSpec {
+        benches: Vec::new(),
+        schemes: ALL_SCHEMES.to_vec(),
+        gpu: GpuPreset::Volta,
+        cycles: 120_000,
+        warmup: 0,
+        seed: DEFAULT_SEED,
+        sample_interval: None,
+    };
+    for (key, val) in fields {
+        match key.as_str() {
+            "benches" => spec.benches = string_array(val, "benches")?,
+            "schemes" => {
+                spec.schemes = string_array(val, "schemes")?
+                    .into_iter()
+                    .map(|label| scheme_by_label(&label).ok_or(SpecError::UnknownScheme(label)))
+                    .collect::<Result<_, _>>()?;
+            }
+            "gpu" => {
+                let label = val
+                    .as_str()
+                    .ok_or(SpecError::BadField { field: "gpu", expected: "\"volta\" or \"small\"" })?;
+                spec.gpu = GpuPreset::from_label(label).ok_or_else(|| SpecError::UnknownGpu(label.into()))?;
+            }
+            "cycles" => spec.cycles = u64_field(val, "cycles")?,
+            "warmup" => spec.warmup = u64_field(val, "warmup")?,
+            "seed" => spec.seed = u64_field(val, "seed")?,
+            "sample_interval" => spec.sample_interval = Some(u64_field(val, "sample_interval")?),
+            other => return Err(SpecError::UnknownKey(other.to_string())),
+        }
+    }
+    spec.validate().map_err(SpecError::Sweep)?;
+    Ok(spec)
+}
+
+/// Renders a spec back to its wire form (all fields explicit, so a
+/// render→parse round trip is the identity).
+pub fn render_sweep_spec(spec: &SweepSpec) -> String {
+    let benches: Vec<String> = spec.benches.iter().map(|b| format!("\"{}\"", json::escape(b))).collect();
+    let schemes: Vec<String> = spec.schemes.iter().map(|s| format!("\"{}\"", s.label())).collect();
+    let mut out = format!(
+        "{{\"benches\":[{}],\"schemes\":[{}],\"gpu\":\"{}\",\"cycles\":{},\"warmup\":{},\"seed\":{}",
+        benches.join(","),
+        schemes.join(","),
+        spec.gpu.label(),
+        spec.cycles,
+        spec.warmup,
+        spec.seed
+    );
+    if let Some(interval) = spec.sample_interval {
+        out.push_str(&format!(",\"sample_interval\":{interval}"));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secmem_core::SecurityScheme;
+
+    #[test]
+    fn parses_a_minimal_spec_with_defaults() {
+        let spec = parse_sweep_spec(r#"{"benches":["nw"]}"#).expect("parses");
+        assert_eq!(spec.benches, vec!["nw"]);
+        assert_eq!(spec.schemes.len(), 7);
+        assert_eq!(spec.gpu, GpuPreset::Volta);
+        assert_eq!(spec.cycles, 120_000);
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert_eq!(spec.sample_interval, None);
+    }
+
+    #[test]
+    fn parses_a_full_spec() {
+        let text = r#"{"benches":["nw","b+tree"],"schemes":["baseline","ctr_mac_bmt"],
+                       "gpu":"small","cycles":3000,"warmup":100,"seed":7,"sample_interval":512}"#;
+        let spec = parse_sweep_spec(text).expect("parses");
+        assert_eq!(spec.benches.len(), 2);
+        assert_eq!(spec.schemes, vec![SecurityScheme::Baseline, SecurityScheme::CtrMacBmt]);
+        assert_eq!(spec.gpu, GpuPreset::Small);
+        assert_eq!((spec.cycles, spec.warmup, spec.seed), (3000, 100, 7));
+        assert_eq!(spec.sample_interval, Some(512));
+    }
+
+    #[test]
+    fn rejects_bad_specs_with_typed_errors() {
+        assert!(matches!(parse_sweep_spec("not json"), Err(SpecError::Syntax(_))));
+        assert!(matches!(parse_sweep_spec("[1,2]"), Err(SpecError::NotAnObject)));
+        assert!(matches!(
+            parse_sweep_spec(r#"{"benches":["nw"],"cycels":5}"#),
+            Err(SpecError::UnknownKey(k)) if k == "cycels"
+        ));
+        assert!(matches!(
+            parse_sweep_spec(r#"{"benches":["nw"],"schemes":["rot13"]}"#),
+            Err(SpecError::UnknownScheme(s)) if s == "rot13"
+        ));
+        assert!(matches!(
+            parse_sweep_spec(r#"{"benches":["nw"],"gpu":"tpu"}"#),
+            Err(SpecError::UnknownGpu(_))
+        ));
+        assert!(matches!(
+            parse_sweep_spec(r#"{"benches":["nw"],"cycles":-5}"#),
+            Err(SpecError::BadField { field: "cycles", .. })
+        ));
+        assert!(matches!(
+            parse_sweep_spec(r#"{"benches":[]}"#),
+            Err(SpecError::Sweep(SweepError::Empty("benchmark")))
+        ));
+        assert!(matches!(
+            parse_sweep_spec(r#"{"benches":["not-a-bench"]}"#),
+            Err(SpecError::Sweep(SweepError::UnknownBench(_)))
+        ));
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let spec = SweepSpec::pinned_matrix();
+        let wire = render_sweep_spec(&spec);
+        assert_eq!(parse_sweep_spec(&wire).expect("round trip"), spec);
+
+        let mut with_telemetry = SweepSpec::pinned_matrix();
+        with_telemetry.sample_interval = Some(256);
+        let wire = render_sweep_spec(&with_telemetry);
+        assert_eq!(parse_sweep_spec(&wire).expect("round trip"), with_telemetry);
+    }
+}

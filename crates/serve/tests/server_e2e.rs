@@ -1,0 +1,251 @@
+//! End-to-end tests against a real server on a loopback socket.
+//!
+//! The headline gate (ISSUE 7 acceptance criteria): for the pinned
+//! 4-benchmark × 7-scheme matrix, the CSV fetched from the server is
+//! **byte-identical** to the batch sweep's rendering, and resubmitting
+//! the same spec is served entirely from the content-addressed cache —
+//! zero additional simulations, proven by the server's simulation
+//! counter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use secmem_bench::sweep::SweepSpec;
+use secmem_serve::client;
+use secmem_serve::json::{self, Json};
+use secmem_serve::spec::render_sweep_spec;
+use secmem_serve::{Server, ServerConfig};
+
+/// Binds a server on an ephemeral loopback port and runs it on a
+/// background thread. Tear down with `shutdown()`.
+struct TestServer {
+    addr: String,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start() -> Self {
+        let cfg = ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() };
+        let server = Server::bind(&cfg).expect("bind loopback");
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+        Self { addr, handle: Some(handle) }
+    }
+
+    fn shutdown(mut self) {
+        let resp = client::post(&self.addr, "/shutdown", b"").expect("shutdown request");
+        assert_eq!(resp.code, 200);
+        self.handle.take().expect("running").join().expect("server thread exits cleanly");
+    }
+}
+
+fn field(body: &str, name: &str) -> u64 {
+    json::parse(body)
+        .unwrap_or_else(|e| panic!("malformed response {body:?}: {e}"))
+        .get(name)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("response {body:?} lacks numeric field {name:?}"))
+}
+
+/// Submits a spec and blocks until the sweep completes; returns
+/// `(sweep id, final status body)`.
+fn run_sweep(addr: &str, spec: &SweepSpec) -> (u64, String) {
+    let resp = client::post(addr, "/sweeps", render_sweep_spec(spec).as_bytes()).expect("submit");
+    assert_eq!(resp.code, 200, "submit failed: {}", resp.text());
+    let id = field(&resp.text(), "sweep");
+    loop {
+        let status = client::get(addr, &format!("/sweeps/{id}")).expect("status");
+        assert_eq!(status.code, 200);
+        let body = status.text();
+        let complete = json::parse(&body).ok().and_then(|v| v.get("complete")?.as_bool());
+        if complete == Some(true) {
+            return (id, body);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+fn fetch_csv(addr: &str, id: u64) -> Vec<u8> {
+    let resp = client::get(addr, &format!("/sweeps/{id}/results")).expect("results");
+    assert_eq!(resp.code, 200, "results failed: {}", resp.text());
+    assert_eq!(resp.header("content-type"), Some("text/csv"));
+    resp.body
+}
+
+/// The end-to-end determinism gate on the pinned matrix.
+#[test]
+fn pinned_matrix_server_csv_is_byte_identical_to_batch_and_resubmission_is_all_cache_hits() {
+    let spec = SweepSpec::pinned_matrix();
+
+    // Batch reference: the same expansion + rendering the server uses,
+    // run in-process on the shared runner.
+    let (results, failures) = spec.run(0).expect("valid spec");
+    assert!(failures.is_empty(), "batch jobs failed: {failures:?}");
+    let batch_csv = spec.results_table(&results).to_csv().into_bytes();
+
+    let server = TestServer::start();
+
+    // First pass: everything simulates (the cache is cold).
+    let (id, status) = run_sweep(&server.addr, &spec);
+    assert_eq!(field(&status, "total"), 28);
+    assert_eq!(field(&status, "failed"), 0);
+    let first_csv = fetch_csv(&server.addr, id);
+    assert_eq!(
+        first_csv,
+        batch_csv,
+        "server CSV differs from batch reference:\n--- server ---\n{}\n--- batch ---\n{}",
+        String::from_utf8_lossy(&first_csv),
+        String::from_utf8_lossy(&batch_csv)
+    );
+    let stats = client::get(&server.addr, "/cache/stats").expect("stats").text();
+    let simulations_after_first = field(&stats, "simulations");
+    assert_eq!(simulations_after_first, 28, "cold cache simulates every job once");
+
+    // Second pass: the identical spec must be answered entirely from
+    // the content-addressed cache — zero re-simulations.
+    let (id2, status2) = run_sweep(&server.addr, &spec);
+    assert_ne!(id2, id, "each submission gets its own sweep id");
+    assert_eq!(field(&status2, "cache_hits"), 28, "every job served from cache: {status2}");
+    assert_eq!(field(&status2, "failed"), 0);
+    let second_csv = fetch_csv(&server.addr, id2);
+    assert_eq!(second_csv, first_csv, "cached CSV must be byte-identical");
+    let stats = client::get(&server.addr, "/cache/stats").expect("stats").text();
+    assert_eq!(field(&stats, "simulations"), simulations_after_first, "0 re-simulations on resubmit");
+    assert_eq!(field(&stats, "hits"), 28);
+
+    server.shutdown();
+}
+
+/// Concurrent identical submissions coalesce: racing clients cost one
+/// simulation per distinct job, not one per request.
+#[test]
+fn concurrent_identical_sweeps_coalesce_to_one_simulation_each() {
+    let spec = SweepSpec {
+        benches: vec!["nw".into()],
+        schemes: vec![secmem_core::SecurityScheme::Baseline, secmem_core::SecurityScheme::CtrMacBmt],
+        gpu: secmem_bench::sweep::GpuPreset::Small,
+        cycles: 1_500,
+        warmup: 0,
+        seed: secmem_workloads::suite::DEFAULT_SEED,
+        sample_interval: None,
+    };
+    let server = TestServer::start();
+    let addr = Arc::new(server.addr.clone());
+    let failures = Arc::new(AtomicUsize::new(0));
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let failures = failures.clone();
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let (_, status) = run_sweep(&addr, &spec);
+                if field(&status, "failed") != 0 {
+                    failures.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    assert_eq!(failures.load(Ordering::SeqCst), 0);
+    let stats = client::get(&server.addr, "/cache/stats").expect("stats").text();
+    assert_eq!(
+        field(&stats, "simulations"),
+        2,
+        "4 racing clients × 2 jobs ran exactly 2 simulations: {stats}"
+    );
+    server.shutdown();
+}
+
+/// The chunked progress stream delivers one NDJSON event per job, with
+/// telemetry-fed byte counters when sampling is on.
+#[test]
+fn progress_stream_delivers_one_event_per_job_with_telemetry() {
+    let spec = SweepSpec {
+        benches: vec!["nw".into()],
+        schemes: vec![secmem_core::SecurityScheme::Baseline, secmem_core::SecurityScheme::CtrMacBmt],
+        gpu: secmem_bench::sweep::GpuPreset::Small,
+        cycles: 1_500,
+        warmup: 0,
+        seed: secmem_workloads::suite::DEFAULT_SEED,
+        sample_interval: Some(256),
+    };
+    let server = TestServer::start();
+    let resp = client::post(&server.addr, "/sweeps", render_sweep_spec(&spec).as_bytes()).expect("submit");
+    assert_eq!(resp.code, 200);
+    let id = field(&resp.text(), "sweep");
+
+    // Stream while the sweep runs; the server blocks the stream until
+    // all events are delivered, so this also synchronizes completion.
+    let mut collected = Vec::new();
+    let code = client::stream_get(&server.addr, &format!("/sweeps/{id}/stream"), &mut |data| {
+        collected.extend_from_slice(data);
+    })
+    .expect("stream");
+    assert_eq!(code, 200);
+    let text = String::from_utf8(collected).expect("utf-8 events");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 2, "one event per job: {text:?}");
+    for line in &lines {
+        let event = json::parse(line).unwrap_or_else(|e| panic!("bad event {line:?}: {e}"));
+        assert_eq!(event.get("sweep").and_then(Json::as_u64), Some(id));
+        assert_eq!(event.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(event.get("bench").and_then(Json::as_str), Some("nw"));
+        assert!(
+            event.get("dram_bytes").and_then(Json::as_u64).is_some_and(|b| b > 0),
+            "telemetry-fed dram byte counter missing: {line}"
+        );
+    }
+    // Final done counter matches the job count.
+    let last = json::parse(lines[1]).expect("parses");
+    assert_eq!(last.get("done").and_then(Json::as_u64), Some(2));
+    server.shutdown();
+}
+
+/// Error paths answer with typed JSON and the right status codes.
+#[test]
+fn http_error_paths() {
+    let server = TestServer::start();
+
+    let resp = client::post(&server.addr, "/sweeps", b"{\"benches\":[]}").expect("post");
+    assert_eq!(resp.code, 400, "empty bench list: {}", resp.text());
+    let resp = client::post(&server.addr, "/sweeps", b"not json at all").expect("post");
+    assert_eq!(resp.code, 400);
+    let resp = client::post(&server.addr, "/sweeps", b"{\"benches\":[\"nw\"],\"cycels\":1}").expect("post");
+    assert_eq!(resp.code, 400, "unknown key is rejected: {}", resp.text());
+    assert!(resp.text().contains("cycels"), "error names the bad key: {}", resp.text());
+
+    let resp = client::get(&server.addr, "/sweeps/999").expect("get");
+    assert_eq!(resp.code, 404);
+    let resp = client::get(&server.addr, "/sweeps/999/results").expect("get");
+    assert_eq!(resp.code, 404);
+    let resp = client::get(&server.addr, "/nope").expect("get");
+    assert_eq!(resp.code, 404);
+    let resp = client::get(&server.addr, "/health").expect("get");
+    assert_eq!(resp.code, 200);
+    assert!(resp.text().contains("\"status\":\"ok\""));
+
+    // Results for a still-running sweep: 409. Use a sweep big enough to
+    // still be in flight right after submission.
+    let spec = SweepSpec {
+        benches: vec!["fdtd2d".into()],
+        schemes: vec![secmem_core::SecurityScheme::CtrMacBmt],
+        gpu: secmem_bench::sweep::GpuPreset::Small,
+        cycles: 200_000,
+        warmup: 0,
+        seed: secmem_workloads::suite::DEFAULT_SEED,
+        sample_interval: None,
+    };
+    let resp = client::post(&server.addr, "/sweeps", render_sweep_spec(&spec).as_bytes()).expect("submit");
+    assert_eq!(resp.code, 200);
+    let id = field(&resp.text(), "sweep");
+    let resp = client::get(&server.addr, &format!("/sweeps/{id}/results")).expect("get");
+    assert!(
+        resp.code == 409 || resp.code == 200,
+        "running sweep results are 409 (or 200 if it finished first), got {}",
+        resp.code
+    );
+    server.shutdown();
+}
