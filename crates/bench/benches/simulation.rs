@@ -26,6 +26,7 @@ fn job(bench: &str, backend: BackendChoice) -> Job {
         label: bench.into(),
         telemetry: None,
         telemetry_out: None,
+        sim_threads: 1,
     }
 }
 

@@ -9,6 +9,15 @@
 //! produce identical fingerprints, which is how the determinism invariant
 //! of the ISSUE 3 performance overhaul is checked across code changes.
 //!
+//! A second section sweeps the simulator's stepping thread count
+//! (ISSUE 8): the heaviest matrix corners re-run at threads = 1, 2, 4,
+//! 8, recording cycles/wall-second and the speedup over the
+//! single-thread baseline. The host's `available_parallelism` is
+//! recorded alongside — on a single-core runner the honest speedup is
+//! ≤ 1 (the pool parks its workers), and the numbers say so rather
+//! than pretending. The fingerprints must not move across thread
+//! counts; the binary exits non-zero if they do.
+//!
 //! ```text
 //! cargo run -p secmem-bench --release --bin perf              # full matrix
 //! cargo run -p secmem-bench --release --bin perf -- --smoke   # tiny CI matrix
@@ -71,6 +80,22 @@ struct RunRow {
     report_fp: u64,
 }
 
+/// One point on the thread-scaling curve.
+struct ScaleRow {
+    bench: String,
+    scheme: &'static str,
+    threads: usize,
+    sim_cycles: u64,
+    wall_ms: f64,
+    cycles_per_sec: f64,
+    /// cycles/sec at this thread count over cycles/sec at 1 thread.
+    speedup: f64,
+    report_fp: u64,
+}
+
+/// Stepping thread counts the scaling section sweeps.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
@@ -129,6 +154,7 @@ fn main() {
                 label: scheme.label().to_string(),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             };
             let watch = Stopwatch::start();
             let result = run_job(&job);
@@ -161,7 +187,73 @@ fn main() {
         total_wall,
     );
 
-    let json = to_json(&rows, smoke, cycles, total_wall, aggregate);
+    // Thread-scaling sweep: the latency-bound and bandwidth-bound
+    // corners under the heaviest scheme, at each stepping thread count.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scale_benches: &[&str] = if smoke { &["fdtd2d"] } else { &["nw", "fdtd2d"] };
+    let scheme = SecurityScheme::CtrMacBmt;
+    let mut scaling: Vec<ScaleRow> = Vec::new();
+    let mut fp_diverged = false;
+    eprintln!("[perf] thread scaling (host parallelism = {host_parallelism}):");
+    for bench in scale_benches {
+        let mut baseline_cps = 0.0;
+        let mut baseline_fp = 0u64;
+        for threads in THREAD_COUNTS {
+            let kernel = suite::by_name(bench).expect("scaling bench is in the suite");
+            let job = Job {
+                kernel,
+                gpu: gpu.clone(),
+                backend: BackendChoice::Secure(SecureMemConfig::with_scheme(scheme)),
+                cycles,
+                warmup: 0,
+                label: scheme.label().to_string(),
+                telemetry: None,
+                telemetry_out: None,
+                sim_threads: threads,
+            };
+            let watch = Stopwatch::start();
+            let result = run_job(&job);
+            let wall = watch.elapsed();
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            let sim_cycles = result.report.cycles;
+            let cycles_per_sec =
+                if wall.as_secs_f64() > 0.0 { sim_cycles as f64 / wall.as_secs_f64() } else { 0.0 };
+            let report_fp = fingerprint(&format!("{:?}", result.report));
+            if threads == 1 {
+                baseline_cps = cycles_per_sec;
+                baseline_fp = report_fp;
+            } else if report_fp != baseline_fp {
+                eprintln!(
+                    "[perf] DETERMINISM VIOLATION: {bench}/{} fp {report_fp:016x} at {threads} \
+                     threads != {baseline_fp:016x} at 1 thread",
+                    scheme.label()
+                );
+                fp_diverged = true;
+            }
+            let speedup = if baseline_cps > 0.0 { cycles_per_sec / baseline_cps } else { 0.0 };
+            eprintln!(
+                "[perf] {bench:>14} {:>13}  threads {threads}  {wall_ms:>9.2} ms  {:>11.0} cyc/s  {speedup:>5.2}x  fp {report_fp:016x}",
+                scheme.label(),
+                cycles_per_sec,
+            );
+            scaling.push(ScaleRow {
+                bench: (*bench).to_string(),
+                scheme: scheme.label(),
+                threads,
+                sim_cycles,
+                wall_ms,
+                cycles_per_sec,
+                speedup,
+                report_fp,
+            });
+        }
+    }
+    if fp_diverged {
+        eprintln!("[perf] aborting: thread count changed simulation results");
+        std::process::exit(1);
+    }
+
+    let json = to_json(&rows, &scaling, host_parallelism, smoke, cycles, total_wall, aggregate);
     if let Err(err) = std::fs::write(&out_path, &json) {
         eprintln!("[perf] failed to write {out_path}: {err}");
         std::process::exit(1);
@@ -169,13 +261,22 @@ fn main() {
     eprintln!("[perf] wrote {out_path}");
 }
 
-fn to_json(rows: &[RunRow], smoke: bool, cycles: u64, total_wall_s: f64, aggregate: f64) -> String {
+fn to_json(
+    rows: &[RunRow],
+    scaling: &[ScaleRow],
+    host_parallelism: usize,
+    smoke: bool,
+    cycles: u64,
+    total_wall_s: f64,
+    aggregate: f64,
+) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"simperf-v1\",");
+    let _ = writeln!(out, "  \"schema\": \"simperf-v2\",");
     let _ = writeln!(out, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(out, "  \"gpu\": \"small\",");
     let _ = writeln!(out, "  \"seed\": {DEFAULT_SEED},");
     let _ = writeln!(out, "  \"cycles_per_run\": {cycles},");
+    let _ = writeln!(out, "  \"host_parallelism\": {host_parallelism},");
     let _ = writeln!(out, "  \"total_wall_seconds\": {total_wall_s:.6},");
     let _ = writeln!(out, "  \"aggregate_cycles_per_sec\": {aggregate:.1},");
     out.push_str("  \"runs\": [\n");
@@ -186,6 +287,16 @@ fn to_json(rows: &[RunRow], smoke: bool, cycles: u64, total_wall_s: f64, aggrega
             r.bench, r.scheme, r.sim_cycles, r.wall_ms, r.cycles_per_sec, r.report_fp
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"thread_scaling\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"threads\": {}, \"sim_cycles\": {}, \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}, \"report_fp\": \"{:016x}\"}}",
+            r.bench, r.scheme, r.threads, r.sim_cycles, r.wall_ms, r.cycles_per_sec, r.speedup, r.report_fp
+        );
+        out.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out

@@ -25,6 +25,8 @@
 //!   --checkpoint-every N  snapshot full simulator state every N cycles
 //!   --checkpoint-out F    where snapshots go (default simulate.ckpt)
 //!   --resume-from F       restore a snapshot and continue the run from it
+//!   --threads N           partition/SM stepping threads (default 1;
+//!                         results are byte-identical at every value)
 //! ```
 //!
 //! Checkpointing makes paper-scale runs crash-safe: a run killed between
@@ -62,6 +64,7 @@ struct Options {
     checkpoint_every: u64,
     checkpoint_out: PathBuf,
     resume_from: Option<PathBuf>,
+    sim_threads: usize,
 }
 
 fn find_kernel(name: &str) -> Option<SyntheticKernel> {
@@ -86,6 +89,7 @@ fn parse() -> Result<Options, String> {
         checkpoint_every: 0,
         checkpoint_out: PathBuf::from("simulate.ckpt"),
         resume_from: None,
+        sim_threads: 1,
     };
     let mut it = std::env::args().skip(1);
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -154,6 +158,9 @@ fn parse() -> Result<Options, String> {
                 o.checkpoint_out = PathBuf::from(need(&mut it, "--checkpoint-out")?);
             }
             "--resume-from" => o.resume_from = Some(PathBuf::from(need(&mut it, "--resume-from")?)),
+            "--threads" => {
+                o.sim_threads = need(&mut it, "--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
             "--help" | "-h" => return Err("see the doc comment at the top of simulate.rs".into()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -231,6 +238,7 @@ fn run_checkpointed_job(job: &Job, o: &Options) -> Result<RunResult, String> {
         BackendChoice::Baseline => {
             let mut sim =
                 Simulator::new(job.gpu.clone(), &job.kernel, |_, g| PassthroughBackend::from_config(g));
+            sim.set_threads(job.sim_threads);
             sim.set_telemetry(telemetry);
             let report = drive_checkpointed(&mut sim, o)?;
             let telemetry = sim.telemetry_snapshot();
@@ -240,6 +248,7 @@ fn run_checkpointed_job(job: &Job, o: &Options) -> Result<RunResult, String> {
             let cfg = cfg.clone();
             let mut sim =
                 Simulator::new(job.gpu.clone(), &job.kernel, |_, g| SecureBackend::new(cfg.clone(), g));
+            sim.set_threads(job.sim_threads);
             sim.set_telemetry(telemetry);
             let report = drive_checkpointed(&mut sim, o)?;
             let reuse = sim
@@ -274,6 +283,7 @@ mod tests {
             checkpoint_every: 0,
             checkpoint_out: dir.join("run.ckpt"),
             resume_from: None,
+            sim_threads: 1,
         }
     }
 
@@ -370,6 +380,7 @@ fn main() {
         label: o.scheme.clone(),
         telemetry,
         telemetry_out: None, // single run: the trace is written below
+        sim_threads: o.sim_threads,
     };
     let checkpointing = o.checkpoint_every > 0 || o.resume_from.is_some();
     let result = if checkpointing {

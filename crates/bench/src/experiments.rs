@@ -96,6 +96,7 @@ impl Baselines {
                 label: "baseline".into(),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             })
             .collect();
         let mut reports = HashMap::new();
@@ -133,6 +134,7 @@ fn suite_secure_jobs(opts: &ExpOpts, configs: &[(String, SecureMemConfig)]) -> V
                 label: label.clone(),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             });
         }
     }
@@ -476,6 +478,7 @@ pub fn fig10_11(opts: &ExpOpts, class_index: usize) -> ExpTable {
         label: label.into(),
         telemetry: None,
         telemetry_out: None,
+        sim_threads: 1,
     };
     let results = run_jobs_t(
         opts,
@@ -588,6 +591,7 @@ pub fn fig13(opts: &ExpOpts) -> ExpTable {
                 label: format!("secureMem_{mb}MB"),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             });
         }
     }
@@ -742,6 +746,7 @@ pub fn ablation_scheduler(opts: &ExpOpts) -> ExpTable {
                 label: format!("base_{tag}"),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             });
             jobs.push(Job {
                 kernel: kernel.clone(),
@@ -752,6 +757,7 @@ pub fn ablation_scheduler(opts: &ExpOpts) -> ExpTable {
                 label: format!("sec_{tag}"),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             });
         }
     }
@@ -801,6 +807,7 @@ pub fn selective_encryption(opts: &ExpOpts, baselines: &Baselines) -> ExpTable {
                 label: format!("protect_{pct}%"),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             });
         }
     }
@@ -840,6 +847,7 @@ pub fn ablation_dram(opts: &ExpOpts) -> ExpTable {
                 label: format!("base_{tag}"),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             });
             jobs.push(Job {
                 kernel: kernel.clone(),
@@ -850,6 +858,7 @@ pub fn ablation_dram(opts: &ExpOpts) -> ExpTable {
                 label: format!("sec_{tag}"),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             });
         }
     }
@@ -948,6 +957,7 @@ pub fn ml_suite(opts: &ExpOpts) -> ExpTable {
             label: "baseline".into(),
             telemetry: None,
             telemetry_out: None,
+            sim_threads: 1,
         });
         for (label, cfg) in &schemes {
             jobs.push(Job {
@@ -959,6 +969,7 @@ pub fn ml_suite(opts: &ExpOpts) -> ExpTable {
                 label: (*label).to_string(),
                 telemetry: None,
                 telemetry_out: None,
+                sim_threads: 1,
             });
         }
     }
@@ -1003,6 +1014,8 @@ pub fn matrix(opts: &ExpOpts) -> ExpTable {
         warmup: opts.warmup,
         seed: opts.seed,
         sample_interval: opts.telemetry.as_ref().map(|t| t.sample_interval),
+        l2_bytes_per_bank: None,
+        l2_assoc: None,
     };
     let (results, failures) = spec.run(opts.threads).expect("pinned matrix spec is valid");
     let mut table = spec.results_table(&results);

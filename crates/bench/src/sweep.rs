@@ -18,6 +18,7 @@
 use secmem_checkpoint::fnv1a;
 use secmem_core::{SecureMemConfig, SecurityScheme};
 use secmem_gpusim::config::GpuConfig;
+use secmem_gpusim::error::ConfigError;
 use secmem_gpusim::stats::SimReport;
 use secmem_telemetry::TelemetryConfig;
 use secmem_workloads::suite;
@@ -100,6 +101,10 @@ pub enum SweepError {
         /// Human-readable constraint.
         constraint: &'static str,
     },
+    /// The effective GPU configuration (preset + geometry overrides)
+    /// failed [`GpuConfig::validate`]. Catching this at spec level
+    /// turns a would-be worker panic into a client error.
+    Gpu(ConfigError),
 }
 
 impl core::fmt::Display for SweepError {
@@ -108,6 +113,7 @@ impl core::fmt::Display for SweepError {
             SweepError::UnknownBench(name) => write!(f, "unknown benchmark '{name}' (not in Table IV)"),
             SweepError::Empty(what) => write!(f, "sweep spec needs at least one {what}"),
             SweepError::OutOfRange { field, constraint } => write!(f, "sweep field {field} {constraint}"),
+            SweepError::Gpu(e) => write!(f, "{e}"),
         }
     }
 }
@@ -133,6 +139,13 @@ pub struct SweepSpec {
     /// When set, every job samples telemetry at this interval (the
     /// server feeds progress streams from the samples).
     pub sample_interval: Option<u64>,
+    /// Per-bank L2 capacity override in bytes (the preset's value when
+    /// `None`). Lets a sweep probe cache-geometry sensitivity; an
+    /// impossible geometry is rejected by [`SweepSpec::validate`]
+    /// instead of panicking a pool worker.
+    pub l2_bytes_per_bank: Option<u64>,
+    /// L2 associativity override (ways per set).
+    pub l2_assoc: Option<u32>,
 }
 
 impl SweepSpec {
@@ -147,7 +160,22 @@ impl SweepSpec {
             warmup: 0,
             seed: suite::DEFAULT_SEED,
             sample_interval: None,
+            l2_bytes_per_bank: None,
+            l2_assoc: None,
         }
+    }
+
+    /// The effective GPU configuration: the preset with the spec's
+    /// geometry overrides applied.
+    pub fn gpu_config(&self) -> GpuConfig {
+        let mut gpu = self.gpu.config();
+        if let Some(bytes) = self.l2_bytes_per_bank {
+            gpu.l2_bytes_per_bank = bytes;
+        }
+        if let Some(assoc) = self.l2_assoc {
+            gpu.l2_assoc = assoc;
+        }
+        gpu
     }
 
     /// Checks the spec without expanding it.
@@ -176,6 +204,9 @@ impl SweepSpec {
                 constraint: "must be at least 1 when present",
             });
         }
+        // Geometry overrides can make the preset invalid; reject here
+        // so the failure is a typed spec error, not a worker panic.
+        self.gpu_config().validate().map_err(SweepError::Gpu)?;
         Ok(())
     }
 
@@ -188,7 +219,7 @@ impl SweepSpec {
     /// Returns the first invalid field (see [`SweepSpec::validate`]).
     pub fn jobs(&self) -> Result<Vec<Job>, SweepError> {
         self.validate()?;
-        let gpu = self.gpu.config();
+        let gpu = self.gpu_config();
         let telemetry = self
             .sample_interval
             .map(|interval| TelemetryConfig { sample_interval: interval, ..TelemetryConfig::default() });
@@ -213,6 +244,7 @@ impl SweepSpec {
                     label: scheme.label().to_string(),
                     telemetry: telemetry.clone(),
                     telemetry_out: None,
+                    sim_threads: 1,
                 });
             }
         }
@@ -324,6 +356,8 @@ mod tests {
             warmup: 0,
             seed: suite::DEFAULT_SEED,
             sample_interval: None,
+            l2_bytes_per_bank: None,
+            l2_assoc: None,
         }
     }
 
@@ -356,6 +390,26 @@ mod tests {
     }
 
     #[test]
+    fn geometry_overrides_apply_and_hostile_geometry_is_typed() {
+        let mut s = tiny_spec();
+        s.l2_bytes_per_bank = Some(64 * 1024);
+        s.l2_assoc = Some(8);
+        let jobs = s.jobs().expect("a consistent override is valid");
+        assert_eq!(jobs[0].gpu.l2_bytes_per_bank, 64 * 1024);
+        assert_eq!(jobs[0].gpu.l2_assoc, 8);
+
+        // The geometry that used to assert inside SectoredCache: 768
+        // lines per bank do not divide into 5-way sets.
+        let mut hostile = tiny_spec();
+        hostile.l2_bytes_per_bank = Some(96 * 1024);
+        hostile.l2_assoc = Some(5);
+        match hostile.jobs().expect_err("rejected at spec level") {
+            SweepError::Gpu(e) => assert_eq!(e.field, "l2_bytes_per_bank/l2_assoc"),
+            other => panic!("expected a typed gpu-config error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn scheme_labels_round_trip() {
         for scheme in ALL_SCHEMES {
             assert_eq!(scheme_by_label(scheme.label()), Some(scheme));
@@ -383,6 +437,14 @@ mod tests {
         let mut relabeled = jobs[0].clone();
         relabeled.label = "renamed".into();
         assert_eq!(job_fingerprint(&jobs[0]), job_fingerprint(&relabeled), "label is display-only");
+
+        let mut threaded = jobs[0].clone();
+        threaded.sim_threads = 8;
+        assert_eq!(
+            job_fingerprint(&jobs[0]),
+            job_fingerprint(&threaded),
+            "sim_threads is a performance knob, not simulation identity"
+        );
 
         let mut other_seed = tiny_spec();
         other_seed.seed = 1;

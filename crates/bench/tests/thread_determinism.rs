@@ -1,0 +1,107 @@
+//! Tier-1 gate for parallel partition stepping (ISSUE 8): the pinned
+//! 4-benchmark × 7-scheme matrix must produce **byte-identical**
+//! `report_fp` fingerprints at every stepping thread count — 1, 2, 4
+//! and 8 — and a checkpoint taken mid-run under parallel stepping must
+//! restore into a run indistinguishable from an uninterrupted serial
+//! one.
+//!
+//! The phased step design (DESIGN.md §14) claims the thread count is
+//! invisible to simulation results: phase A touches disjoint
+//! per-entity state, and every cross-entity effect is committed by the
+//! coordinator in canonical (SM-id, partition-id) order. This suite is
+//! the proof. It runs on any host — on a single-core machine the pool
+//! workers park instead of spin, but the merge order, and therefore
+//! every fingerprint, is the same.
+
+use secmem_bench::sweep::{job_fingerprint, report_fingerprint, SweepSpec};
+use secmem_bench::{run_job, Job};
+use secmem_checkpoint::Frame;
+use secmem_core::{SecureBackend, SecureMemConfig, SecurityScheme};
+use secmem_gpusim::config::GpuConfig;
+use secmem_gpusim::kernel::Kernel;
+use secmem_gpusim::sim::Simulator;
+use secmem_workloads::suite;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn matrix_jobs(sim_threads: usize) -> Vec<Job> {
+    let mut jobs = SweepSpec::pinned_matrix().jobs().expect("pinned matrix is valid");
+    for job in &mut jobs {
+        job.sim_threads = sim_threads;
+    }
+    jobs
+}
+
+/// The headline acceptance criterion: 28 pinned fingerprints, identical
+/// at threads = 1, 2, 4, 8.
+#[test]
+fn pinned_matrix_fingerprints_are_identical_at_every_thread_count() {
+    let reference: Vec<(u64, u64)> = matrix_jobs(1)
+        .iter()
+        .map(|job| (job_fingerprint(job), report_fingerprint(&run_job(job).report)))
+        .collect();
+    assert_eq!(reference.len(), 28);
+
+    for threads in THREAD_COUNTS.into_iter().skip(1) {
+        for (job, (job_fp, report_fp)) in matrix_jobs(threads).iter().zip(&reference) {
+            assert_eq!(
+                job_fingerprint(job),
+                *job_fp,
+                "{}/{}: sim_threads leaked into the job fingerprint",
+                job.kernel.name(),
+                job.label
+            );
+            let report = run_job(job).report;
+            assert_eq!(
+                report_fingerprint(&report),
+                *report_fp,
+                "{}/{} at {threads} threads: report diverges from the serial run\n{report:?}",
+                job.kernel.name(),
+                job.label
+            );
+        }
+    }
+}
+
+/// A checkpoint saved mid-run under parallel stepping restores into a
+/// run byte-identical to an uninterrupted serial one — and the frame
+/// itself is byte-identical to one saved by a serial simulator, so the
+/// thread count cannot leak into the wire format either.
+#[test]
+fn checkpoint_round_trip_is_thread_count_invariant() {
+    const CYCLES: u64 = 3_000;
+    const CUT: u64 = 1_200;
+    let gpu = GpuConfig::small();
+    let kernel = suite::by_name("fdtd2d").expect("suite workload");
+    let cfg = SecureMemConfig::with_scheme(SecurityScheme::CtrMacBmt);
+    let build = |threads: usize| {
+        let cfg = cfg.clone();
+        let mut sim = Simulator::new(gpu.clone(), &kernel, move |_, g| SecureBackend::new(cfg.clone(), g));
+        sim.set_threads(threads);
+        sim
+    };
+
+    let mut serial = build(1);
+    let unbroken = serial.run(CYCLES);
+
+    let mut serial_cut = build(1);
+    let _ = serial_cut.run_checked(CUT);
+    let serial_frame = serial_cut.save_checkpoint().encode();
+
+    let mut parallel = build(4);
+    let _ = parallel.run_checked(CUT);
+    let frame = parallel.save_checkpoint().encode();
+    assert_eq!(frame, serial_frame, "a 4-thread checkpoint must be byte-identical to a serial one");
+
+    // Restore into a simulator stepping with yet another thread count.
+    let frame = Frame::decode(&frame).expect("frame survives its own wire format");
+    let mut resumed = build(8);
+    resumed.restore_checkpoint(&frame).expect("restore into a fresh, identically-built simulator");
+    let resumed_report = resumed.run(CYCLES);
+
+    assert_eq!(
+        format!("{unbroken:?}"),
+        format!("{resumed_report:?}"),
+        "parallel save + restore diverges from the uninterrupted serial run"
+    );
+}

@@ -152,14 +152,54 @@ impl Aes128 {
         state
     }
 
-    /// Encrypts `data` in place using ECB over whole blocks.
+    /// Encrypts two 16-byte blocks in one call, with the round loop
+    /// interleaved across both states so the compiler can overlap the
+    /// two independent dependency chains. Bit-exact with two
+    /// [`Aes128::encrypt_block`] calls — the batched sector paths
+    /// (CTR keystream, ECB sector groups) are built on this.
+    pub fn encrypt_two_blocks(&self, a: &Block, b: &Block) -> (Block, Block) {
+        let mut sa = *a;
+        let mut sb = *b;
+        add_round_key(&mut sa, &self.round_keys[0]);
+        add_round_key(&mut sb, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut sa);
+            sub_bytes(&mut sb);
+            shift_rows(&mut sa);
+            shift_rows(&mut sb);
+            mix_columns(&mut sa);
+            mix_columns(&mut sb);
+            add_round_key(&mut sa, &self.round_keys[round]);
+            add_round_key(&mut sb, &self.round_keys[round]);
+        }
+        sub_bytes(&mut sa);
+        sub_bytes(&mut sb);
+        shift_rows(&mut sa);
+        shift_rows(&mut sb);
+        add_round_key(&mut sa, &self.round_keys[10]);
+        add_round_key(&mut sb, &self.round_keys[10]);
+        (sa, sb)
+    }
+
+    /// Encrypts `data` in place using ECB over whole blocks, two blocks
+    /// per cipher call (a 32 B sector is exactly one pair).
     ///
     /// # Panics
     ///
     /// Panics if `data.len()` is not a multiple of 16.
     pub fn encrypt_in_place(&self, data: &mut [u8]) {
         assert_eq!(data.len() % BLOCK_SIZE, 0, "data must be block aligned");
-        for chunk in data.chunks_exact_mut(BLOCK_SIZE) {
+        let mut pairs = data.chunks_exact_mut(2 * BLOCK_SIZE);
+        for pair in pairs.by_ref() {
+            let mut a = [0u8; BLOCK_SIZE];
+            let mut b = [0u8; BLOCK_SIZE];
+            a.copy_from_slice(&pair[..BLOCK_SIZE]);
+            b.copy_from_slice(&pair[BLOCK_SIZE..]);
+            let (ea, eb) = self.encrypt_two_blocks(&a, &b);
+            pair[..BLOCK_SIZE].copy_from_slice(&ea);
+            pair[BLOCK_SIZE..].copy_from_slice(&eb);
+        }
+        for chunk in pairs.into_remainder().chunks_exact_mut(BLOCK_SIZE) {
             let mut block = [0u8; BLOCK_SIZE];
             block.copy_from_slice(chunk);
             chunk.copy_from_slice(&self.encrypt_block(&block));
@@ -310,6 +350,35 @@ mod tests {
         for (chunk, orig_chunk) in data.chunks_exact(16).zip(orig.chunks_exact(16)) {
             let expect = aes.encrypt_block(orig_chunk.try_into().unwrap());
             assert_eq!(chunk, expect);
+        }
+        aes.decrypt_in_place(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn two_block_batch_matches_single_blocks() {
+        let aes = Aes128::new(&block("000102030405060708090a0b0c0d0e0f"));
+        for seed in 0u8..16 {
+            let a = [seed.wrapping_mul(13); 16];
+            let b = [seed.wrapping_mul(29).wrapping_add(7); 16];
+            let (ea, eb) = aes.encrypt_two_blocks(&a, &b);
+            assert_eq!(ea, aes.encrypt_block(&a));
+            assert_eq!(eb, aes.encrypt_block(&b));
+        }
+    }
+
+    #[test]
+    fn in_place_odd_block_count_matches_block_api() {
+        // 48 bytes: one batched pair plus one remainder block.
+        let aes = Aes128::new(&[3u8; 16]);
+        let mut data = [0u8; 48];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(11);
+        }
+        let orig = data;
+        aes.encrypt_in_place(&mut data);
+        for (chunk, orig_chunk) in data.chunks_exact(16).zip(orig.chunks_exact(16)) {
+            assert_eq!(chunk, aes.encrypt_block(orig_chunk.try_into().unwrap()));
         }
         aes.decrypt_in_place(&mut data);
         assert_eq!(data, orig);

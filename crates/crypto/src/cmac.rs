@@ -94,6 +94,43 @@ impl Cmac {
         self.aes.encrypt_block(&x)
     }
 
+    /// Computes the CMAC tag of the logical message `head ‖ body`
+    /// without materializing the concatenation.
+    ///
+    /// This is the allocation-free form the memory-MAC paths use: `head`
+    /// is the 16 B address‖counter prefix, `body` the sector or line
+    /// ciphertext. Bit-exact with `compute` over the concatenated bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` is not a whole number of blocks — the memory
+    /// MACs only ever feed 32 B sectors or 128 B lines.
+    pub fn compute_concat(&self, head: &Block, body: &[u8]) -> Block {
+        assert_eq!(body.len() % BLOCK_SIZE, 0, "body must be block aligned");
+        // head ‖ body is a nonzero whole number of blocks, so this is
+        // the RFC 4493 complete-last-block (K1) path throughout.
+        let mut x = self.aes.encrypt_block(head);
+        let n = body.len() / BLOCK_SIZE;
+        for (i, block) in body.chunks_exact(BLOCK_SIZE).enumerate() {
+            for j in 0..BLOCK_SIZE {
+                x[j] ^= block[j];
+            }
+            if i + 1 == n {
+                for (b, k) in x.iter_mut().zip(self.k1.iter()) {
+                    *b ^= k;
+                }
+            }
+            x = self.aes.encrypt_block(&x);
+        }
+        if n == 0 {
+            // Degenerate head-only message: head is the last (complete)
+            // block, so fold K1 in *before* the cipher call above would
+            // have run — recompute on the slow path for correctness.
+            return self.compute(head);
+        }
+        x
+    }
+
     /// Computes a tag truncated to the first 8 bytes (64-bit MAC).
     pub fn compute_u64(&self, msg: &[u8]) -> u64 {
         let tag = self.compute(msg);
@@ -113,20 +150,22 @@ impl Cmac {
 /// the encryption counter, which is what lets the Bonsai construction drop
 /// the data from the Merkle tree (Rogers et al., MICRO'07).
 pub fn sector_mac(mac: &Cmac, sector_addr: u64, counter: u64, ciphertext: &[u8]) -> u16 {
-    let mut msg = Vec::with_capacity(16 + ciphertext.len());
-    msg.extend_from_slice(&sector_addr.to_be_bytes());
-    msg.extend_from_slice(&counter.to_be_bytes());
-    msg.extend_from_slice(ciphertext);
-    mac.compute_u16(&msg)
+    let tag = mac.compute_concat(&bind_header(sector_addr, counter), ciphertext);
+    u16::from_be_bytes([tag[0], tag[1]])
 }
 
 /// Computes the 64-bit MAC of one 128 B line.
 pub fn line_mac(mac: &Cmac, line_addr: u64, counter: u64, ciphertext: &[u8]) -> u64 {
-    let mut msg = Vec::with_capacity(16 + ciphertext.len());
-    msg.extend_from_slice(&line_addr.to_be_bytes());
-    msg.extend_from_slice(&counter.to_be_bytes());
-    msg.extend_from_slice(ciphertext);
-    mac.compute_u64(&msg)
+    let tag = mac.compute_concat(&bind_header(line_addr, counter), ciphertext);
+    u64::from_be_bytes([tag[0], tag[1], tag[2], tag[3], tag[4], tag[5], tag[6], tag[7]])
+}
+
+/// The 16 B address‖counter prefix both truncated MACs bind.
+fn bind_header(addr: u64, counter: u64) -> Block {
+    let mut head = [0u8; BLOCK_SIZE];
+    head[..8].copy_from_slice(&addr.to_be_bytes());
+    head[8..].copy_from_slice(&counter.to_be_bytes());
+    head
 }
 
 #[cfg(test)]
@@ -182,6 +221,39 @@ mod tests {
         let tag = cmac.compute(b"some message");
         assert_eq!(cmac.compute_u64(b"some message"), u64::from_be_bytes(tag[..8].try_into().unwrap()));
         assert_eq!(cmac.compute_u16(b"some message"), u16::from_be_bytes(tag[..2].try_into().unwrap()));
+    }
+
+    #[test]
+    fn compute_concat_matches_concatenated_compute() {
+        let cmac = Cmac::new(&rfc_key());
+        let mut head = [0u8; 16];
+        head[..8].copy_from_slice(&0xDEAD_BEEFu64.to_be_bytes());
+        head[8..].copy_from_slice(&77u64.to_be_bytes());
+        for body_len in [0usize, 16, 32, 128] {
+            let body: Vec<u8> = (0..body_len).map(|i| (i as u8).wrapping_mul(31)).collect();
+            let mut concat = head.to_vec();
+            concat.extend_from_slice(&body);
+            assert_eq!(cmac.compute_concat(&head, &body), cmac.compute(&concat), "body_len {body_len}");
+        }
+    }
+
+    #[test]
+    fn truncated_macs_match_vec_construction() {
+        // Pin the allocation-free paths against the original
+        // build-a-Vec-and-compute formulation.
+        let cmac = Cmac::new(&[9u8; 16]);
+        let sector = [0x11u8; 32];
+        let line = [0x22u8; 128];
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&0x1000u64.to_be_bytes());
+        msg.extend_from_slice(&4u64.to_be_bytes());
+        msg.extend_from_slice(&sector);
+        assert_eq!(sector_mac(&cmac, 0x1000, 4, &sector), cmac.compute_u16(&msg));
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&0x80u64.to_be_bytes());
+        msg.extend_from_slice(&1u64.to_be_bytes());
+        msg.extend_from_slice(&line);
+        assert_eq!(line_mac(&cmac, 0x80, 1, &line), cmac.compute_u64(&msg));
     }
 
     #[test]

@@ -46,6 +46,25 @@ pub fn pad_block(aes: &Aes128, seed: &CounterBlock, block_index: u8) -> [u8; BLO
     aes.encrypt_block(&seed.to_block(block_index))
 }
 
+/// Generates the full 32 B pad for one sector with a single batched
+/// cipher call ([`Aes128::encrypt_two_blocks`]) instead of two
+/// independent block encryptions. Bit-exact with two [`pad_block`]
+/// calls for block indices `sector_index * 2` and `sector_index * 2 + 1`.
+///
+/// # Panics
+///
+/// Panics if `sector_index > 3`.
+pub fn pad_sector(aes: &Aes128, seed: &CounterBlock, sector_index: u8) -> [u8; 32] {
+    assert!(sector_index < 4, "a 128 B line has 4 sectors");
+    let lo = seed.to_block(sector_index * 2);
+    let hi = seed.to_block(sector_index * 2 + 1);
+    let (pa, pb) = aes.encrypt_two_blocks(&lo, &hi);
+    let mut out = [0u8; 32];
+    out[..BLOCK_SIZE].copy_from_slice(&pa);
+    out[BLOCK_SIZE..].copy_from_slice(&pb);
+    out
+}
+
 /// Encrypts (or decrypts — XOR is an involution) a 32 B sector.
 ///
 /// `seed.line_addr` must be the address of the *line*; the sector offset
@@ -66,12 +85,24 @@ pub fn encrypt_sector(aes: &Aes128, seed: &CounterBlock, sector: &[u8; 32]) -> [
 pub fn apply_pad(aes: &Aes128, seed: &CounterBlock, sector_index: u8, data: &mut [u8]) {
     assert!(sector_index < 4, "a 128 B line has 4 sectors");
     assert_eq!(data.len() % BLOCK_SIZE, 0, "data must be 16 B aligned");
-    for (i, chunk) in data.chunks_exact_mut(BLOCK_SIZE).enumerate() {
-        let block_index = sector_index * 2 + i as u8;
-        let pad = pad_block(aes, seed, block_index);
+    // The common case is a whole 32 B sector: both pad blocks come from
+    // one batched cipher call rather than two sequential ones.
+    let mut i: u8 = 0;
+    let mut pairs = data.chunks_exact_mut(2 * BLOCK_SIZE);
+    for pair in pairs.by_ref() {
+        let base = sector_index * 2 + i;
+        let (pa, pb) = aes.encrypt_two_blocks(&seed.to_block(base), &seed.to_block(base + 1));
+        for (d, p) in pair.iter_mut().zip(pa.iter().chain(pb.iter())) {
+            *d ^= *p;
+        }
+        i += 2;
+    }
+    for chunk in pairs.into_remainder().chunks_exact_mut(BLOCK_SIZE) {
+        let pad = pad_block(aes, seed, sector_index * 2 + i);
         for (d, p) in chunk.iter_mut().zip(pad.iter()) {
             *d ^= *p;
         }
+        i += 1;
     }
 }
 
@@ -162,6 +193,34 @@ mod tests {
         assert_ne!(a, CounterBlock::new(1, 3, 3).to_block(0));
         assert_ne!(a, CounterBlock::new(1, 2, 4).to_block(0));
         assert_ne!(a, CounterBlock::new(1, 2, 3).to_block(1));
+    }
+
+    #[test]
+    fn pad_sector_matches_block_at_a_time() {
+        let aes = aes();
+        let seed = CounterBlock::new(0x7F00, 42, 9);
+        for s in 0..4u8 {
+            let batched = pad_sector(&aes, &seed, s);
+            assert_eq!(batched[..16], pad_block(&aes, &seed, s * 2));
+            assert_eq!(batched[16..], pad_block(&aes, &seed, s * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn apply_pad_handles_single_block_remainder() {
+        // A 16 B slice exercises the non-batched tail path.
+        let aes = aes();
+        let seed = CounterBlock::new(0x3000, 2, 1);
+        let mut half = [0u8; 16];
+        apply_pad(&aes, &seed, 1, &mut half);
+        assert_eq!(half, pad_block(&aes, &seed, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "4 sectors")]
+    fn pad_sector_rejects_bad_sector() {
+        let aes = aes();
+        let _ = pad_sector(&aes, &CounterBlock::new(0, 0, 0), 4);
     }
 
     #[test]

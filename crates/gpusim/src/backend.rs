@@ -22,7 +22,10 @@ use crate::types::{BackendReq, Cycle, TrafficClass};
 /// may panic. Completed reads surface through `pop_read_response` with the
 /// same `BackendReq` (id, line, sectors, bank) that was submitted; writes
 /// complete silently.
-pub trait MemoryBackend {
+///
+/// `Send` is a supertrait: partitions step on pool worker threads during
+/// the parallel phase of [`crate::sim::Simulator::step`].
+pub trait MemoryBackend: Send {
     /// True if a read can be submitted this cycle.
     fn can_accept_read(&self) -> bool;
     /// True if a write (L2 dirty eviction) can be submitted this cycle.

@@ -9,6 +9,7 @@
 
 use secmem_checkpoint::{CheckpointError, Reader, Snapshot as _, Writer};
 
+use crate::error::ConfigError;
 use crate::types::{Addr, SectorMask, LINE_SIZE};
 
 /// Result of probing the cache for a read.
@@ -159,22 +160,69 @@ impl SectoredCache {
     ///
     /// Same geometry constraints as [`SectoredCache::new`].
     pub fn with_policy(bytes: u64, assoc: u32, policy: ReplacementPolicy) -> Self {
-        assert!(
-            bytes >= LINE_SIZE && bytes.is_multiple_of(LINE_SIZE),
-            "capacity must be a multiple of {LINE_SIZE} B"
-        );
+        match Self::try_with_policy("cache", bytes, assoc, policy) {
+            Ok(cache) => cache,
+            // Validated paths go through try_with_policy / GpuConfig::validate.
+            // lint:allow(H1): documented panicking convenience constructor
+            Err(e) => panic!("{}", e.message),
+        }
+    }
+
+    /// Checks a (capacity, associativity) pair without building the cache.
+    ///
+    /// `field` names the configuration knob being validated (e.g.
+    /// `"l2_bytes_per_bank/l2_assoc"`) so the error points at the input
+    /// that must change. [`GpuConfig::validate`](crate::config::GpuConfig::validate)
+    /// runs this for every cache the simulator will construct, which is
+    /// what makes the panicking constructors unreachable after a
+    /// successful validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `bytes` is not a positive multiple of
+    /// the line size, or the line count is not divisible by the (clamped)
+    /// associativity.
+    pub fn check_geometry(field: &'static str, bytes: u64, assoc: u32) -> Result<(), ConfigError> {
+        if bytes < LINE_SIZE || !bytes.is_multiple_of(LINE_SIZE) {
+            return Err(ConfigError::new(
+                field,
+                format!("capacity must be a multiple of {LINE_SIZE} B, got {bytes}"),
+            ));
+        }
+        let lines = (bytes / LINE_SIZE) as usize;
+        let clamped = (assoc as usize).clamp(1, lines);
+        if !lines.is_multiple_of(clamped) {
+            return Err(ConfigError::new(
+                field,
+                format!("cache of {bytes} B / assoc {assoc} is not well formed"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fallible form of [`SectoredCache::with_policy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ConfigError`] as [`SectoredCache::check_geometry`].
+    pub fn try_with_policy(
+        field: &'static str,
+        bytes: u64,
+        assoc: u32,
+        policy: ReplacementPolicy,
+    ) -> Result<Self, ConfigError> {
+        Self::check_geometry(field, bytes, assoc)?;
         let lines = (bytes / LINE_SIZE) as usize;
         let assoc = (assoc as usize).clamp(1, lines);
-        assert!(lines.is_multiple_of(assoc), "cache of {bytes} B / assoc {assoc} is not well formed");
         let num_sets = lines / assoc;
-        Self {
+        Ok(Self {
             sets: vec![LineState::INVALID; lines],
             num_sets,
             assoc,
             tick: 0,
             policy,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     #[inline]
@@ -578,6 +626,35 @@ mod tests {
     #[should_panic(expected = "multiple of")]
     fn unaligned_capacity_panics() {
         let _ = SectoredCache::new(100, 2);
+    }
+
+    #[test]
+    fn bad_geometry_yields_typed_error() {
+        let err = SectoredCache::check_geometry("l2", 3 * 128, 2).unwrap_err();
+        assert_eq!(err.field, "l2");
+        assert!(err.message.contains("not well formed"));
+        let err = SectoredCache::check_geometry("l1", 100, 2).unwrap_err();
+        assert_eq!(err.field, "l1");
+        assert!(err.message.contains("multiple of"));
+        let err = SectoredCache::try_with_policy("l1", 100, 2, ReplacementPolicy::Lru).unwrap_err();
+        assert_eq!(err.field, "l1");
+    }
+
+    #[test]
+    fn try_with_policy_matches_with_policy() {
+        let a = SectoredCache::with_policy(4 * 1024, 4, ReplacementPolicy::Srrip);
+        let b = SectoredCache::try_with_policy("l1", 4 * 1024, 4, ReplacementPolicy::Srrip)
+            .expect("valid geometry");
+        assert_eq!(a.capacity_lines(), b.capacity_lines());
+        assert_eq!(a.num_sets, b.num_sets);
+    }
+
+    #[test]
+    fn check_geometry_accepts_clamped_assoc() {
+        // assoc larger than the line count degrades to fully associative;
+        // the check must clamp the same way the constructor does.
+        SectoredCache::check_geometry("md", 4 * 128, 64).expect("clamped to 4 ways");
+        let _ = SectoredCache::new(4 * 128, 64);
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub fn coalesce(threads: &[Option<Addr>], bytes_per_thread: u64) -> Vec<Access> 
         let mut sector_addr = first - first % 32;
         while sector_addr <= last {
             let line = sector_addr & !(LINE_SIZE - 1);
-            let mask = SectorMask::single(((sector_addr % LINE_SIZE) / 32) as u32);
+            let mask = SectorMask::single(crate::narrow::u64_to_u32(
+                (sector_addr % LINE_SIZE) / 32,
+                "sector index within a 128 B line is < 4",
+            ));
             match out.iter_mut().find(|a| a.line_addr == line) {
                 Some(existing) => existing.sectors = existing.sectors.union(mask),
                 None => out.push(Access { line_addr: line, sectors: mask }),

@@ -234,6 +234,22 @@ impl GpuConfig {
         if !self.protected_bytes.is_multiple_of(self.num_partitions as u64 * self.interleave_bytes) {
             return Err(ConfigError::new("protected_bytes", "must be a multiple of partitions * interleave"));
         }
+        if self.icnt_latency == 0 {
+            // The phased step loop replays the serial schedule only
+            // because a message pushed at cycle `now` can never be
+            // delivered at `now`; zero latency would break that.
+            return Err(ConfigError::new("icnt_latency", "must be at least 1 cycle"));
+        }
+        // Pre-check every cache geometry the simulator will construct, so
+        // the panicking SectoredCache constructors are provably
+        // unreachable after a successful validation (a hostile sweep spec
+        // fails here with a typed error instead of panicking a worker).
+        crate::cache::SectoredCache::check_geometry("l1_bytes/l1_assoc", self.l1_bytes, self.l1_assoc)?;
+        crate::cache::SectoredCache::check_geometry(
+            "l2_bytes_per_bank/l2_assoc",
+            self.l2_bytes_per_bank,
+            self.l2_assoc,
+        )?;
         Ok(())
     }
 }
@@ -298,10 +314,22 @@ impl AddressMap {
         (chunk_div * self.partitions + slot) * self.interleave + (local % self.interleave)
     }
 
-    /// The L2 bank within the partition for `addr`.
+    /// The L2 bank within the partition for `addr` (a *global* address).
+    ///
+    /// Banks are selected by the partition-local chunk index, i.e.
+    /// `(local_offset / interleave) % banks`. This is deliberately
+    /// independent of the `xor_hash` slot swizzle: the swizzle permutes
+    /// which *partition* owns a chunk but never changes the chunk's
+    /// partition-local offset, so a bank index computed from a global
+    /// address agrees with one computed from the reconstructed
+    /// `global_addr(partition_of(addr), local_offset(addr))` — pinned by
+    /// the `bank_of_agrees_through_local_roundtrip` property test.
     #[inline]
     pub fn bank_of(&self, addr: Addr, banks: u32) -> u32 {
-        ((addr / self.interleave) / self.partitions % banks as u64) as u32
+        crate::narrow::u64_to_u32(
+            self.local_offset(addr) / self.interleave % banks as u64,
+            "bank index is reduced mod banks: u32",
+        )
     }
 }
 
@@ -388,6 +416,9 @@ mod tests {
         let mut cfg = GpuConfig::volta();
         cfg.issue_width = 0;
         assert!(cfg.validate().is_err());
+        let mut cfg = GpuConfig::volta();
+        cfg.icnt_latency = 0;
+        assert_eq!(cfg.validate().unwrap_err().field, "icnt_latency");
     }
 
     #[test]
@@ -405,6 +436,55 @@ mod tests {
         let map = AddressMap::new(&cfg);
         for addr in (0..(1u64 << 20)).step_by(256) {
             assert!(map.bank_of(addr, 2) < 2);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_cache_geometry() {
+        let mut cfg = GpuConfig::small();
+        cfg.l2_bytes_per_bank = 96 * 1024;
+        cfg.l2_assoc = 5; // 768 lines % 5 != 0
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.field, "l2_bytes_per_bank/l2_assoc");
+
+        let mut cfg = GpuConfig::small();
+        cfg.l1_bytes = 100; // not a line multiple
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.field, "l1_bytes/l1_assoc");
+    }
+
+    /// Property test for the satellite audit: whether `bank_of` is fed a
+    /// global address directly (the partition does this with the request
+    /// line address) or the address reconstructed from the
+    /// (partition, local) pair, the bank index must agree — with and
+    /// without the xor swizzle — and must equal the local-chunk
+    /// definition `(local_offset / interleave) % banks`.
+    #[test]
+    fn bank_of_agrees_through_local_roundtrip() {
+        for xor_hash in [false, true] {
+            let mut cfg = GpuConfig::volta();
+            cfg.partition_xor_hash = xor_hash;
+            let map = AddressMap::new(&cfg);
+            let banks = cfg.l2_banks_per_partition;
+            let mut probe = 0x9E37_79B9u64;
+            for i in 0..4096u64 {
+                probe = probe.wrapping_mul(0x5DEE_CE66).wrapping_add(11);
+                let addr = (probe ^ (i * 31)) % (4u64 << 30);
+                let p = map.partition_of(addr);
+                let local = map.local_offset(addr);
+                let rebuilt = map.global_addr(p, local);
+                assert_eq!(rebuilt, addr, "xor={xor_hash} addr={addr:#x}");
+                assert_eq!(
+                    map.bank_of(addr, banks),
+                    map.bank_of(rebuilt, banks),
+                    "xor={xor_hash} addr={addr:#x}"
+                );
+                assert_eq!(
+                    map.bank_of(addr, banks) as u64,
+                    local / cfg.interleave_bytes % banks as u64,
+                    "bank must follow the partition-local chunk (xor={xor_hash} addr={addr:#x})"
+                );
+            }
         }
     }
 }

@@ -91,7 +91,7 @@ pub trait Kernel {
     fn warps_per_sm(&self, sm: u32) -> u32;
 
     /// Creates the instruction stream for warp `warp` of SM `sm`.
-    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram>;
+    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram + Send>;
 
     /// A short display name for reports.
     fn name(&self) -> &str {
@@ -161,7 +161,7 @@ impl Kernel for StreamKernel {
         self.warps
     }
 
-    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {
+    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram + Send> {
         let idx = sm as u64 * 64 + warp as u64;
         Box::new(StreamProgram {
             alu_per_mem: self.alu_per_mem,
@@ -215,7 +215,7 @@ mod tests {
         let k = StreamKernel::memory_bound(2);
         let mut a = k.spawn(0, 0);
         let mut b = k.spawn(0, 1);
-        let first = |p: &mut Box<dyn WarpProgram>| loop {
+        let first = |p: &mut Box<dyn WarpProgram + Send>| loop {
             if let Inst::Load { accesses, .. } = p.next_inst() {
                 return accesses[0].line_addr;
             }

@@ -1,0 +1,61 @@
+//! Narrowing integer conversions with documented, debug-checked
+//! invariants.
+//!
+//! The address paths (partition/bank selection, sector indexing,
+//! coalescing) narrow `u64`/`usize` values into `u32` lane and index
+//! fields. A bare `as` cast silently truncates when the invariant that
+//! makes the narrowing safe is violated by a future refactor; these
+//! helpers keep the cast in one audited place, check the range in debug
+//! builds, and force each call site to state *why* the value fits. The
+//! C1 lint (`narrowing-cast`) steers hot-file code here.
+
+/// Narrows a `u64` known to fit in `u32`.
+///
+/// `invariant` states why the value fits (e.g. "reduced mod banks"); it
+/// is part of the debug-assert message so a violated invariant names
+/// itself in the panic.
+#[inline]
+#[track_caller]
+pub fn u64_to_u32(v: u64, invariant: &'static str) -> u32 {
+    debug_assert!(v <= u64::from(u32::MAX), "u64->u32 narrowing invariant violated ({invariant}): {v}");
+    v as u32 // lint:allow(C1): range debug-checked above with a documented invariant
+}
+
+/// Narrows a `usize` known to fit in `u32`.
+#[inline]
+#[track_caller]
+pub fn usize_to_u32(v: usize, invariant: &'static str) -> u32 {
+    debug_assert!(
+        u64::try_from(v).is_ok_and(|v| v <= u64::from(u32::MAX)),
+        "usize->u32 narrowing invariant violated ({invariant}): {v}"
+    );
+    v as u32 // lint:allow(C1): range debug-checked above with a documented invariant
+}
+
+/// Narrows a `u64` known to fit in `u8`.
+#[inline]
+#[track_caller]
+pub fn u64_to_u8(v: u64, invariant: &'static str) -> u8 {
+    debug_assert!(v <= u64::from(u8::MAX), "u64->u8 narrowing invariant violated ({invariant}): {v}");
+    v as u8 // lint:allow(C1): range debug-checked above with a documented invariant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_pass_through() {
+        assert_eq!(u64_to_u32(0, "zero"), 0);
+        assert_eq!(u64_to_u32(u64::from(u32::MAX), "max"), u32::MAX);
+        assert_eq!(usize_to_u32(41, "small"), 41);
+        assert_eq!(u64_to_u8(255, "max"), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "narrowing invariant violated")]
+    #[cfg(debug_assertions)]
+    fn out_of_range_trips_debug_assert() {
+        let _ = u64_to_u32(u64::from(u32::MAX) + 1, "test overflow");
+    }
+}

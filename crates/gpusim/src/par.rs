@@ -1,0 +1,373 @@
+//! A persistent worker pool for the deterministic parallel step.
+//!
+//! [`crate::sim::Simulator::step`] fans the per-entity phase of each
+//! cycle (SM drain/cycle, partition feed/cycle) out over a fixed set of
+//! chunks; the pool runs one chunk per thread and blocks until every
+//! chunk finished. Determinism never depends on the pool: the chunks
+//! touch disjoint state, all cross-entity effects are applied by the
+//! coordinating thread afterwards in canonical entity order, and the
+//! same chunk functions run at every thread count (threads = 1 simply
+//! runs them inline). The pool only decides *wall-clock* speed.
+//!
+//! The implementation is a generation-stamped task slot: the
+//! coordinator publishes a type-erased closure, bumps the generation,
+//! and workers race through it. Workers spin briefly when the machine
+//! has spare cores and park on a condvar otherwise, so oversubscribed
+//! hosts (threads > cores) lose throughput but never livelock.
+//!
+//! This is the only module in the crate allowed to use `unsafe`: the
+//! borrowed-task hand-off cannot be expressed in safe std without
+//! per-step thread spawning. The crate consumes it exclusively through
+//! the safe [`WorkerPool::for_each`] wrapper.
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased borrowed closure. Only valid for the generation it was
+/// published in: [`WorkerPool::run`] does not return until every worker
+/// has finished with it.
+#[derive(Clone, Copy)]
+struct Task {
+    ctx: *const (),
+    run: unsafe fn(*const (), usize),
+}
+
+struct Shared {
+    /// Written by the coordinator strictly between generations (all
+    /// workers idle), read by workers only after observing the bump of
+    /// `gen` that published it.
+    task: UnsafeCell<Option<Task>>,
+    /// Generation counter; the Release bump publishes `task`.
+    gen: AtomicU64,
+    /// Workers finished with the current generation.
+    done: AtomicUsize,
+    /// Any worker's chunk panicked this generation.
+    panicked: AtomicBool,
+    stop: AtomicBool,
+    /// Mirrors `gen` under a lock so parked workers cannot miss a wake.
+    published: Mutex<u64>,
+    wake: Condvar,
+    /// Spin iterations before parking; 0 when the host has no spare
+    /// cores (spinning would only steal time from the thread we wait on).
+    spin_limit: u32,
+}
+
+// SAFETY: the raw `Task` pointer is only dereferenced between the
+// generation bump that published it and the matching `done` barrier,
+// while `WorkerPool::run` keeps the referent alive on the coordinator's
+// stack.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+/// A fixed-size pool of step workers (see module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl core::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.handles.len()).finish_non_exhaustive()
+    }
+}
+
+fn lock_published(shared: &Shared) -> std::sync::MutexGuard<'_, u64> {
+    // A worker that panicked while holding the lock has already been
+    // recorded via `panicked`; the mirror value itself cannot be torn.
+    shared.published.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn worker_loop(shared: &Shared, chunk: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for the next generation (or stop).
+        let mut spins = 0u32;
+        loop {
+            let g = shared.gen.load(Ordering::Acquire);
+            if g != seen {
+                seen = g;
+                break;
+            }
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if spins < shared.spin_limit {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                let mut published = lock_published(shared);
+                while *published == seen && !shared.stop.load(Ordering::Acquire) {
+                    published =
+                        shared.wake.wait(published).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+        // SAFETY: the Acquire load of `gen` synchronizes with the
+        // coordinator's Release store, which happens after the slot write.
+        let Some(task) = (unsafe { *shared.task.get() }) else {
+            debug_assert!(false, "generation bumped without a published task");
+            shared.done.fetch_add(1, Ordering::Release);
+            continue;
+        };
+        // SAFETY: `run`'s contract — ctx outlives the generation.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (task.run)(task.ctx, chunk) }));
+        if result.is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        shared.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `extra_workers` threads. The pool serves `extra_workers + 1`
+    /// chunks per [`WorkerPool::run`]: chunk 0 runs on the calling thread.
+    pub fn new(extra_workers: usize) -> Self {
+        let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        // Spinning is only productive while other cores advance the
+        // remaining chunks; an oversubscribed host parks immediately.
+        let spin_limit = if avail > extra_workers { 4096 } else { 0 };
+        let shared = Arc::new(Shared {
+            task: UnsafeCell::new(None),
+            gen: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            published: Mutex::new(0),
+            wake: Condvar::new(),
+            spin_limit,
+        });
+        let handles = (0..extra_workers)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&s, i + 1))
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of chunks a `run` call fans out to (workers + the caller).
+    pub fn chunks(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs `f(chunk)` for every chunk id in `0..self.chunks()` — `f(0)`
+    /// on the calling thread — and returns once ALL chunks finished.
+    /// `f` is entered concurrently; chunk-data disjointness is the
+    /// caller's contract.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from any chunk, but only after every other
+    /// chunk has finished, so workers never outlive borrows in `f`.
+    pub fn run<F: Fn(usize) + Sync>(&self, f: &F) {
+        let n = self.handles.len();
+        if n == 0 {
+            f(0);
+            return;
+        }
+        unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), chunk: usize) {
+            // SAFETY: ctx was erased from an &F that `run` keeps alive.
+            let f = unsafe { &*ctx.cast::<F>() };
+            f(chunk);
+        }
+        // SAFETY: all workers are idle between generations; nothing
+        // reads the slot until the bump below.
+        unsafe { *self.shared.task.get() = Some(Task { ctx: (f as *const F).cast(), run: trampoline::<F> }) };
+        self.shared.done.store(0, Ordering::Release);
+        let gen = self.shared.gen.load(Ordering::Relaxed).wrapping_add(1);
+        self.shared.gen.store(gen, Ordering::Release);
+        {
+            let mut published = lock_published(&self.shared);
+            *published = gen;
+        }
+        self.shared.wake.notify_all();
+
+        let local = catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) != n {
+            if spins < self.shared.spin_limit {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Every borrow of `f` and its captures is dead past the barrier;
+        // unwinding is safe again.
+        let worker_panicked = self.shared.panicked.swap(false, Ordering::AcqRel);
+        if let Err(payload) = local {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            // Unreachable on the healthy path: this re-raises after the barrier.
+            // lint:allow(H1): deliberate re-raise of a worker panic
+            panic!("a parallel step worker panicked (see stderr for the original panic)");
+        }
+    }
+
+    /// Runs `f(index, &mut items[index])` for every item, fanned out as
+    /// one contiguous index range per chunk. Blocks until every item has
+    /// been visited. This is the safe entry point the simulator uses:
+    /// disjointness is guaranteed by construction (each index is visited
+    /// by exactly one chunk), so callers need no unsafe code.
+    ///
+    /// The assignment of items to chunks is load-balancing only — `f`
+    /// must not care which thread visits which item (the simulator's
+    /// phase-A work is per-entity and order-free by design).
+    pub fn for_each<T: Send, F: Fn(usize, &mut T) + Sync>(&self, items: &mut [T], f: &F) {
+        let n = self.chunks();
+        let len = items.len();
+        let base = AssertSync(items.as_mut_ptr());
+        self.run(&move |chunk| {
+            let lo = len * chunk / n;
+            let hi = len * (chunk + 1) / n;
+            for i in lo..hi {
+                // SAFETY: chunk index ranges partition `0..len` without
+                // overlap, `items` stays exclusively borrowed until the
+                // completion barrier in `run`, and `T: Send` licenses
+                // touching the element from a worker thread.
+                let item = unsafe { &mut *base.get().add(i) };
+                f(i, item);
+            }
+        });
+    }
+}
+
+/// Wrapper that promises cross-thread sharing of its payload is sound.
+///
+/// Used for the base pointer in [`WorkerPool::for_each`]; the SAFETY
+/// argument lives at the dereference site.
+struct AssertSync<T>(T);
+
+impl<T: Copy> AssertSync<T> {
+    /// Accessor (rather than direct field access) so closures capture
+    /// the whole wrapper — edition-2021 disjoint capture would otherwise
+    /// capture the non-`Sync` payload field alone.
+    fn get(&self) -> T {
+        self.0
+    }
+}
+
+// SAFETY: see `for_each` — the payload is a raw pointer whose
+// dereferences are restricted to disjoint index ranges.
+unsafe impl<T> Sync for AssertSync<T> {}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        drop(lock_published(&self.shared));
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn all_chunks_run_exactly_once() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.chunks(), 4);
+        let hits = [TestCounter::new(0), TestCounter::new(0), TestCounter::new(0), TestCounter::new(0)];
+        for round in 0..100u64 {
+            pool.run(&|chunk| {
+                hits[chunk].fetch_add(1, Ordering::Relaxed);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::Relaxed), round + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_extra_workers_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let hits = TestCounter::new(0);
+        pool.run(&|chunk| {
+            assert_eq!(chunk, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn disjoint_chunk_writes_are_visible_after_run() {
+        let pool = WorkerPool::new(7);
+        let mut data = vec![0u64; 64];
+        let n = pool.chunks();
+        {
+            let base = data.as_mut_ptr() as usize;
+            let len = data.len();
+            pool.run(&move |chunk| {
+                let lo = len * chunk / n;
+                let hi = len * (chunk + 1) / n;
+                for i in lo..hi {
+                    // SAFETY: chunk ranges are disjoint and `data`
+                    // outlives the run call.
+                    unsafe { *(base as *mut u64).add(i) = i as u64 * 3 };
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let mut items = vec![0u64; 37];
+        for round in 1..=5u64 {
+            pool.for_each(&mut items, &|i, v| {
+                *v += i as u64 + 1;
+            });
+            for (i, v) in items.iter().enumerate() {
+                assert_eq!(*v, (i as u64 + 1) * round);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|chunk| {
+                if chunk == 1 {
+                    panic!("boom in chunk 1");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must surface to the caller");
+        // The pool is reusable after a panic.
+        let hits = TestCounter::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn coordinator_panic_waits_for_workers() {
+        let pool = WorkerPool::new(2);
+        let finished = TestCounter::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|chunk| {
+                if chunk == 0 {
+                    panic!("coordinator chunk fails");
+                }
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(finished.load(Ordering::Relaxed), 2, "workers completed before the unwind");
+    }
+}

@@ -124,7 +124,8 @@ impl<B: MemoryBackend> MemPartition<B> {
     }
 
     fn bank_index(&self, addr: Addr) -> usize {
-        self.map.bank_of(addr, self.banks.len() as u32) as usize
+        let banks = crate::narrow::usize_to_u32(self.banks.len(), "bank count is a small power of two");
+        self.map.bank_of(addr, banks) as usize
     }
 
     /// Attempts to consume one incoming request, taking ownership so the
@@ -184,7 +185,7 @@ impl<B: MemoryBackend> MemPartition<B> {
                                     id,
                                     line_addr,
                                     sectors: SectorMask::single(sector),
-                                    bank: bank_idx as u32,
+                                    bank: crate::narrow::usize_to_u32(bank_idx, "bank index < bank count"),
                                 },
                             );
                         }
@@ -212,7 +213,7 @@ impl<B: MemoryBackend> MemPartition<B> {
                                     id,
                                     line_addr: ev.line_addr,
                                     sectors: ev.dirty,
-                                    bank: bank_idx as u32,
+                                    bank: crate::narrow::usize_to_u32(bank_idx, "bank index < bank count"),
                                 });
                             }
                         }

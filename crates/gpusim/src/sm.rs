@@ -39,7 +39,7 @@ enum IssueCheck {
 }
 
 struct WarpSlot {
-    program: Box<dyn WarpProgram>,
+    program: Box<dyn WarpProgram + Send>,
     /// Fetched but not yet issued instruction (held across stall cycles).
     next: Option<Inst>,
     ready_at: Cycle,
@@ -99,7 +99,7 @@ pub struct Sm {
 
 impl Sm {
     /// Creates an SM with `programs` resident warps.
-    pub fn new(id: u32, cfg: &GpuConfig, programs: Vec<Box<dyn WarpProgram>>) -> Self {
+    pub fn new(id: u32, cfg: &GpuConfig, programs: Vec<Box<dyn WarpProgram + Send>>) -> Self {
         let warps = programs
             .into_iter()
             .map(|program| WarpSlot { program, next: None, ready_at: 0, outstanding: 0, finished: false })
@@ -198,7 +198,13 @@ impl Sm {
             Some(Inst::Alu { wait_mem, .. }) => *wait_mem && w.outstanding > 0,
             Some(Inst::Load { accesses, dependent }) => {
                 w.outstanding > 0
-                    && (*dependent || w.outstanding + accesses.len() as u32 > self.max_outstanding)
+                    && (*dependent
+                        || w.outstanding
+                            + crate::narrow::usize_to_u32(
+                                accesses.len(),
+                                "warp access list is bounded by threads_per_warp",
+                            )
+                            > self.max_outstanding)
             }
             _ => false,
         }
@@ -411,7 +417,14 @@ impl Sm {
                 // The cap throttles *additional* loads; a single load wider
                 // than the cap (divergent scatter) still issues when the
                 // warp has nothing outstanding.
-                if slot.outstanding > 0 && slot.outstanding + accesses.len() as u32 > self.max_outstanding {
+                if slot.outstanding > 0
+                    && slot.outstanding
+                        + crate::narrow::usize_to_u32(
+                            accesses.len(),
+                            "warp access list is bounded by threads_per_warp",
+                        )
+                        > self.max_outstanding
+                {
                     return IssueCheck::BlockedOnMem;
                 }
                 if dispatch_open {
@@ -494,7 +507,7 @@ impl Sm {
             }
             let Some(w) = pick else { break };
             self.issued_scratch[w] = true;
-            self.last_issued = w as u32;
+            self.last_issued = crate::narrow::usize_to_u32(w, "warp index < max_warps_per_sm");
             let Some(inst) = self.warps[w].next.take() else {
                 debug_assert!(false, "issuable implies fetched");
                 break;
@@ -504,11 +517,14 @@ impl Sm {
                     self.warps[w].ready_at = now + stall.max(1) as Cycle;
                 }
                 Inst::Load { accesses, .. } => {
-                    self.warps[w].outstanding += accesses.len() as u32;
+                    self.warps[w].outstanding += crate::narrow::usize_to_u32(
+                        accesses.len(),
+                        "warp access list is bounded by threads_per_warp",
+                    );
                     self.warps[w].ready_at = now + 1;
                     for access in accesses {
                         self.dispatch.push_back(PendingAccess {
-                            warp: w as u32,
+                            warp: crate::narrow::usize_to_u32(w, "warp index < max_warps_per_sm"),
                             access,
                             kind: AccessKind::Load,
                         });
@@ -518,7 +534,7 @@ impl Sm {
                     self.warps[w].ready_at = now + 1;
                     for access in accesses {
                         self.dispatch.push_back(PendingAccess {
-                            warp: w as u32,
+                            warp: crate::narrow::usize_to_u32(w, "warp index < max_warps_per_sm"),
                             access,
                             kind: AccessKind::Store,
                         });
@@ -689,7 +705,7 @@ mod tests {
 
     #[test]
     fn alu_only_warp_finishes_and_counts() {
-        let prog: Box<dyn WarpProgram> = Box::new(Script(vec![Inst::alu(), Inst::alu()]));
+        let prog: Box<dyn WarpProgram + Send> = Box::new(Script(vec![Inst::alu(), Inst::alu()]));
         let mut sm = Sm::new(0, &cfg(), vec![prog]);
         let mut out = SmOutput::default();
         for now in 0..10 {
@@ -703,7 +719,7 @@ mod tests {
 
     #[test]
     fn load_miss_generates_request_and_blocks() {
-        let prog: Box<dyn WarpProgram> = Box::new(Script(vec![load(0x1000), Inst::use_mem()]));
+        let prog: Box<dyn WarpProgram + Send> = Box::new(Script(vec![load(0x1000), Inst::use_mem()]));
         let mut sm = Sm::new(0, &cfg(), vec![prog]);
         let mut out = SmOutput::default();
         for now in 0..5 {
@@ -726,7 +742,7 @@ mod tests {
 
     #[test]
     fn l1_hit_serves_without_request() {
-        let prog: Box<dyn WarpProgram> = Box::new(Script(vec![load(0x80), load(0x80)]));
+        let prog: Box<dyn WarpProgram + Send> = Box::new(Script(vec![load(0x80), load(0x80)]));
         let mut sm = Sm::new(0, &cfg(), vec![prog]);
         let mut out = SmOutput::default();
         // First load misses.
@@ -746,8 +762,8 @@ mod tests {
 
     #[test]
     fn secondary_miss_merges_in_l1_mshr() {
-        let p1: Box<dyn WarpProgram> = Box::new(Script(vec![load(0x100)]));
-        let p2: Box<dyn WarpProgram> = Box::new(Script(vec![load(0x100)]));
+        let p1: Box<dyn WarpProgram + Send> = Box::new(Script(vec![load(0x100)]));
+        let p2: Box<dyn WarpProgram + Send> = Box::new(Script(vec![load(0x100)]));
         let mut sm = Sm::new(0, &cfg(), vec![p1, p2]);
         let mut out = SmOutput::default();
         for now in 0..5 {
@@ -764,7 +780,7 @@ mod tests {
 
     #[test]
     fn store_is_fire_and_forget() {
-        let prog: Box<dyn WarpProgram> =
+        let prog: Box<dyn WarpProgram + Send> =
             Box::new(Script(vec![Inst::store(Access::new(0x200, SectorMask::single(0))), Inst::alu()]));
         let mut sm = Sm::new(0, &cfg(), vec![prog]);
         let mut out = SmOutput::default();
@@ -779,7 +795,7 @@ mod tests {
 
     #[test]
     fn no_icnt_room_stalls_dispatch() {
-        let prog: Box<dyn WarpProgram> = Box::new(Script(vec![load(0x400)]));
+        let prog: Box<dyn WarpProgram + Send> = Box::new(Script(vec![load(0x400)]));
         let mut sm = Sm::new(0, &cfg(), vec![prog]);
         let mut out = SmOutput::default();
         for now in 0..5 {
@@ -798,8 +814,8 @@ mod tests {
         let mut cfg_lrr = cfg();
         cfg_lrr.scheduler = crate::config::SchedulerPolicy::Lrr;
         cfg_lrr.issue_width = 1;
-        let progs: Vec<Box<dyn WarpProgram>> = (0..4)
-            .map(|_| Box::new(Script(vec![Inst::alu(), Inst::alu()])) as Box<dyn WarpProgram>)
+        let progs: Vec<Box<dyn WarpProgram + Send>> = (0..4)
+            .map(|_| Box::new(Script(vec![Inst::alu(), Inst::alu()])) as Box<dyn WarpProgram + Send>)
             .collect();
         let mut sm = Sm::new(0, &cfg_lrr, progs);
         let mut out = SmOutput::default();
@@ -816,8 +832,8 @@ mod tests {
     fn gto_prefers_last_issued_warp() {
         let mut c = cfg();
         c.issue_width = 1;
-        let progs: Vec<Box<dyn WarpProgram>> =
-            (0..2).map(|_| Box::new(Script(vec![Inst::alu(); 4])) as Box<dyn WarpProgram>).collect();
+        let progs: Vec<Box<dyn WarpProgram + Send>> =
+            (0..2).map(|_| Box::new(Script(vec![Inst::alu(); 4])) as Box<dyn WarpProgram + Send>).collect();
         let mut sm = Sm::new(0, &c, progs);
         let mut out = SmOutput::default();
         for now in 0..20 {
@@ -831,7 +847,7 @@ mod tests {
     fn divergent_load_produces_many_requests() {
         let accesses: Vec<Access> =
             (0..8).map(|i| Access::new(0x10_000 + i * 4096, SectorMask::single(0))).collect();
-        let prog: Box<dyn WarpProgram> =
+        let prog: Box<dyn WarpProgram + Send> =
             Box::new(Script(vec![Inst::Load { accesses, dependent: false }, Inst::use_mem()]));
         let mut sm = Sm::new(0, &cfg(), vec![prog]);
         let mut out = SmOutput::default();

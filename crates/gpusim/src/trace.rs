@@ -401,7 +401,7 @@ impl Kernel for TraceKernel {
         self.trace.streams.keys().filter(|k| k.0 == sm).map(|k| k.1 + 1).max().unwrap_or(1)
     }
 
-    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {
+    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram + Send> {
         let insts = self.trace.stream(sm, warp).map(<[Inst]>::to_vec).unwrap_or_default();
         Box::new(Replay { insts, pos: 0 })
     }

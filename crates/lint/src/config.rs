@@ -223,6 +223,7 @@ impl Default for Policy {
             // engine/mdcache -> dram, plus the hasher they key maps with.
             hot_files: s(&[
                 "crates/gpusim/src/sim.rs",
+                "crates/gpusim/src/par.rs",
                 "crates/gpusim/src/sm.rs",
                 "crates/gpusim/src/icnt.rs",
                 "crates/gpusim/src/partition.rs",

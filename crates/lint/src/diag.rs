@@ -75,6 +75,13 @@ pub const CATALOGUE: &[LintDoc] = &[
                     format! in the steady-state path",
     },
     LintDoc {
+        id: "C1",
+        name: "narrowing-cast",
+        invariant: "hot address/index paths never narrow with a bare `as` cast to a \
+                    small integer; use crate::narrow helpers (debug-checked, documented \
+                    invariant) or justify inline",
+    },
+    LintDoc {
         id: "E1",
         name: "error-hygiene",
         invariant: "library crates expose typed errors, not Box<dyn Error> or String; \

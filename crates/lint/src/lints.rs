@@ -67,6 +67,7 @@ pub fn run_all(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     d3_map_order_leak(ctx, &code, out);
     h1_hot_path_panic(ctx, &code, out);
     h2_hot_path_alloc(ctx, &code, out);
+    c1_narrowing_cast(ctx, &code, out);
     e1_error_hygiene(ctx, &code, out);
     a0_bad_allow(ctx, out);
 }
@@ -205,6 +206,36 @@ fn d3_map_order_leak(ctx: &FileCtx, code: &[usize], out: &mut Vec<Diagnostic>) {
                     ));
                 }
             }
+        }
+    }
+}
+
+/// C1: a bare `as` cast to a small integer type silently truncates out
+/// of range values. On the hot address/index paths that is a wrong
+/// simulation result, not a crash; narrowing must go through the
+/// debug-checked `gpusim::narrow` helpers (which name the invariant
+/// making the cast safe) or carry an inline justification.
+fn c1_narrowing_cast(ctx: &FileCtx, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !ctx.policy.hot_files.iter().any(|f| f == ctx.rel) {
+        return;
+    }
+    const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    for (k, &i) in code.iter().enumerate() {
+        if ctx.ident(i) != "as" {
+            continue;
+        }
+        let Some(&t) = code.get(k + 1) else { continue };
+        let target = ctx.ident(t);
+        if NARROW_TARGETS.contains(&target) {
+            out.push(ctx.diag(
+                "C1",
+                i,
+                format!(
+                    "bare `as {target}` silently truncates on a hot address/index path; \
+                     use a `gpusim::narrow` helper (debug-checked, named invariant) or \
+                     justify with an allow"
+                ),
+            ));
         }
     }
 }

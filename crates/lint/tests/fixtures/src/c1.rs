@@ -1,0 +1,36 @@
+//! C1 fixture: narrowing casts on a hot path.
+
+pub fn bank_index(addr: u64, banks: u64) -> u32 {
+    (addr % banks) as u32
+}
+
+pub fn sector(addr: u64) -> u8 {
+    (addr / 32 % 4) as u8
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn to_float(x: u64) -> f64 {
+    x as f64
+}
+
+pub fn to_size(x: u64) -> usize {
+    // lint:allow(C1): not flagged anyway, but exercise the allow path
+    x as usize
+}
+
+pub fn justified(addr: u64) -> u32 {
+    // lint:allow(C1): modulo bounds the value below 2^32
+    (addr % 16) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast() {
+        let x = 300u64 as u8;
+        let _ = x;
+    }
+}

@@ -75,6 +75,21 @@ fn h2_flags_allocation_only_in_hot_functions() {
 }
 
 #[test]
+fn c1_flags_narrowing_casts_only_in_hot_files() {
+    let diags = lint("crates/gpusim/src/partition.rs", include_str!("fixtures/src/c1.rs"));
+    let c1: Vec<(u32, Disposition)> =
+        diags.iter().filter(|d| d.lint == "C1").map(|d| (d.line, d.disposition)).collect();
+    assert_eq!(
+        c1,
+        vec![(4, Disposition::Active), (8, Disposition::Active), (26, Disposition::Allowed)],
+        "as u32 / as u8 flagged; widening, float, usize and test casts are not: {diags:?}"
+    );
+    // The same file outside the hot set carries no C1 findings.
+    let cold = lint("crates/gpusim/src/kernel.rs", include_str!("fixtures/src/c1.rs"));
+    assert!(cold.iter().all(|d| d.lint != "C1"), "{cold:?}");
+}
+
+#[test]
 fn e1_flags_stringly_errors_and_panicking_constructors() {
     let diags = lint("crates/core/src/foo.rs", include_str!("fixtures/src/e1.rs"));
     let e1: Vec<_> = diags.iter().filter(|d| d.lint == "E1").collect();

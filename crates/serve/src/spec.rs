@@ -11,9 +11,17 @@
 //!   "cycles": 3000,                       // default 120000
 //!   "warmup": 0,                          // default 0
 //!   "seed": 1516,                         // default DEFAULT_SEED
-//!   "sample_interval": 512                // optional: enables telemetry
+//!   "sample_interval": 512,               // optional: enables telemetry
+//!   "l2_bytes_per_bank": 65536,           // optional geometry override
+//!   "l2_assoc": 8                         // optional geometry override
 //! }
 //! ```
+//!
+//! Geometry overrides are validated against [`GpuConfig::validate`]
+//! before any job is queued, so an impossible cache shape is a 400,
+//! never a panicking pool worker.
+//!
+//! [`GpuConfig::validate`]: secmem_gpusim::config::GpuConfig::validate
 
 use secmem_bench::sweep::{scheme_by_label, GpuPreset, SweepError, SweepSpec, ALL_SCHEMES};
 use secmem_telemetry::chrome;
@@ -107,6 +115,8 @@ pub fn parse_sweep_spec(text: &str) -> Result<SweepSpec, SpecError> {
         warmup: 0,
         seed: DEFAULT_SEED,
         sample_interval: None,
+        l2_bytes_per_bank: None,
+        l2_assoc: None,
     };
     for (key, val) in fields {
         match key.as_str() {
@@ -127,6 +137,15 @@ pub fn parse_sweep_spec(text: &str) -> Result<SweepSpec, SpecError> {
             "warmup" => spec.warmup = u64_field(val, "warmup")?,
             "seed" => spec.seed = u64_field(val, "seed")?,
             "sample_interval" => spec.sample_interval = Some(u64_field(val, "sample_interval")?),
+            "l2_bytes_per_bank" => {
+                spec.l2_bytes_per_bank = Some(u64_field(val, "l2_bytes_per_bank")?);
+            }
+            "l2_assoc" => {
+                let assoc = u64_field(val, "l2_assoc")?;
+                let assoc = u32::try_from(assoc)
+                    .map_err(|_| SpecError::BadField { field: "l2_assoc", expected: "a u32 way count" })?;
+                spec.l2_assoc = Some(assoc);
+            }
             other => return Err(SpecError::UnknownKey(other.to_string())),
         }
     }
@@ -150,6 +169,12 @@ pub fn render_sweep_spec(spec: &SweepSpec) -> String {
     );
     if let Some(interval) = spec.sample_interval {
         out.push_str(&format!(",\"sample_interval\":{interval}"));
+    }
+    if let Some(bytes) = spec.l2_bytes_per_bank {
+        out.push_str(&format!(",\"l2_bytes_per_bank\":{bytes}"));
+    }
+    if let Some(assoc) = spec.l2_assoc {
+        out.push_str(&format!(",\"l2_assoc\":{assoc}"));
     }
     out.push('}');
     out
@@ -210,6 +235,31 @@ mod tests {
         assert!(matches!(
             parse_sweep_spec(r#"{"benches":["not-a-bench"]}"#),
             Err(SpecError::Sweep(SweepError::UnknownBench(_)))
+        ));
+    }
+
+    #[test]
+    fn geometry_overrides_parse_and_hostile_geometry_is_a_spec_error() {
+        let text = r#"{"benches":["nw"],"gpu":"small","cycles":1500,
+                       "l2_bytes_per_bank":65536,"l2_assoc":8}"#;
+        let spec = parse_sweep_spec(text).expect("valid override parses");
+        assert_eq!(spec.l2_bytes_per_bank, Some(65_536));
+        assert_eq!(spec.l2_assoc, Some(8));
+
+        // 96 KiB / 5 ways: the geometry that used to assert inside
+        // SectoredCache now dies at the spec boundary.
+        let hostile = r#"{"benches":["nw"],"gpu":"small","cycles":1500,
+                          "l2_bytes_per_bank":98304,"l2_assoc":5}"#;
+        match parse_sweep_spec(hostile).expect_err("rejected") {
+            SpecError::Sweep(SweepError::Gpu(e)) => {
+                assert_eq!(e.field, "l2_bytes_per_bank/l2_assoc");
+            }
+            other => panic!("expected a typed geometry rejection, got {other:?}"),
+        }
+
+        assert!(matches!(
+            parse_sweep_spec(r#"{"benches":["nw"],"l2_assoc":4294967296}"#),
+            Err(SpecError::BadField { field: "l2_assoc", .. })
         ));
     }
 

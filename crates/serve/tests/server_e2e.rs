@@ -117,6 +117,53 @@ fn pinned_matrix_server_csv_is_byte_identical_to_batch_and_resubmission_is_all_c
     server.shutdown();
 }
 
+/// The ISSUE-8 bugfix gate: a sweep spec naming the cache geometry
+/// that used to `assert!` inside `SectoredCache::with_policy` (96 KiB
+/// per bank, 5 ways) is rejected with a structured 400 before any job
+/// is queued — zero worker panics, zero simulations, and the server
+/// keeps serving afterwards.
+#[test]
+fn hostile_cache_geometry_is_a_structured_failure_not_a_worker_panic() {
+    let server = TestServer::start();
+
+    let hostile = br#"{"benches":["nw"],"gpu":"small","cycles":1500,
+                       "l2_bytes_per_bank":98304,"l2_assoc":5}"#;
+    let resp = client::post(&server.addr, "/sweeps", hostile).expect("submit");
+    assert_eq!(resp.code, 400, "hostile geometry must be rejected: {}", resp.text());
+    let body = resp.text();
+    let error = json::parse(&body)
+        .unwrap_or_else(|e| panic!("error body is not json ({e}): {body}"))
+        .get("error")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .unwrap_or_else(|| panic!("error body lacks 'error': {body}"));
+    assert!(error.contains("l2_bytes_per_bank/l2_assoc"), "error names the field group: {error}");
+
+    // Nothing was queued and nothing simulated.
+    let stats = client::get(&server.addr, "/cache/stats").expect("stats").text();
+    assert_eq!(field(&stats, "simulations"), 0);
+    assert_eq!(field(&stats, "failures"), 0);
+
+    // The pool is not poisoned: a well-formed sweep (including a valid
+    // geometry override) still runs to completion with zero failures.
+    let mut spec = SweepSpec {
+        benches: vec!["nw".into()],
+        schemes: vec![secmem_core::SecurityScheme::Baseline],
+        gpu: secmem_bench::sweep::GpuPreset::Small,
+        cycles: 1_500,
+        warmup: 0,
+        seed: secmem_workloads::suite::DEFAULT_SEED,
+        sample_interval: None,
+        l2_bytes_per_bank: None,
+        l2_assoc: None,
+    };
+    spec.l2_bytes_per_bank = Some(64 * 1024);
+    spec.l2_assoc = Some(8);
+    let (_, status) = run_sweep(&server.addr, &spec);
+    assert_eq!(field(&status, "failed"), 0, "valid override sweep succeeds: {status}");
+
+    server.shutdown();
+}
+
 /// Concurrent identical submissions coalesce: racing clients cost one
 /// simulation per distinct job, not one per request.
 #[test]
@@ -129,6 +176,8 @@ fn concurrent_identical_sweeps_coalesce_to_one_simulation_each() {
         warmup: 0,
         seed: secmem_workloads::suite::DEFAULT_SEED,
         sample_interval: None,
+        l2_bytes_per_bank: None,
+        l2_assoc: None,
     };
     let server = TestServer::start();
     let addr = Arc::new(server.addr.clone());
@@ -171,6 +220,8 @@ fn progress_stream_delivers_one_event_per_job_with_telemetry() {
         warmup: 0,
         seed: secmem_workloads::suite::DEFAULT_SEED,
         sample_interval: Some(256),
+        l2_bytes_per_bank: None,
+        l2_assoc: None,
     };
     let server = TestServer::start();
     let resp = client::post(&server.addr, "/sweeps", render_sweep_spec(&spec).as_bytes()).expect("submit");
@@ -237,6 +288,8 @@ fn http_error_paths() {
         warmup: 0,
         seed: secmem_workloads::suite::DEFAULT_SEED,
         sample_interval: None,
+        l2_bytes_per_bank: None,
+        l2_assoc: None,
     };
     let resp = client::post(&server.addr, "/sweeps", render_sweep_spec(&spec).as_bytes()).expect("submit");
     assert_eq!(resp.code, 200);

@@ -50,7 +50,7 @@ impl PhasedKernel {
 
 struct PhasedProgram {
     /// (program, budget) per phase, spawned up front for this warp.
-    programs: Vec<(Box<dyn WarpProgram>, u64)>,
+    programs: Vec<(Box<dyn WarpProgram + Send>, u64)>,
     current: usize,
     issued_in_phase: u64,
     looping: bool,
@@ -142,7 +142,7 @@ impl Kernel for PhasedKernel {
         self.phases.iter().map(|p| p.kernel.warps_per_sm(sm)).max().unwrap_or(1)
     }
 
-    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {
+    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram + Send> {
         let programs = self.phases.iter().map(|p| (p.kernel.spawn(sm, warp), p.instructions)).collect();
         Box::new(PhasedProgram {
             programs,

@@ -59,7 +59,7 @@ impl Kernel for SyntheticKernel {
         self.spec.warps_per_sm
     }
 
-    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram> {
+    fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram + Send> {
         let total_warps = (self.spec.active_sms as u64).max(1) * self.spec.warps_per_sm.max(1) as u64;
         let warp_index = sm as u64 * self.spec.warps_per_sm as u64 + warp as u64;
         Box::new(SyntheticProgram::new(&self.spec, self.seed, warp_index, total_warps))
@@ -397,7 +397,7 @@ mod tests {
         let k = SyntheticKernel::new(spec(AccessPattern::Stream { arrays: 1 }), 42);
         let mut p0 = k.spawn(0, 0);
         let mut p1 = k.spawn(0, 1);
-        let first_line = |p: &mut Box<dyn WarpProgram>| loop {
+        let first_line = |p: &mut Box<dyn WarpProgram + Send>| loop {
             if let Inst::Load { accesses, .. } = p.next_inst() {
                 return accesses[0].line_addr;
             }
