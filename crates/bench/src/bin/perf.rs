@@ -18,18 +18,30 @@
 //! than pretending. The fingerprints must not move across thread
 //! counts; the binary exits non-zero if they do.
 //!
+//! A third section benchmarks trace ingestion (ISSUE 9): a pinned
+//! workload is recorded once, written in both on-disk formats (text v1
+//! and the SECMTRC binary container), and each file is loaded through
+//! `TraceKernel::from_file` repeatedly to measure file size, ingest
+//! wall time and the resident-byte estimate of the loaded kernel. A
+//! short replay of each format must produce identical report
+//! fingerprints — the binary exits non-zero if the formats diverge.
+//!
 //! ```text
 //! cargo run -p secmem-bench --release --bin perf              # full matrix
 //! cargo run -p secmem-bench --release --bin perf -- --smoke   # tiny CI matrix
 //! cargo run -p secmem-bench --release --bin perf -- --out target/simperf.json
 //! ```
 
-use secmem_bench::timing::Stopwatch;
+use secmem_bench::timing::{warmed, Stopwatch};
 use std::fmt::Write as _;
 
 use secmem_bench::{run_job, BackendChoice, Job};
 use secmem_core::{SecureMemConfig, SecurityScheme};
+use secmem_gpusim::backend::PassthroughBackend;
 use secmem_gpusim::config::GpuConfig;
+use secmem_gpusim::sim::Simulator;
+use secmem_gpusim::trace::{Trace, TraceKernel};
+use secmem_gpusim::trace_bin;
 use secmem_workloads::suite::{self, DEFAULT_SEED};
 
 /// The pinned full matrix: a latency-bound chase (`nw`), a deep chase
@@ -95,6 +107,88 @@ struct ScaleRow {
 
 /// Stepping thread counts the scaling section sweeps.
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One trace-ingestion measurement: a format's on-disk footprint, how
+/// fast it loads, and what the loaded kernel keeps resident.
+struct IngestRow {
+    format: &'static str,
+    file_bytes: u64,
+    ingest_ms: f64,
+    insts_per_sec: f64,
+    resident_bytes: u64,
+    report_fp: u64,
+}
+
+/// Records the pinned ingest workload, writes it in both formats,
+/// measures ingestion of each, and replays each for `cycles` to prove
+/// the two paths simulate identically. Returns the measurements and
+/// whether the replay fingerprints diverged.
+fn trace_ingest_section(smoke: bool, gpu: &GpuConfig, cycles: u64) -> (Vec<IngestRow>, bool) {
+    let bench = "fdtd2d";
+    let insts_per_warp = if smoke { 300 } else { 1_500 };
+    let iters = if smoke { 3 } else { 10 };
+    let kernel = suite::by_name(bench).expect("ingest bench is in the suite");
+    let trace = Trace::record(&kernel, gpu.num_sms, insts_per_warp);
+    let total_insts = trace.total_insts();
+    let dir = std::env::temp_dir().join(format!("secmem-perf-ingest-{}", std::process::id()));
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("[perf] cannot create {}: {err}", dir.display());
+        std::process::exit(1);
+    }
+    let text_path = dir.join("ingest.trace");
+    let bin_path = dir.join("ingest.smtrc");
+    let mut text = Vec::new();
+    trace.write_text(&mut text).expect("in-memory serialization cannot fail");
+    if let Err(err) = std::fs::write(&text_path, &text) {
+        eprintln!("[perf] cannot write {}: {err}", text_path.display());
+        std::process::exit(1);
+    }
+    if let Err(err) = trace_bin::write_file(&trace, &bin_path) {
+        eprintln!("[perf] cannot write {}: {err}", bin_path.display());
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "[perf] trace ingest: {bench}, {} streams, {total_insts} insts, {iters} timed loads each",
+        trace.warp_count()
+    );
+    let mut rows = Vec::new();
+    let mut fps = Vec::new();
+    for (format, path) in [("text", &text_path), ("binary", &bin_path)] {
+        let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let elapsed = warmed(iters, || {
+            let k = TraceKernel::from_file(path).expect("perf trace loads");
+            std::hint::black_box(k.resident_bytes());
+        });
+        let ingest_ms = elapsed.as_secs_f64() * 1e3 / iters as f64;
+        let insts_per_sec =
+            if ingest_ms > 0.0 { total_insts as f64 * iters as f64 / elapsed.as_secs_f64() } else { 0.0 };
+        let loaded = TraceKernel::from_file(path).expect("perf trace loads");
+        let resident_bytes = loaded.resident_bytes() as u64;
+        let mut sim = Simulator::new(gpu.clone(), &loaded, |_, g| PassthroughBackend::from_config(g));
+        let report = sim.run(cycles);
+        let report_fp = fingerprint(&format!("{report:?}"));
+        eprintln!(
+            "[perf] {format:>14} ingest  {file_bytes:>9} B file  {ingest_ms:>9.2} ms/load  \
+             {insts_per_sec:>11.0} inst/s  {resident_bytes:>9} B resident  fp {report_fp:016x}",
+        );
+        fps.push(report_fp);
+        rows.push(IngestRow { format, file_bytes, ingest_ms, insts_per_sec, resident_bytes, report_fp });
+    }
+    let diverged = fps.windows(2).any(|w| w[0] != w[1]);
+    if diverged {
+        eprintln!("[perf] FORMAT DIVERGENCE: text and binary replays produced different reports");
+    }
+    if rows.len() == 2 && rows[0].ingest_ms > 0.0 && rows[0].file_bytes > 0 {
+        eprintln!(
+            "[perf] binary trace: {:.1}% of text size, {:.1}x faster ingest",
+            rows[1].file_bytes as f64 * 100.0 / rows[0].file_bytes as f64,
+            rows[0].ingest_ms / rows[1].ingest_ms.max(f64::MIN_POSITIVE),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (rows, diverged)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -253,7 +347,13 @@ fn main() {
         std::process::exit(1);
     }
 
-    let json = to_json(&rows, &scaling, host_parallelism, smoke, cycles, total_wall, aggregate);
+    let (ingest, ingest_diverged) = trace_ingest_section(smoke, &gpu, cycles);
+    if ingest_diverged {
+        eprintln!("[perf] aborting: trace format changed simulation results");
+        std::process::exit(1);
+    }
+
+    let json = to_json(&rows, &scaling, &ingest, host_parallelism, smoke, cycles, total_wall, aggregate);
     if let Err(err) = std::fs::write(&out_path, &json) {
         eprintln!("[perf] failed to write {out_path}: {err}");
         std::process::exit(1);
@@ -261,9 +361,11 @@ fn main() {
     eprintln!("[perf] wrote {out_path}");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn to_json(
     rows: &[RunRow],
     scaling: &[ScaleRow],
+    ingest: &[IngestRow],
     host_parallelism: usize,
     smoke: bool,
     cycles: u64,
@@ -271,7 +373,7 @@ fn to_json(
     aggregate: f64,
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"simperf-v2\",");
+    let _ = writeln!(out, "  \"schema\": \"simperf-v3\",");
     let _ = writeln!(out, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(out, "  \"gpu\": \"small\",");
     let _ = writeln!(out, "  \"seed\": {DEFAULT_SEED},");
@@ -297,6 +399,16 @@ fn to_json(
             r.bench, r.scheme, r.threads, r.sim_cycles, r.wall_ms, r.cycles_per_sec, r.speedup, r.report_fp
         );
         out.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"trace_ingest\": [\n");
+    for (i, r) in ingest.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"format\": \"{}\", \"file_bytes\": {}, \"ingest_ms\": {:.3}, \"insts_per_sec\": {:.1}, \"resident_bytes\": {}, \"report_fp\": \"{:016x}\"}}",
+            r.format, r.file_bytes, r.ingest_ms, r.insts_per_sec, r.resident_bytes, r.report_fp
+        );
+        out.push_str(if i + 1 < ingest.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out

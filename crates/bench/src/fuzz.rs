@@ -1,9 +1,10 @@
 //! Seeded mutation fuzzing for the workspace's hand-written parsers.
 //!
-//! The repository accepts four kinds of untrusted byte streams: trace
-//! files ([`secmem_gpusim::trace::Trace::from_text`]), the linter's
-//! `lint.toml` baseline ([`secmem_lint::Baseline::parse`]), Chrome
-//! trace JSON ([`secmem_telemetry::chrome::validate_json`]) and
+//! The repository accepts five kinds of untrusted byte streams: text
+//! trace files ([`secmem_gpusim::trace::Trace::from_text`]), SECMTRC
+//! binary traces ([`secmem_gpusim::trace_bin::BinaryTrace::decode`]),
+//! the linter's `lint.toml` baseline ([`secmem_lint::Baseline::parse`]),
+//! Chrome trace JSON ([`secmem_telemetry::chrome::validate_json`]) and
 //! checkpoint frames ([`secmem_checkpoint::Frame::decode`]). The
 //! contract for all of them is the same as everywhere else in the
 //! workspace: arbitrary input must produce a typed error, never a
@@ -19,6 +20,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use secmem_checkpoint::Frame;
 use secmem_gpusim::rng::Rng64;
 use secmem_gpusim::trace::Trace;
+use secmem_gpusim::trace_bin::{self, BinaryTrace};
 use secmem_lint::Baseline;
 use secmem_telemetry::chrome;
 
@@ -27,6 +29,8 @@ use secmem_telemetry::chrome;
 pub enum Corpus {
     /// The v1 trace text format.
     Trace,
+    /// The SECMTRC binary trace container.
+    BinTrace,
     /// The linter's `lint.toml` subset.
     LintBaseline,
     /// Chrome `trace_event` JSON syntax validation.
@@ -37,13 +41,14 @@ pub enum Corpus {
 
 impl Corpus {
     /// Every corpus, for smoke sweeps.
-    pub const ALL: [Corpus; 4] =
-        [Corpus::Trace, Corpus::LintBaseline, Corpus::ChromeJson, Corpus::Checkpoint];
+    pub const ALL: [Corpus; 5] =
+        [Corpus::Trace, Corpus::BinTrace, Corpus::LintBaseline, Corpus::ChromeJson, Corpus::Checkpoint];
 
     /// Short display name.
     pub fn label(self) -> &'static str {
         match self {
             Corpus::Trace => "trace",
+            Corpus::BinTrace => "bin-trace",
             Corpus::LintBaseline => "lint-baseline",
             Corpus::ChromeJson => "chrome-json",
             Corpus::Checkpoint => "checkpoint",
@@ -142,6 +147,18 @@ pub fn seed_inputs(corpus: Corpus) -> Vec<Vec<u8>> {
             b"# gpu-secure-memory trace v1\nwarp 0 0\nA 3\nL 1 100:f 180:3\nS 200:1\nX\n".to_vec(),
             b"# gpu-secure-memory trace v1\nwarp 1 2\nU 7\nL 0 1000:f\nX\nwarp 1 3\nX\n".to_vec(),
         ],
+        Corpus::BinTrace => {
+            // The text exemplars re-encoded as SECMTRC, so mutation
+            // attacks checksums, varints and tag bytes of real files.
+            seed_inputs(Corpus::Trace)
+                .iter()
+                .map(|text| {
+                    let trace = Trace::from_text(&String::from_utf8_lossy(text))
+                        .expect("text exemplars are valid");
+                    trace_bin::encode(&trace)
+                })
+                .collect()
+        }
         Corpus::LintBaseline => vec![
             b"disabled = [\"hot-format\"]\n[[baseline]]\nfile = \"crates/core/src/engine.rs\"\nlint = \"long-fn\"\ncount = 2\n".to_vec(),
             b"[[baseline]]\nfile = \"a.rs\" # comment\nlint = \"x\"\ncount = 1\n".to_vec(),
@@ -174,6 +191,13 @@ pub fn parse_one(corpus: Corpus, input: &[u8]) {
     match corpus {
         Corpus::Trace => {
             let _ = Trace::from_text(&String::from_utf8_lossy(input));
+        }
+        Corpus::BinTrace => {
+            if let Ok(bin) = BinaryTrace::decode(input) {
+                // Decoding validates everything up front; a surviving
+                // file must also materialize without panicking.
+                let _ = bin.to_trace();
+            }
         }
         Corpus::LintBaseline => {
             let _ = Baseline::parse(&String::from_utf8_lossy(input));
@@ -297,6 +321,9 @@ mod tests {
                         Trace::from_text(&String::from_utf8_lossy(input))
                             .unwrap_or_else(|e| panic!("trace exemplar {i}: {e}"));
                     }
+                    Corpus::BinTrace => {
+                        BinaryTrace::decode(input).unwrap_or_else(|e| panic!("bin-trace exemplar {i}: {e}"));
+                    }
                     Corpus::LintBaseline => {
                         Baseline::parse(&String::from_utf8_lossy(input))
                             .unwrap_or_else(|e| panic!("baseline exemplar {i}: {e}"));
@@ -349,5 +376,44 @@ mod tests {
         // JSON: deep nesting is a typed rejection, not a stack overflow.
         let deep = "[".repeat(100_000) + &"]".repeat(100_000);
         assert!(chrome::validate_json(&deep).is_err());
+    }
+
+    /// Frozen SECMTRC regression fixtures: the corruption shapes the
+    /// mutator lands on most often, pinned so the typed rejections
+    /// cannot quietly regress into panics or silent acceptance.
+    #[test]
+    fn bin_trace_regression_fixtures_stay_typed() {
+        let good = seed_inputs(Corpus::BinTrace).remove(0);
+        assert!(BinaryTrace::decode(&good).is_ok(), "fixture base is valid");
+
+        // Truncated mid-index and mid-data.
+        assert!(BinaryTrace::decode(&good[..14]).is_err());
+        assert!(BinaryTrace::decode(&good[..good.len() - 3]).is_err());
+        // Wrong magic and wrong version word.
+        let mut evil = good.clone();
+        evil[0] = b'X';
+        assert!(BinaryTrace::decode(&evil).is_err());
+        let mut evil = good.clone();
+        evil[8] = 0xff; // version u32 LE low byte
+        assert!(BinaryTrace::decode(&evil).is_err());
+        // Index length field inflated past the file.
+        let mut evil = good.clone();
+        evil[12] = 0xff;
+        assert!(BinaryTrace::decode(&evil).is_err());
+        // First index byte (the stream count varint) forced overlong:
+        // non-minimal varints are canonicality violations.
+        let mut evil = good.clone();
+        let count_at = 20; // magic(8) + version(4) + index len(8)
+        evil[count_at] = 0x80;
+        assert!(BinaryTrace::decode(&evil).is_err());
+        // A flipped bit deep in the data section trips the checksum.
+        let mut evil = good.clone();
+        let end = evil.len() - 12;
+        evil[end] ^= 0x40;
+        assert!(BinaryTrace::decode(&evil).is_err());
+        // Appending trailing garbage must not be silently ignored.
+        let mut evil = good.clone();
+        evil.push(0);
+        assert!(BinaryTrace::decode(&evil).is_err());
     }
 }

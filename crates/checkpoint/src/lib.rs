@@ -48,6 +48,17 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Maps a signed value onto an unsigned one so small magnitudes stay
+/// small under varint coding: 0, -1, 1, -2, 2 → 0, 1, 2, 3, 4.
+pub fn zigzag(v: i64) -> u64 {
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
 /// Why a checkpoint could not be decoded or written.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
@@ -214,6 +225,22 @@ impl Writer {
     pub fn put_str(&mut self, s: &str) {
         self.put_bytes(s.as_bytes());
     }
+
+    /// Writes a `u64` as a base-128 varint (LEB128): seven value bits
+    /// per byte, continuation bit on every byte but the last. Values
+    /// below 128 cost one byte; the worst case (above 2^63) costs ten.
+    /// Pair with [`zigzag`] to code signed deltas compactly.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
 }
 
 /// Reads snapshot bytes back, with bounds and sanity checks on every
@@ -359,6 +386,35 @@ impl<'a> Reader<'a> {
     pub fn get_str(&mut self) -> Result<&'a str, CheckpointError> {
         let b = self.get_bytes()?;
         core::str::from_utf8(b).map_err(|e| CheckpointError::Malformed(format!("string not UTF-8: {e}")))
+    }
+
+    /// Reads a base-128 varint written by [`Writer::put_varint`]. Only
+    /// the minimal encoding is accepted — an overlong form (a redundant
+    /// trailing zero group) or a value overflowing `u64` is corruption,
+    /// not an alternative spelling, so encode/decode stays a bijection.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] at end of data,
+    /// [`CheckpointError::Malformed`] on a non-minimal or overflowing
+    /// encoding.
+    pub fn get_varint(&mut self) -> Result<u64, CheckpointError> {
+        let mut v: u64 = 0;
+        for shift in (0..=63).step_by(7) {
+            let byte = self.get_u8()?;
+            let group = u64::from(byte & 0x7F);
+            if shift == 63 && group > 1 {
+                return Err(CheckpointError::Malformed("varint overflows u64".into()));
+            }
+            v |= group << shift;
+            if byte & 0x80 == 0 {
+                if shift > 0 && group == 0 {
+                    return Err(CheckpointError::Malformed("non-minimal varint encoding".into()));
+                }
+                return Ok(v);
+            }
+        }
+        Err(CheckpointError::Malformed("varint longer than 10 bytes".into()))
     }
 
     /// Checks that every byte was consumed.
@@ -756,6 +812,60 @@ mod tests {
         // The temporary never survives a successful write.
         assert!(!path.with_extension("ckpt.tmp").exists());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn varint_roundtrip_and_sizes() {
+        let cases: [(u64, usize); 8] = [
+            (0, 1),
+            (1, 1),
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u64::from(u32::MAX), 5),
+            (u64::MAX, 10),
+        ];
+        for (v, bytes) in cases {
+            let mut w = Writer::new();
+            w.put_varint(v);
+            assert_eq!(w.len(), bytes, "encoded size of {v}");
+            let encoded = w.into_bytes();
+            let mut r = Reader::new(&encoded);
+            assert_eq!(r.get_varint().unwrap(), v);
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_truncated() {
+        // 1 encoded as two groups: valid value, non-minimal spelling.
+        let overlong = [0x81, 0x00];
+        let mut r = Reader::new(&overlong);
+        assert!(matches!(r.get_varint(), Err(CheckpointError::Malformed(_))));
+        // Eleven continuation bytes can never terminate inside u64.
+        let eleven = [0x80u8; 11];
+        let mut r = Reader::new(&eleven);
+        assert!(matches!(r.get_varint(), Err(CheckpointError::Malformed(_))));
+        // Tenth group carrying more than the top bit overflows u64.
+        let overflow = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        let mut r = Reader::new(&overflow);
+        assert!(matches!(r.get_varint(), Err(CheckpointError::Malformed(_))));
+        // A continuation bit with nothing after it is truncation.
+        let cut = [0x80u8];
+        let mut r = Reader::new(&cut);
+        assert!(matches!(r.get_varint(), Err(CheckpointError::Truncated { .. })));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -2, 2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "zigzag({v})");
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod sm;
 pub mod snapshot;
 pub mod stats;
 pub mod trace;
+pub mod trace_bin;
 pub mod types;
 
 pub use backend::{MemoryBackend, PassthroughBackend};

@@ -236,6 +236,47 @@ impl WorkerPool {
             }
         });
     }
+
+    /// [`WorkerPool::for_each`] with a precomputed chunk assignment:
+    /// item `i` is visited by chunk `groups[i] % self.chunks()`. The
+    /// simulator computes the groups once per (thread count, geometry)
+    /// and interleaves heavy and light entity kinds across workers —
+    /// the contiguous split of `for_each` would hand all SMs to the
+    /// early chunks and all memory partitions to the late ones, making
+    /// the barrier wait on the SM-heavy workers every cycle.
+    ///
+    /// Like `for_each`, the assignment is load-balancing only: `f` must
+    /// not care which thread visits which item. A `groups` slice of the
+    /// wrong length falls back to the contiguous split rather than
+    /// skipping items.
+    pub fn for_each_grouped<T: Send, F: Fn(usize, &mut T) + Sync>(
+        &self,
+        items: &mut [T],
+        groups: &[u32],
+        f: &F,
+    ) {
+        debug_assert_eq!(items.len(), groups.len(), "one group id per item");
+        if groups.len() != items.len() {
+            self.for_each(items, f);
+            return;
+        }
+        let n = self.chunks();
+        let base = AssertSync(items.as_mut_ptr());
+        self.run(&move |chunk| {
+            for (i, &g) in groups.iter().enumerate() {
+                if g as usize % n != chunk {
+                    continue;
+                }
+                // SAFETY: `g % n` is a pure function of the index, so
+                // exactly one chunk visits each item; `items` stays
+                // exclusively borrowed until the completion barrier in
+                // `run`, and `T: Send` licenses touching the element
+                // from a worker thread.
+                let item = unsafe { &mut *base.get().add(i) };
+                f(i, item);
+            }
+        });
+    }
 }
 
 /// Wrapper that promises cross-thread sharing of its payload is sound.
@@ -334,6 +375,42 @@ mod tests {
                 assert_eq!(*v, (i as u64 + 1) * round);
             }
         }
+    }
+
+    #[test]
+    fn for_each_grouped_visits_every_item_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let mut items = vec![0u64; 41];
+        // Adversarial assignment: ids beyond the chunk count, all kinds
+        // of imbalance — every item must still be visited exactly once.
+        let groups: Vec<u32> = (0..items.len() as u32).map(|i| i.wrapping_mul(7) % 9).collect();
+        for round in 1..=5u64 {
+            pool.for_each_grouped(&mut items, &groups, &|i, v| {
+                *v += i as u64 + 1;
+            });
+            for (i, v) in items.iter().enumerate() {
+                assert_eq!(*v, (i as u64 + 1) * round);
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_grouped_matches_for_each_results() {
+        let pool = WorkerPool::new(2);
+        let mut a = vec![0u64; 17];
+        let mut b = vec![0u64; 17];
+        let groups: Vec<u32> = (0..17u32).map(|i| i % 3).collect();
+        pool.for_each(&mut a, &|i, v| *v = i as u64 * 11);
+        pool.for_each_grouped(&mut b, &groups, &|i, v| *v = i as u64 * 11);
+        assert_eq!(a, b, "assignment is load-balancing only");
+    }
+
+    #[test]
+    fn for_each_grouped_inline_pool() {
+        let pool = WorkerPool::new(0);
+        let mut items = vec![0u64; 5];
+        pool.for_each_grouped(&mut items, &[0, 1, 2, 3, 4], &|i, v| *v = i as u64);
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub struct Simulator<B> {
     threads: usize,
     /// Worker pool backing `threads > 1`; `None` runs inline.
     pool: Option<WorkerPool>,
+    /// Precomputed phase-A chunk assignment, one id per step entity
+    /// (SMs first, then partitions), dealing each entity kind
+    /// round-robin across chunks so every worker gets an even share of
+    /// heavy SM steps and light partition steps. Rebuilt by
+    /// [`Simulator::set_threads`]; empty while running inline.
+    phase_groups: Vec<u32>,
 }
 
 /// Metric names for the per-class DRAM byte series, in
@@ -146,6 +152,7 @@ impl<B: MemoryBackend> Simulator<B> {
             staging: Vec::new(),
             threads: 1,
             pool: None,
+            phase_groups: Vec::new(),
         })
     }
 
@@ -162,6 +169,12 @@ impl<B: MemoryBackend> Simulator<B> {
         if self.pool.as_ref().map_or(0, WorkerPool::chunks) != threads {
             self.pool = (threads > 1).then(|| WorkerPool::new(threads - 1));
         }
+        // The grouped assignment is pure load balancing (phase A is
+        // order-free), computed once here rather than per cycle.
+        self.phase_groups = match &self.pool {
+            Some(pool) => phase_group_ids(self.sms.len(), self.partitions.len(), pool.chunks()),
+            None => Vec::new(),
+        };
     }
 
     /// The configured step-phase thread count.
@@ -252,7 +265,7 @@ impl<B: MemoryBackend> Simulator<B> {
 
         // Phase A: per-entity work, fanned out when a pool is attached.
         {
-            let Self { sms, overflow, partitions, icnt, sm_out, pool, .. } = self;
+            let Self { sms, overflow, partitions, icnt, sm_out, pool, phase_groups, .. } = self;
             let (to_part, to_sm) = icnt.split_lanes();
             // lint:allow(H2): one bounded, short-lived buffer of borrows per cycle; the buffers it points into are reused
             let mut entities: Vec<StepEntity<'_, B>> = Vec::with_capacity(sms.len() + partitions.len());
@@ -265,7 +278,7 @@ impl<B: MemoryBackend> Simulator<B> {
                 entities.push(StepEntity::Partition { part, lane });
             }
             match pool {
-                Some(pool) => pool.for_each(&mut entities, &|_, e| e.phase_a(now)),
+                Some(pool) => pool.for_each_grouped(&mut entities, phase_groups, &|_, e| e.phase_a(now)),
                 None => {
                     for e in &mut entities {
                         e.phase_a(now);
@@ -905,6 +918,25 @@ impl PrevCounters {
             mdc_accesses: r.get_u64()?,
         })
     }
+}
+
+/// Chunk assignment for the phase-A entity list (SMs first, then
+/// partitions): each entity kind is dealt round-robin across chunks so
+/// every worker gets an even share of heavy SM steps and light
+/// partition steps. A contiguous split would hand all SMs to the early
+/// chunks and all partitions to the late ones, serialising the run on
+/// the SM-heavy workers. Computed once per thread-count change, not per
+/// cycle.
+fn phase_group_ids(sms: usize, partitions: usize, chunks: usize) -> Vec<u32> {
+    let chunks = chunks.max(1);
+    let mut groups = Vec::with_capacity(sms + partitions);
+    for i in 0..sms {
+        groups.push(crate::narrow::usize_to_u32(i % chunks, "reduced mod chunk count"));
+    }
+    for p in 0..partitions {
+        groups.push(crate::narrow::usize_to_u32(p % chunks, "reduced mod chunk count"));
+    }
+    groups
 }
 
 /// One unit of phase-A work: an SM or a partition, bundled with the

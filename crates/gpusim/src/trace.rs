@@ -58,13 +58,16 @@ impl core::fmt::Display for ParseTraceError {
 impl std::error::Error for ParseTraceError {}
 
 /// Why a trace file could not be loaded: the read failed, or the
-/// contents did not parse.
+/// contents did not parse in whichever format the file announced.
 #[derive(Debug)]
 pub enum TraceLoadError {
     /// The file could not be read.
     Io(std::io::Error),
-    /// The file contents are not a valid v1 trace.
+    /// The file contents are not a valid v1 text trace.
     Parse(ParseTraceError),
+    /// The file carries the `SECMTRC` magic but is not a valid binary
+    /// trace.
+    Binary(crate::trace_bin::BinTraceError),
 }
 
 impl core::fmt::Display for TraceLoadError {
@@ -72,6 +75,7 @@ impl core::fmt::Display for TraceLoadError {
         match self {
             TraceLoadError::Io(e) => write!(f, "cannot read trace file: {e}"),
             TraceLoadError::Parse(e) => e.fmt(f),
+            TraceLoadError::Binary(e) => e.fmt(f),
         }
     }
 }
@@ -81,6 +85,7 @@ impl std::error::Error for TraceLoadError {
         match self {
             TraceLoadError::Io(e) => Some(e),
             TraceLoadError::Parse(e) => Some(e),
+            TraceLoadError::Binary(e) => Some(e),
         }
     }
 }
@@ -97,19 +102,45 @@ impl From<ParseTraceError> for TraceLoadError {
     }
 }
 
+impl From<crate::trace_bin::BinTraceError> for TraceLoadError {
+    fn from(e: crate::trace_bin::BinTraceError) -> Self {
+        TraceLoadError::Binary(e)
+    }
+}
+
 /// Serializes one instruction to its trace line.
 pub fn serialize_inst(inst: &Inst) -> String {
-    let accesses = |list: &[Access]| {
-        list.iter().map(|a| format!("{:x}:{:x}", a.line_addr, a.sectors.0)).collect::<Vec<_>>().join(" ")
+    let mut out = String::new();
+    serialize_inst_into(&mut out, inst);
+    out
+}
+
+/// Appends one instruction's trace line (no newline) to `out`: the
+/// buffer-reusing form [`Trace::write_text`] serializes millions of
+/// lines through without an allocation per instruction.
+pub fn serialize_inst_into(out: &mut String, inst: &Inst) {
+    let accesses = |out: &mut String, list: &[Access]| {
+        for (i, a) in list.iter().enumerate() {
+            let sep = if i == 0 { "" } else { " " };
+            let _ = write!(out, "{sep}{:x}:{:x}", a.line_addr, a.sectors.0);
+        }
     };
     match inst {
-        Inst::Alu { stall, wait_mem: false } => format!("A {stall}"),
-        Inst::Alu { stall, wait_mem: true } => format!("U {stall}"),
-        Inst::Load { accesses: list, dependent } => {
-            format!("L {} {}", u8::from(*dependent), accesses(list))
+        Inst::Alu { stall, wait_mem: false } => {
+            let _ = write!(out, "A {stall}");
         }
-        Inst::Store { accesses: list } => format!("S {}", accesses(list)),
-        Inst::Exit => "X".to_string(),
+        Inst::Alu { stall, wait_mem: true } => {
+            let _ = write!(out, "U {stall}");
+        }
+        Inst::Load { accesses: list, dependent } => {
+            let _ = write!(out, "L {} ", u8::from(*dependent));
+            accesses(out, list);
+        }
+        Inst::Store { accesses: list } => {
+            out.push_str("S ");
+            accesses(out, list);
+        }
+        Inst::Exit => out.push('X'),
     }
 }
 
@@ -242,18 +273,65 @@ impl Trace {
         self.streams.len()
     }
 
-    /// Serializes to the v1 text format (warps in sorted order — the
-    /// `BTreeMap` iterates keys in ascending `(sm, warp)` order).
-    pub fn to_text(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "{TRACE_HEADER}");
-        for (key, insts) in &self.streams {
-            let _ = writeln!(out, "warp {} {}", key.0, key.1);
+    /// Iterates recorded streams in ascending `(sm, warp)` order.
+    pub fn streams(&self) -> impl Iterator<Item = ((u32, u32), &[Inst])> {
+        self.streams.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Total recorded instructions across all streams.
+    pub fn total_insts(&self) -> u64 {
+        self.streams.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Estimated bytes the decoded streams keep resident: the `Inst`
+    /// slots plus the access vectors loads and stores hang off them.
+    /// The perf harness compares this against
+    /// [`crate::trace_bin::BinaryTrace::resident_bytes`].
+    pub fn decoded_bytes_estimate(&self) -> usize {
+        let mut bytes = 0;
+        for insts in self.streams.values() {
+            bytes += insts.capacity() * core::mem::size_of::<Inst>();
             for inst in insts {
-                let _ = writeln!(out, "{}", serialize_inst(inst));
+                if let Inst::Load { accesses, .. } | Inst::Store { accesses } = inst {
+                    bytes += accesses.capacity() * core::mem::size_of::<Access>();
+                }
             }
         }
-        out
+        bytes
+    }
+
+    /// Streams the v1 text serialization into `sink` (warps in
+    /// ascending `(sm, warp)` order) without materializing the whole
+    /// document: one per-instruction line buffer is reused across the
+    /// run, so exporting a large trace costs O(longest line) extra
+    /// memory instead of a second copy of the trace.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the sink.
+    pub fn write_text<W: std::io::Write>(&self, sink: &mut W) -> std::io::Result<()> {
+        writeln!(sink, "{TRACE_HEADER}")?;
+        let mut line = String::new();
+        for (key, insts) in &self.streams {
+            writeln!(sink, "warp {} {}", key.0, key.1)?;
+            for inst in insts {
+                line.clear();
+                serialize_inst_into(&mut line, inst);
+                line.push('\n');
+                sink.write_all(line.as_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the v1 text format in memory (see
+    /// [`Trace::write_text`] for the streaming form this wraps).
+    pub fn to_text(&self) -> String {
+        let mut out = Vec::new();
+        // Writing into a Vec<u8> cannot fail, and the serializer emits
+        // only ASCII.
+        let _ = self.write_text(&mut out);
+        String::from_utf8(out).expect("trace text is ASCII")
     }
 
     /// Parses the v1 text format.
@@ -329,31 +407,79 @@ impl Trace {
     }
 }
 
+/// Where a [`TraceKernel`]'s instructions come from: decoded text
+/// streams, or a `SECMTRC` container replayed through streaming
+/// cursors.
+#[derive(Debug, Clone)]
+enum TraceSource {
+    /// Fully-decoded streams (in-memory recording or text ingestion).
+    Decoded(std::sync::Arc<Trace>),
+    /// Shared binary backing buffer; warps decode on the fly.
+    Binary(std::sync::Arc<crate::trace_bin::BinaryTrace>),
+}
+
 /// Replays a [`Trace`] as a [`Kernel`]: each recorded warp runs its
 /// stream once and exits; unrecorded warps exit immediately.
+///
+/// Binary (`SECMTRC`) traces replay through streaming cursors that
+/// share one immutable backing buffer — see [`crate::trace_bin`] — so
+/// ingesting a paper-scale trace never materializes the decoded
+/// instruction vectors. Both sources checkpoint the same single-word
+/// warp state, so frames are interchangeable across formats.
 #[derive(Debug, Clone)]
 pub struct TraceKernel {
-    trace: std::sync::Arc<Trace>,
+    source: TraceSource,
     name: String,
 }
 
 impl TraceKernel {
-    /// Wraps a trace for replay.
+    /// Wraps a decoded trace for replay.
     pub fn new(trace: Trace, name: impl Into<String>) -> Self {
-        Self { trace: std::sync::Arc::new(trace), name: name.into() }
+        Self { source: TraceSource::Decoded(std::sync::Arc::new(trace)), name: name.into() }
     }
 
-    /// Loads a trace file.
+    /// Wraps a validated binary trace for streaming replay.
+    pub fn from_binary(trace: crate::trace_bin::BinaryTrace, name: impl Into<String>) -> Self {
+        Self { source: TraceSource::Binary(std::sync::Arc::new(trace)), name: name.into() }
+    }
+
+    /// Loads a trace file, sniffing the format: files starting with the
+    /// `SECMTRC` magic decode as binary containers (and replay
+    /// streamed), anything else parses as the v1 text format.
     ///
     /// # Errors
     ///
     /// [`TraceLoadError::Io`] if the file cannot be read,
-    /// [`TraceLoadError::Parse`] if its contents are malformed.
+    /// [`TraceLoadError::Parse`] / [`TraceLoadError::Binary`] if its
+    /// contents are malformed for the sniffed format.
     pub fn from_file(path: &std::path::Path) -> Result<Self, TraceLoadError> {
-        let text = std::fs::read_to_string(path)?;
-        let trace = Trace::from_text(&text)?;
+        let bytes = std::fs::read(path)?;
         let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace").to_string();
+        if crate::trace_bin::BinaryTrace::sniff(&bytes) {
+            let bin = crate::trace_bin::BinaryTrace::decode(&bytes)?;
+            return Ok(Self::from_binary(bin, name));
+        }
+        let text = core::str::from_utf8(&bytes).map_err(|e| {
+            TraceLoadError::Parse(ParseTraceError { line: 1, message: format!("trace is not UTF-8: {e}") })
+        })?;
+        let trace = Trace::from_text(text)?;
         Ok(Self::new(trace, name))
+    }
+
+    /// True when this kernel replays a binary container through
+    /// streaming cursors (false for decoded text streams).
+    pub fn is_streamed(&self) -> bool {
+        matches!(self.source, TraceSource::Binary(_))
+    }
+
+    /// Bytes the trace source keeps resident for replay: the decoded
+    /// stream estimate for text ingestion, the shared backing buffer
+    /// (plus index) for binary.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.source {
+            TraceSource::Decoded(t) => t.decoded_bytes_estimate(),
+            TraceSource::Binary(b) => b.resident_bytes(),
+        }
     }
 }
 
@@ -393,17 +519,29 @@ impl WarpProgram for Replay {
 
 impl Kernel for TraceKernel {
     fn active_sms(&self, available: u32) -> u32 {
-        let max_sm = self.trace.streams.keys().map(|k| k.0 + 1).max().unwrap_or(1);
-        max_sm.min(available)
+        match &self.source {
+            TraceSource::Decoded(t) => t.streams.keys().map(|k| k.0 + 1).max().unwrap_or(1).min(available),
+            TraceSource::Binary(b) => b.active_sms(available),
+        }
     }
 
     fn warps_per_sm(&self, sm: u32) -> u32 {
-        self.trace.streams.keys().filter(|k| k.0 == sm).map(|k| k.1 + 1).max().unwrap_or(1)
+        match &self.source {
+            TraceSource::Decoded(t) => {
+                t.streams.keys().filter(|k| k.0 == sm).map(|k| k.1 + 1).max().unwrap_or(1)
+            }
+            TraceSource::Binary(b) => b.warps_per_sm(sm),
+        }
     }
 
     fn spawn(&self, sm: u32, warp: u32) -> Box<dyn WarpProgram + Send> {
-        let insts = self.trace.stream(sm, warp).map(<[Inst]>::to_vec).unwrap_or_default();
-        Box::new(Replay { insts, pos: 0 })
+        match &self.source {
+            TraceSource::Decoded(t) => {
+                let insts = t.stream(sm, warp).map(<[Inst]>::to_vec).unwrap_or_default();
+                Box::new(Replay { insts, pos: 0 })
+            }
+            TraceSource::Binary(b) => Box::new(b.cursor(sm, warp)),
+        }
     }
 
     fn name(&self) -> &str {

@@ -233,6 +233,7 @@ impl Default for Policy {
                 "crates/gpusim/src/backend.rs",
                 "crates/gpusim/src/coalesce.rs",
                 "crates/gpusim/src/hash.rs",
+                "crates/gpusim/src/trace_bin.rs",
                 "crates/core/src/engine.rs",
                 "crates/core/src/mdcache.rs",
             ]),
@@ -254,6 +255,7 @@ impl Default for Policy {
                 "pop_completed",
                 "advance_read",
                 "advance_write",
+                "next_inst",
             ]),
             report_files: s(&[
                 "crates/gpusim/src/stats.rs",

@@ -1,8 +1,9 @@
 //! Trace record & replay: capture a synthetic benchmark's instruction
-//! stream into the portable v1 trace format, write it to disk, replay it
-//! through the simulator, and confirm the replay is cycle-identical.
-//! The same path lets you feed externally captured GPU traces through the
-//! secure-memory models.
+//! stream, write it in both on-disk formats — the portable v1 text
+//! format and the compact SECMTRC binary container — replay each
+//! through the simulator, and confirm the replays are cycle-identical.
+//! The same path lets you feed externally captured GPU traces through
+//! the secure-memory models.
 //!
 //! ```text
 //! cargo run --release --example trace_replay [benchmark] [out.trace]
@@ -10,59 +11,68 @@
 
 use gpu_secure_memory::core::{SecureBackend, SecureMemConfig};
 use gpu_secure_memory::gpusim::config::GpuConfig;
-use gpu_secure_memory::gpusim::kernel::Kernel;
 use gpu_secure_memory::gpusim::sim::Simulator;
+use gpu_secure_memory::gpusim::stats::SimReport;
 use gpu_secure_memory::gpusim::trace::{Trace, TraceKernel};
+use gpu_secure_memory::gpusim::trace_bin;
 use gpu_secure_memory::workloads::suite;
 
 const CYCLES: u64 = 15_000;
 const INSTS_PER_WARP: usize = 2_000;
 
+fn replay(path: &std::path::Path, gpu: &GpuConfig) -> (SimReport, bool, usize) {
+    let kernel = TraceKernel::from_file(path).expect("trace loads");
+    let streamed = kernel.is_streamed();
+    let resident = kernel.resident_bytes();
+    let mut sim =
+        Simulator::new(gpu.clone(), &kernel, |_, g| SecureBackend::new(SecureMemConfig::secure_mem(), g));
+    (sim.run(CYCLES), streamed, resident)
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let bench = args.next().unwrap_or_else(|| "streamcluster".to_string());
-    let out = args.next().unwrap_or_else(|| format!("{bench}.trace"));
+    let text_out = args.next().unwrap_or_else(|| format!("{bench}.trace"));
+    let bin_out = format!("{bench}.smtrc");
     let Some(kernel) = suite::by_name(&bench) else {
         eprintln!("unknown benchmark '{bench}'");
         std::process::exit(2);
     };
     let gpu = GpuConfig::small();
 
-    // 1. Record.
+    // 1. Record once, write both formats (the text serializer streams
+    //    through a reused line buffer; the binary writer is atomic).
     let trace = Trace::record(&kernel, gpu.num_sms, INSTS_PER_WARP);
-    let text = trace.to_text();
-    std::fs::write(&out, &text).expect("trace written");
+    let mut text_file = std::fs::File::create(&text_out).expect("text trace created");
+    trace.write_text(&mut text_file).expect("text trace written");
+    trace_bin::write_file(&trace, std::path::Path::new(&bin_out)).expect("binary trace written");
+    let text_bytes = std::fs::metadata(&text_out).map(|m| m.len()).unwrap_or(0);
+    let bin_bytes = std::fs::metadata(&bin_out).map(|m| m.len()).unwrap_or(0);
+    println!("recorded {} warps x <= {INSTS_PER_WARP} instructions of '{bench}'", trace.warp_count());
+    println!("  {text_out}: {text_bytes} bytes (text)");
     println!(
-        "recorded {} warps x <= {INSTS_PER_WARP} instructions of '{bench}' -> {out} ({} KiB)",
-        trace.warp_count(),
-        text.len() / 1024
+        "  {bin_out}: {bin_bytes} bytes (SECMTRC, {:.1}% of text)",
+        bin_bytes as f64 * 100.0 / text_bytes.max(1) as f64
     );
 
-    // 2. Replay the file under the secure memory engine.
-    let replay = TraceKernel::from_file(std::path::Path::new(&out)).expect("trace loads");
-    let mut sim =
-        Simulator::new(gpu.clone(), &replay, |_, g| SecureBackend::new(SecureMemConfig::secure_mem(), g));
-    let from_file = sim.run(CYCLES);
-
-    // 3. Replay the in-memory recording: must match exactly.
-    let replay2 = TraceKernel::new(Trace::from_text(&text).expect("round-trips"), replay.name());
-    let mut sim2 =
-        Simulator::new(gpu.clone(), &replay2, |_, g| SecureBackend::new(SecureMemConfig::secure_mem(), g));
-    let from_memory = sim2.run(CYCLES);
-
+    // 2. Replay both files under the secure memory engine. The binary
+    //    path streams: it never materializes the decoded instructions.
+    let (from_text, text_streamed, text_resident) = replay(std::path::Path::new(&text_out), &gpu);
+    let (from_bin, bin_streamed, bin_resident) = replay(std::path::Path::new(&bin_out), &gpu);
+    assert!(!text_streamed && bin_streamed);
     println!(
-        "replay (file):   {} instructions, ipc {:.1}, {} DRAM requests",
-        from_file.warp_instructions,
-        from_file.ipc(),
-        from_file.dram.total_requests()
+        "replay (text):   {} instructions, ipc {:.1}, {} DRAM requests, {text_resident} bytes resident",
+        from_text.warp_instructions,
+        from_text.ipc(),
+        from_text.dram.total_requests()
     );
     println!(
-        "replay (memory): {} instructions, ipc {:.1}, {} DRAM requests",
-        from_memory.warp_instructions,
-        from_memory.ipc(),
-        from_memory.dram.total_requests()
+        "replay (binary): {} instructions, ipc {:.1}, {} DRAM requests, {bin_resident} bytes resident",
+        from_bin.warp_instructions,
+        from_bin.ipc(),
+        from_bin.dram.total_requests()
     );
-    assert_eq!(from_file.warp_instructions, from_memory.warp_instructions);
-    assert_eq!(from_file.dram.total_requests(), from_memory.dram.total_requests());
+    assert_eq!(from_text.warp_instructions, from_bin.warp_instructions);
+    assert_eq!(from_text.dram.total_requests(), from_bin.dram.total_requests());
     println!("replays are identical — the trace fully determines the simulation.");
 }
