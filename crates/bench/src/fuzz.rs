@@ -1,11 +1,13 @@
 //! Seeded mutation fuzzing for the workspace's hand-written parsers.
 //!
-//! The repository accepts five kinds of untrusted byte streams: text
+//! The repository accepts six kinds of untrusted byte streams: text
 //! trace files ([`secmem_gpusim::trace::Trace::from_text`]), SECMTRC
 //! binary traces ([`secmem_gpusim::trace_bin::BinaryTrace::decode`]),
 //! the linter's `lint.toml` baseline ([`secmem_lint::Baseline::parse`]),
-//! Chrome trace JSON ([`secmem_telemetry::chrome::validate_json`]) and
-//! checkpoint frames ([`secmem_checkpoint::Frame::decode`]). The
+//! Chrome trace JSON ([`secmem_telemetry::chrome::validate_json`]),
+//! checkpoint frames ([`secmem_checkpoint::Frame::decode`]) and Rust
+//! source fed to the linter's lexer/parser pipeline
+//! ([`secmem_lint::lint_source`]). The
 //! contract for all of them is the same as everywhere else in the
 //! workspace: arbitrary input must produce a typed error, never a
 //! panic.
@@ -37,12 +39,21 @@ pub enum Corpus {
     ChromeJson,
     /// Binary checkpoint frames.
     Checkpoint,
+    /// Rust source through the linter's lexer, scanner, item parser and
+    /// token lints.
+    LintSource,
 }
 
 impl Corpus {
     /// Every corpus, for smoke sweeps.
-    pub const ALL: [Corpus; 5] =
-        [Corpus::Trace, Corpus::BinTrace, Corpus::LintBaseline, Corpus::ChromeJson, Corpus::Checkpoint];
+    pub const ALL: [Corpus; 6] = [
+        Corpus::Trace,
+        Corpus::BinTrace,
+        Corpus::LintBaseline,
+        Corpus::ChromeJson,
+        Corpus::Checkpoint,
+        Corpus::LintSource,
+    ];
 
     /// Short display name.
     pub fn label(self) -> &'static str {
@@ -52,6 +63,7 @@ impl Corpus {
             Corpus::LintBaseline => "lint-baseline",
             Corpus::ChromeJson => "chrome-json",
             Corpus::Checkpoint => "checkpoint",
+            Corpus::LintSource => "lint-source",
         }
     }
 }
@@ -167,6 +179,10 @@ pub fn seed_inputs(corpus: Corpus) -> Vec<Vec<u8>> {
             br#"{"traceEvents":[{"name":"dram","ph":"C","ts":12,"pid":1,"args":{"v":3.5}}],"displayTimeUnit":"ns"}"#.to_vec(),
             br#"[1,2.5e-3,"s",true,false,null,{"k":[{}]}]"#.to_vec(),
         ],
+        Corpus::LintSource => vec![
+            b"//! Doc.\nimpl Snapshot for Foo<'a, T> {\n    fn save(&self, w: &mut W) { self.a.save(w); }\n    fn load(r: &mut R) -> Result<Self, E> { Ok(Self { a: u8::load(r)? }) }\n}\n".to_vec(),
+            b"pub struct Foo { a: u8 }\nfn f<T: Iterator<Item = Vec<Vec<u8>>>>(x: T) where T: Clone {\n    pool.for_each(&mut es, &|e| e.step(n));\n    let m = Mutex::new(0); m.lock().unwrap();\n    macro_rules! z { () => { panic!() } }\n    format!(\"{x:?}\");\n}\n".to_vec(),
+        ],
         Corpus::Checkpoint => {
             // A real small frame plus one with a big payload, so length
             // fields and the checksum both get mutated.
@@ -204,6 +220,17 @@ pub fn parse_one(corpus: Corpus, input: &[u8]) {
         }
         Corpus::ChromeJson => {
             let _ = chrome::validate_json(&String::from_utf8_lossy(input));
+        }
+        Corpus::LintSource => {
+            // Arbitrary (usually non-UTF-8, never valid Rust) bytes must
+            // come back as diagnostics or nothing — the lexer, scanner,
+            // item parser and every lint pass must stay total.
+            let policy = secmem_lint::Policy::default();
+            let _ = secmem_lint::lint_source(
+                "crates/gpusim/src/fuzzed.rs",
+                &String::from_utf8_lossy(input),
+                &policy,
+            );
         }
         Corpus::Checkpoint => {
             if let Ok(frame) = Frame::decode(input) {
@@ -334,6 +361,15 @@ mod tests {
                     }
                     Corpus::Checkpoint => {
                         Frame::decode(input).unwrap_or_else(|e| panic!("frame exemplar {i}: {e}"));
+                    }
+                    Corpus::LintSource => {
+                        // Valid here means the item walker actually finds
+                        // items — an exemplar the parser sees as empty
+                        // would only exercise the lexer.
+                        let src = String::from_utf8_lossy(input);
+                        let info = secmem_lint::scanner::FileInfo::analyze(&src);
+                        let parsed = secmem_lint::parse_file(&info, &["for_each", "for_each_grouped"]);
+                        assert!(!parsed.fns.is_empty(), "lint-source exemplar {i} parsed no fns");
                     }
                 }
             }

@@ -24,3 +24,15 @@ fn all_parsers_survive_the_smoke_budget() {
         }
     }
 }
+
+/// The lint pipeline gets a deeper budget than the smoke sweep: the
+/// item parser sits on top of the lexer and scanner, so its state space
+/// (impl headers, generics, macro skipping) needs more mutations to
+/// cover. Crashing inputs found by longer offline sessions are frozen
+/// under `crates/lint/tests/fixtures/fuzz/`.
+#[test]
+fn lint_source_pipeline_survives_25k_mutations() {
+    if let Err(case) = fuzz_corpus(Corpus::LintSource, 0x11A7_5EED, 25_000) {
+        panic!("lint pipeline panicked on fuzzed source:\n{case}");
+    }
+}

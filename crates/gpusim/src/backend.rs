@@ -304,12 +304,7 @@ fn record_fault_event(
 ) {
     telemetry.record_event(TelemetryEvent {
         cycle: now,
-        kind: EventKind::Fault {
-            partition,
-            class: class.label().to_string(),
-            kind: format!("{kind:?}"),
-            detected: Some(false),
-        },
+        kind: EventKind::Fault { partition, class: class.label(), kind: kind.label(), detected: Some(false) },
     });
 }
 

@@ -222,8 +222,8 @@ impl<T> Dram<T> {
             cycle: now,
             kind: EventKind::Fault {
                 partition: self.partition,
-                class: class.label().to_string(),
-                kind: format!("{kind:?}"),
+                class: class.label(),
+                kind: kind.label(),
                 detected: None,
             },
         });

@@ -44,6 +44,18 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Static label for telemetry events (the `Delay` amount is recorded
+    /// in the injection config, not the event).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "BitFlip",
+            FaultKind::Drop => "Drop",
+            FaultKind::Delay(_) => "Delay",
+            FaultKind::MetaCorrupt => "MetaCorrupt",
+            FaultKind::Replay => "Replay",
+        }
+    }
+
     /// True for kinds that corrupt the payload (and are therefore
     /// candidates for integrity detection), as opposed to timing faults.
     pub fn corrupts(self) -> bool {
@@ -195,7 +207,9 @@ pub struct FaultStats {
 
 impl FaultStats {
     fn index(c: TrafficClass) -> usize {
-        TrafficClass::ALL.iter().position(|&x| x == c).expect("class in ALL")
+        // Total by construction (TrafficClass::index matches ALL order);
+        // no lookup, no panic path on the completion-handling hot path.
+        c.index()
     }
 
     /// Stats for one class.

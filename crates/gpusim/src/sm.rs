@@ -391,6 +391,7 @@ impl Sm {
             return IssueCheck::No;
         }
         if slot.next.is_none() {
+            // lint:allow(T1): warp programs materialize one Inst per fetch; its coalesced-access list is heap-backed by design (trace format)
             let inst = slot.program.next_inst();
             if matches!(inst, Inst::Exit) {
                 slot.finished = true;

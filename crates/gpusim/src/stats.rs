@@ -36,16 +36,15 @@ pub struct EngineStats {
 }
 
 /// Index into [`EngineStats::meta`] for a metadata traffic class.
-///
-/// # Panics
-///
-/// Panics if called with [`TrafficClass::Data`].
+/// [`TrafficClass::Data`] is not a metadata class: debug builds assert,
+/// release builds count it into the counter slot rather than unwinding
+/// mid-cycle (the hot path must not panic — DESIGN.md §16).
 pub fn meta_index(class: TrafficClass) -> usize {
+    debug_assert!(class != TrafficClass::Data, "data is not a metadata class");
     match class {
-        TrafficClass::Counter => 0,
         TrafficClass::Mac => 1,
         TrafficClass::Tree => 2,
-        TrafficClass::Data => panic!("data is not a metadata class"),
+        _ => 0,
     }
 }
 
@@ -202,8 +201,9 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "not a metadata class")]
-    fn meta_index_rejects_data() {
+    fn meta_index_rejects_data_in_debug() {
         meta_index(TrafficClass::Data);
     }
 

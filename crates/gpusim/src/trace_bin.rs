@@ -647,6 +647,7 @@ impl BinCursor {
 impl WarpProgram for BinCursor {
     fn next_inst(&mut self) -> Inst {
         if self.chunk.is_empty() {
+            // lint:allow(T1): decode allocates instruction access lists and error messages once per trace block, not per instruction
             self.refill();
         }
         self.pos += 1;

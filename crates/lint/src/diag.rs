@@ -88,6 +88,28 @@ pub const CATALOGUE: &[LintDoc] = &[
                     panicking pub constructors have try_ forms",
     },
     LintDoc {
+        id: "S1",
+        name: "snapshot-completeness",
+        invariant: "every `impl Snapshot for T` mentions every named field of T in both \
+                    the save and load bodies; a field added to T without checkpoint \
+                    plumbing breaks resume == uninterrupted silently",
+    },
+    LintDoc {
+        id: "P1",
+        name: "phase-a-purity",
+        invariant: "functions transitively reachable from a WorkerPool entity-step \
+                    closure touch no cross-entity state: no static mut, no atomic \
+                    store/fetch, no Mutex/RwLock/RefCell/Cell, no coordinator staging \
+                    commits",
+    },
+    LintDoc {
+        id: "T1",
+        name: "transitive-hot-path",
+        invariant: "hot-path functions never call (transitively) into code that can \
+                    panic or allocate outside the H1/H2-audited modules; flagged at \
+                    the call site with the witness chain",
+    },
+    LintDoc {
         id: "A0",
         name: "bad-allow",
         invariant: "every lint:allow directive names a lint ID and carries a non-empty \

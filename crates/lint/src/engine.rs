@@ -6,7 +6,9 @@ use std::path::{Path, PathBuf};
 use crate::config::{Baseline, BaselineEntry, Policy};
 use crate::diag::{Diagnostic, Disposition};
 use crate::lints::{run_all, FileCtx};
+use crate::model::WorkspaceModel;
 use crate::scanner::FileInfo;
+use crate::semantic;
 
 /// The outcome of a workspace scan.
 #[derive(Debug, Default)]
@@ -30,18 +32,24 @@ impl Report {
     }
 
     /// A regenerated baseline covering every currently-active finding
-    /// (the `--fix-baseline` payload). Keeps the existing disabled list.
-    pub fn to_baseline(&self, prior: &Baseline) -> Baseline {
+    /// (the `--fix-baseline` payload). Keeps the existing disabled
+    /// list. Prior entries whose (file, lint) has no current findings
+    /// are carried forward only while the file still exists
+    /// (`existing_files`); entries for deleted files are pruned.
+    pub fn to_baseline(&self, prior: &Baseline, existing_files: &[String]) -> Baseline {
         let mut entries: Vec<BaselineEntry> = Vec::new();
         for d in self.diags.iter().filter(|d| d.disposition != Disposition::Allowed) {
-            if d.disposition == Disposition::Allowed {
-                continue;
-            }
             match entries.iter_mut().find(|e| e.file == d.file && e.lint == d.lint) {
                 Some(e) => e.count += 1,
                 None => {
                     entries.push(BaselineEntry { file: d.file.clone(), lint: d.lint.to_string(), count: 1 })
                 }
+            }
+        }
+        for e in &prior.entries {
+            let covered = entries.iter().any(|n| n.file == e.file && n.lint == e.lint);
+            if !covered && existing_files.iter().any(|f| f == &e.file) {
+                entries.push(e.clone());
             }
         }
         Baseline { disabled: prior.disabled.clone(), entries }
@@ -118,18 +126,37 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), ScanError> {
     Ok(())
 }
 
-/// Lints one file's source text (exposed for fixture tests).
+/// Lints one file's source text (exposed for fixture tests). Runs the
+/// full pipeline — token lints plus the semantic passes over a
+/// one-file workspace model.
 pub fn lint_source(rel: &str, src: &str, policy: &Policy) -> Vec<Diagnostic> {
-    let info = FileInfo::analyze(src);
-    let krate = Policy::crate_of(rel);
-    let ctx = FileCtx { rel, krate, info: &info, policy };
+    lint_sources(&[(rel.to_string(), src.to_string())], policy)
+}
+
+/// Lints a set of files as one workspace: per-file token lints, then
+/// the semantic lints (S1/P1/T1) over the stitched workspace model,
+/// then inline allow filtering. `files` pairs workspace-relative paths
+/// with source text.
+pub fn lint_sources(files: &[(String, String)], policy: &Policy) -> Vec<Diagnostic> {
+    let infos: Vec<(String, FileInfo<'_>)> =
+        files.iter().map(|(rel, src)| (rel.clone(), FileInfo::analyze(src))).collect();
     let mut out = Vec::new();
-    run_all(&ctx, &mut out);
+    for (rel, info) in &infos {
+        let ctx = FileCtx { rel, krate: Policy::crate_of(rel), info, policy };
+        run_all(&ctx, &mut out);
+    }
+    let model = WorkspaceModel::build(&infos, policy);
+    out.extend(semantic::run_all(&model, policy));
     // Inline allows: A0 itself is exempt (an allow cannot excuse a
     // malformed allow).
     for d in &mut out {
-        if d.lint != "A0" && info.allowed(d.lint, d.line) {
-            d.disposition = Disposition::Allowed;
+        if d.lint == "A0" {
+            continue;
+        }
+        if let Some((_, info)) = infos.iter().find(|(rel, _)| rel == &d.file) {
+            if info.allowed(d.lint, d.line) {
+                d.disposition = Disposition::Allowed;
+            }
         }
     }
     out
@@ -142,12 +169,14 @@ pub fn lint_source(rel: &str, src: &str, policy: &Policy) -> Vec<Diagnostic> {
 /// Propagates tree-walk and file-read failures.
 pub fn scan_workspace(root: &Path, policy: &Policy, baseline: &Baseline) -> Result<Report, ScanError> {
     let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in workspace_files(root)? {
         let path = root.join(&rel);
         let src = std::fs::read_to_string(&path).map_err(|e| ScanError::Io(path.clone(), e))?;
-        report.diags.extend(lint_source(&rel, &src, policy));
-        report.files_scanned += 1;
+        sources.push((rel, src));
     }
+    report.files_scanned = sources.len();
+    report.diags = lint_sources(&sources, policy);
     // Disabled lints vanish entirely.
     report.diags.retain(|d| !baseline.disabled.iter().any(|id| id == d.lint));
     // Baseline budgets: the first N active findings per (file, lint)

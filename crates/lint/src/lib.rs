@@ -11,10 +11,14 @@
 //! exercised. This crate checks the rules *mechanically*, at the source
 //! level, on every file of every crate.
 //!
-//! The design is a hand-rolled lexer ([`lexer`]) feeding token-pattern
-//! rules ([`lints`]) — no `syn`, matching the workspace's
-//! zero-dependency policy. See DESIGN.md §11 for the lint catalogue
-//! with per-lint origin PRs, and `lint.toml` for the baseline.
+//! The design is a hand-rolled lexer ([`lexer`]) feeding two layers:
+//! token-pattern rules ([`lints`]) over one file at a time, and — since
+//! PR 10 — an item-level parser ([`parser`]) whose per-file skeletons
+//! are stitched into a workspace model with an intra-workspace call
+//! graph ([`model`]), on which the semantic lints S1/P1/T1 run
+//! ([`semantic`]). No `syn`, matching the workspace's zero-dependency
+//! policy. See DESIGN.md §11 and §16 for the lint catalogue with
+//! per-lint origin PRs, and `lint.toml` for the baseline.
 //!
 //! Run it as:
 //!
@@ -29,8 +33,13 @@ pub mod diag;
 pub mod engine;
 pub mod lexer;
 pub mod lints;
+pub mod model;
+pub mod parser;
 pub mod scanner;
+pub mod semantic;
 
 pub use config::{Baseline, BaselineEntry, Policy};
 pub use diag::{Diagnostic, Disposition, CATALOGUE};
-pub use engine::{lint_source, scan_workspace, workspace_files, Report};
+pub use engine::{lint_source, lint_sources, scan_workspace, workspace_files, Report};
+pub use model::WorkspaceModel;
+pub use parser::{parse_file, ParsedFile};

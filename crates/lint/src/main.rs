@@ -14,13 +14,16 @@ USAGE:
 OPTIONS:
     --json            emit findings as JSON (CI artifact) instead of text
     --fix-baseline    rewrite lint.toml so every current finding is baselined
+                      (entries for files that left the workspace are pruned)
     --root <path>     workspace root (default: nearest ancestor with crates/)
+    --max-ms <n>      fail if the scan takes longer than n milliseconds
+                      (CI keeps the pass cheap enough to stay in tier-1)
     --list            print the lint catalogue and exit
     --help            this message
 
 EXIT STATUS:
     0  no active findings (allows and baseline may have suppressed some)
-    1  at least one non-baselined, non-allowed finding
+    1  at least one non-baselined, non-allowed finding, or --max-ms exceeded
     2  usage or I/O error
 ";
 
@@ -29,10 +32,11 @@ struct Args {
     fix_baseline: bool,
     list: bool,
     root: Option<PathBuf>,
+    max_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { json: false, fix_baseline: false, list: false, root: None };
+    let mut args = Args { json: false, fix_baseline: false, list: false, root: None, max_ms: None };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -42,6 +46,10 @@ fn parse_args() -> Result<Args, String> {
             "--root" => {
                 let v = it.next().ok_or("--root needs a path")?;
                 args.root = Some(PathBuf::from(v));
+            }
+            "--max-ms" => {
+                let v = it.next().ok_or("--max-ms needs a number")?;
+                args.max_ms = Some(v.parse().map_err(|_| format!("--max-ms: '{v}' is not a number"))?);
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -93,6 +101,10 @@ fn main() -> ExitCode {
         }
     };
     let policy = Policy::default();
+    // Wall-clock here is fine: the lint crate is host tooling, outside
+    // the D1 determinism domain (see the "lint crate itself may time"
+    // scoping test).
+    let started = std::time::Instant::now();
     let report = match engine::scan_workspace(&root, &policy, &baseline) {
         Ok(r) => r,
         Err(e) => {
@@ -100,8 +112,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed_ms = started.elapsed().as_millis() as u64;
     if args.fix_baseline {
-        let next = report.to_baseline(&baseline);
+        let existing = match engine::workspace_files(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("secmem-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let next = report.to_baseline(&baseline, &existing);
         let path = root.join("lint.toml");
         if let Err(e) = std::fs::write(&path, next.render()) {
             eprintln!("secmem-lint: writing {}: {e}", path.display());
@@ -118,7 +138,13 @@ fn main() -> ExitCode {
         print!("{}", diag::render_json(&report.diags));
     } else {
         print!("{}", diag::render_text(&report.diags));
-        eprintln!("secmem-lint: scanned {} files", report.files_scanned);
+        eprintln!("secmem-lint: scanned {} files in {elapsed_ms} ms", report.files_scanned);
+    }
+    if let Some(max) = args.max_ms {
+        if elapsed_ms > max {
+            eprintln!("secmem-lint: scan took {elapsed_ms} ms, over the --max-ms {max} budget");
+            return ExitCode::FAILURE;
+        }
     }
     if report.is_clean() {
         ExitCode::SUCCESS

@@ -1,0 +1,40 @@
+//! Parser fixture: `#[cfg(test)]` items are marked `is_test` and must
+//! not become call-graph nodes or S1 subjects; `#[cfg(feature = …)]`
+//! attributes are skipped without derailing the item scan.
+
+pub struct Production {
+    live: u64,
+}
+
+#[cfg(feature = "extras")]
+pub struct FeatureGated {
+    extra: u64,
+}
+
+impl Production {
+    #[cfg(feature = "extras")]
+    pub fn with_extra(&self) -> u64 {
+        self.live + 1
+    }
+
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestOnly {
+        scratch: u64,
+    }
+
+    #[test]
+    fn lives() {
+        let p = Production { live: 3 };
+        assert_eq!(p.live(), 3);
+        let t = TestOnly { scratch: p.live() };
+        assert_eq!(t.scratch, 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Parser fixture: `impl Trait` in argument and return position is an
+//! anonymous type, not an `impl` block — the item parser must not treat
+//! `impl Fn(u32)` as the start of an inherent impl.
+
+pub fn make_adder(n: u32) -> impl Fn(u32) -> u32 {
+    move |x| x + n
+}
+
+pub fn take_iter(it: impl Iterator<Item = u8>) -> usize {
+    it.count()
+}
+
+pub struct Real {
+    count: u32,
+}
+
+impl Real {
+    pub fn bump(&mut self, by: impl Into<u32>) -> u32 {
+        self.count += by.into();
+        self.count
+    }
+}

@@ -1,0 +1,30 @@
+//! Parser fixture: macro definitions and invocations are skipped as
+//! opaque token groups. Item keywords and panic-looking tokens inside
+//! them must not leak into the item tables or the body facts.
+
+macro_rules! define_things {
+    ($name:ident) => {
+        // These `fn` / `struct` keywords live inside a macro body: the
+        // item parser must not surface them as definitions.
+        fn $name() {
+            panic!("expanded, not parsed");
+        }
+        struct PhantomThing;
+    };
+}
+
+pub fn uses_macros(flag: bool) -> u32 {
+    // `!=` must not be taken for a macro invocation of `flag!`.
+    if flag != false {
+        return 1;
+    }
+    // A plain invocation: the group is skipped, `unwrap` inside it is
+    // the macro's business (matches!' pattern, not a call).
+    let ok = matches!(flag, false);
+    u32::from(ok)
+}
+
+pub fn real_panic_site() {
+    // This one IS a body fact: a panic macro outside any definition.
+    unreachable!("fixture: the parser must record this");
+}

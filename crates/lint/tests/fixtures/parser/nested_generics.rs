@@ -1,0 +1,36 @@
+//! Parser fixture: nested generics close with `>>`, which the
+//! single-char lexer sees as two `>` tokens. Shifts and comparisons must
+//! not be confused for generic groups.
+
+pub struct Wrap {
+    inner: Vec<Vec<u8>>,
+    deep: Option<Result<Vec<u64>, String>>,
+}
+
+impl Wrap {
+    pub fn shift(&self, x: u64) -> u64 {
+        // `>>` here is a shift, not a generic close.
+        let y = x >> 2;
+        // `<` here is a comparison: the angle scanner must give up and
+        // back out rather than swallowing the rest of the function.
+        if y < 3 && x > 1 {
+            helper(y)
+        } else {
+            y
+        }
+    }
+
+    pub fn turbofish(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::<Vec<u8>>::default();
+        out.extend(self.inner.iter().cloned());
+        out
+    }
+}
+
+fn helper(v: u64) -> u64 {
+    v.wrapping_mul(3)
+}
+
+pub fn generic_fn<K: Ord, V: Clone + Default>(pairs: Vec<(K, Vec<V>)>) -> usize {
+    pairs.len()
+}

@@ -1,0 +1,40 @@
+//! Parser fixture: `where` clauses sit between the signature and the
+//! body; the impl-header scanner must stop collecting names at `where`,
+//! and the fn parser must still find the body group after one.
+
+pub struct Holder<T> {
+    items: Vec<T>,
+}
+
+impl<T> Holder<T>
+where
+    T: Clone + Send + 'static,
+{
+    pub fn first(&self) -> Option<T>
+    where
+        T: Default,
+    {
+        self.items.first().cloned()
+    }
+}
+
+pub trait Visit {
+    fn visit(&self) -> usize;
+}
+
+impl<T> Visit for Holder<T>
+where
+    T: Clone,
+{
+    fn visit(&self) -> usize {
+        self.items.len()
+    }
+}
+
+pub fn free_where<I>(it: I) -> usize
+where
+    I: IntoIterator,
+    I::IntoIter: ExactSizeIterator,
+{
+    it.into_iter().len()
+}

@@ -183,8 +183,21 @@ fn scan_workspace_applies_baseline_budgets_first_n() {
     assert_eq!(report.active(), 1, "third finding exceeds the budget");
     assert_eq!(report.diags.iter().filter(|d| d.disposition == Disposition::Baselined).count(), 2);
 
-    let fixed = report.to_baseline(&baseline);
+    let existing = vec!["crates/gpusim/src/mshr.rs".to_string()];
+    let fixed = report.to_baseline(&baseline, &existing);
     assert_eq!(fixed.budget("crates/gpusim/src/mshr.rs", "H1"), 3, "--fix-baseline covers all");
+
+    // Satellite (PR 10): entries for files that left the workspace are
+    // pruned, entries for still-existing files are carried forward.
+    let stale = Baseline::parse(
+        "[[baseline]]\nfile = \"crates/gpusim/src/deleted.rs\"\nlint = \"H1\"\ncount = 5\n\
+         [[baseline]]\nfile = \"crates/gpusim/src/mshr.rs\"\nlint = \"D1\"\ncount = 4\n",
+    )
+    .expect("baseline");
+    let fixed = report.to_baseline(&stale, &existing);
+    assert_eq!(fixed.budget("crates/gpusim/src/deleted.rs", "H1"), 0, "stale file entry pruned");
+    assert_eq!(fixed.budget("crates/gpusim/src/mshr.rs", "D1"), 4, "existing file entry carried");
+    assert_eq!(fixed.budget("crates/gpusim/src/mshr.rs", "H1"), 3, "current findings win");
 
     let disabled = Baseline::parse("disabled = [\"H1\"]\n").expect("baseline");
     let report = scan_workspace(&root, &policy, &disabled).expect("scan");

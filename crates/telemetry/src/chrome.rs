@@ -323,20 +323,15 @@ mod tests {
         t.record_event(TelemetryEvent { cycle: 0, kind: EventKind::PhaseBegin { name: "run".into() } });
         t.record_event(TelemetryEvent {
             cycle: 300,
-            kind: EventKind::Fault {
-                partition: 7,
-                class: "ctr".into(),
-                kind: "BitFlip".into(),
-                detected: Some(true),
-            },
+            kind: EventKind::Fault { partition: 7, class: "ctr", kind: "BitFlip", detected: Some(true) },
         });
         t.record_event(TelemetryEvent {
             cycle: 400,
-            kind: EventKind::ThrashBegin { partition: 2, class: "bmt".into() },
+            kind: EventKind::ThrashBegin { partition: 2, class: "bmt" },
         });
         t.record_event(TelemetryEvent {
             cycle: 600,
-            kind: EventKind::ThrashEnd { partition: 2, class: "bmt".into() },
+            kind: EventKind::ThrashEnd { partition: 2, class: "bmt" },
         });
         t.record_event(TelemetryEvent {
             cycle: 900,

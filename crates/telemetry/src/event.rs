@@ -41,9 +41,11 @@ pub enum EventKind {
         /// Partition the fault occurred in.
         partition: u32,
         /// Traffic-class label (`data`, `ctr`, `mac`, `bmt`).
-        class: String,
-        /// Fault kind, rendered (`BitFlip`, `Drop`, `Delay(25)`, ...).
-        kind: String,
+        class: &'static str,
+        /// Fault-kind label (`BitFlip`, `Drop`, `Delay`, ...). Static so
+        /// recording a fault never allocates (faults can occur on the
+        /// per-cycle completion path).
+        kind: &'static str,
         /// `None` at injection time; `Some(detected)` once a backend
         /// classified the corruption.
         detected: Option<bool>,
@@ -54,14 +56,14 @@ pub enum EventKind {
         /// Partition whose metadata cache is thrashing.
         partition: u32,
         /// Metadata class label (`ctr`, `mac`, `bmt`).
-        class: String,
+        class: &'static str,
     },
     /// The thrash episode ended.
     ThrashEnd {
         /// Partition whose metadata cache recovered.
         partition: u32,
         /// Metadata class label.
-        class: String,
+        class: &'static str,
     },
 }
 
@@ -89,9 +91,9 @@ mod tests {
             EventKind::PhaseBegin { name: "x".into() },
             EventKind::PhaseEnd { name: "x".into() },
             EventKind::Stall { detail: "d".into() },
-            EventKind::Fault { partition: 0, class: "data".into(), kind: "BitFlip".into(), detected: None },
-            EventKind::ThrashBegin { partition: 1, class: "ctr".into() },
-            EventKind::ThrashEnd { partition: 1, class: "ctr".into() },
+            EventKind::Fault { partition: 0, class: "data", kind: "BitFlip", detected: None },
+            EventKind::ThrashBegin { partition: 1, class: "ctr" },
+            EventKind::ThrashEnd { partition: 1, class: "ctr" },
         ];
         let labels: Vec<&str> = kinds.iter().map(EventKind::label).collect();
         let mut unique = labels.clone();

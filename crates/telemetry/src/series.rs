@@ -56,24 +56,29 @@ impl RingSeries {
 
     /// Merges adjacent pairs in place, halving the occupancy. A trailing
     /// odd sample is kept as-is. The merged sample carries the *end*
-    /// cycle of the pair, so the timeline stays monotonic.
+    /// cycle of the pair, so the timeline stays monotonic. Runs inside
+    /// `push` on the recording path, so it reuses the buffer instead of
+    /// collecting into a fresh one.
     fn decimate(&mut self) {
-        let merged: Vec<Sample> = self
-            .points
-            .chunks(2)
-            .map(|pair| match pair {
-                [(_, v1), (c2, v2)] => {
-                    let v = match self.kind {
-                        SeriesKind::Delta => v1 + v2,
-                        SeriesKind::Gauge => (v1 + v2) / 2.0,
-                    };
-                    (*c2, v)
-                }
-                [only] => *only,
-                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
-            })
-            .collect();
-        self.points = merged;
+        let n = self.points.len();
+        let mut w = 0;
+        let mut r = 0;
+        while r + 1 < n {
+            let (_, v1) = self.points[r];
+            let (c2, v2) = self.points[r + 1];
+            let v = match self.kind {
+                SeriesKind::Delta => v1 + v2,
+                SeriesKind::Gauge => (v1 + v2) / 2.0,
+            };
+            self.points[w] = (c2, v);
+            w += 1;
+            r += 2;
+        }
+        if r < n {
+            self.points[w] = self.points[r];
+            w += 1;
+        }
+        self.points.truncate(w);
     }
 
     /// The samples, oldest first.

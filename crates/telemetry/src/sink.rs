@@ -94,7 +94,10 @@ impl Telemetry {
     /// Drains all buffered events in record order (empty when disabled).
     pub fn take_events(&self) -> Vec<TelemetryEvent> {
         let Some(inner) = &self.inner else { return Vec::new() };
-        let mut state = inner.state.lock().expect("telemetry store lock");
+        // A poisoned lock means a recording thread panicked mid-update;
+        // telemetry is best-effort, so degrade to "nothing buffered"
+        // instead of propagating the panic into the simulator.
+        let Ok(mut state) = inner.state.lock() else { return Vec::new() };
         std::mem::take(&mut state.events)
     }
 
@@ -115,7 +118,7 @@ impl Telemetry {
         if !value.is_finite() {
             return;
         }
-        let mut state = inner.state.lock().expect("telemetry store lock");
+        let Ok(mut state) = inner.state.lock() else { return };
         match state.series.get_mut(name) {
             Some(series) => series.push(cycle, value),
             None => {
@@ -145,7 +148,8 @@ impl Telemetry {
     /// should guard on [`Telemetry::is_enabled`] first.
     pub fn record_event(&self, event: TelemetryEvent) {
         let Some(inner) = &self.inner else { return };
-        let mut state = inner.state.lock().expect("telemetry store lock");
+        // lint:allow(P1): phase-A workers record into their own staging sink (uncontended lock); the coordinator drains the stages in partition order during phase C (DESIGN.md §14)
+        let Ok(mut state) = inner.state.lock() else { return };
         if state.events.len() < inner.cfg.event_capacity {
             state.events.push(event);
         } else {
@@ -156,7 +160,7 @@ impl Telemetry {
     /// Copies out everything recorded so far. `None` when disabled.
     pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
         let inner = self.inner.as_ref()?;
-        let state = inner.state.lock().expect("telemetry store lock");
+        let state = inner.state.lock().ok()?;
         Some(TelemetrySnapshot {
             sample_interval: inner.cfg.sample_interval,
             series: state
@@ -176,14 +180,16 @@ impl Telemetry {
     /// reconciling with the measured-window aggregates.
     pub fn clear_series(&self) {
         if let Some(inner) = &self.inner {
-            inner.state.lock().expect("telemetry store lock").series.clear();
+            if let Ok(mut state) = inner.state.lock() {
+                state.series.clear();
+            }
         }
     }
 
     /// Discards all recorded series and events.
     pub fn clear(&self) {
         if let Some(inner) = &self.inner {
-            let mut state = inner.state.lock().expect("telemetry store lock");
+            let Ok(mut state) = inner.state.lock() else { return };
             state.series.clear();
             state.events.clear();
             state.dropped_events = 0;
